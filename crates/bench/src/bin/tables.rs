@@ -1,0 +1,98 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hsi-bench --bin tables -- all
+//! cargo run --release -p hsi-bench --bin tables -- table3
+//! cargo run --release -p hsi-bench --bin tables -- fig5 out/
+//! ```
+
+use gpu_sim::device::Compiler;
+use hsi_bench::*;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "table1" => print!("{}", format_table1()),
+        "table2" => print!("{}", format_table2()),
+        "table3" => run_table3(),
+        "table4" => print!("{}", format_time_table(Compiler::Gcc, &time_rows(Compiler::Gcc))),
+        "table5" => print!("{}", format_time_table(Compiler::Icc, &time_rows(Compiler::Icc))),
+        "fig5" => run_fig5(args.get(1).map(String::as_str).unwrap_or("out")),
+        "fig6" => print!("{}", format_fig6(&time_rows(Compiler::Gcc))),
+        "ablations" => print!("{}", format_ablations()),
+        "all" => {
+            print!("{}", format_table1());
+            println!();
+            print!("{}", format_table2());
+            println!();
+            print!("{}", format_time_table(Compiler::Gcc, &time_rows(Compiler::Gcc)));
+            println!();
+            print!("{}", format_time_table(Compiler::Icc, &time_rows(Compiler::Icc)));
+            println!();
+            print!("{}", format_fig6(&time_rows(Compiler::Gcc)));
+            println!();
+            print!("{}", format_ablations());
+            println!();
+            run_table3();
+            run_fig5("out");
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|all]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_table3() {
+    eprintln!("[table3] generating the synthetic Indian Pines scene and running AMC (3x3 SE, c=32)...");
+    let result = accuracy_experiment(2026);
+    print!("{}", format_table3(&result));
+}
+
+fn run_fig5(dir: &str) {
+    use hsi_scene::library::indian_pines_classes;
+    use hsi_scene::render;
+    use hsi_scene::scene::{generate, SceneConfig};
+
+    eprintln!("[fig5] rendering scene band, ground truth, MEI and classification maps to {dir}/ ...");
+    let classes = indian_pines_classes();
+    let scene = generate(&classes, &SceneConfig::reduced_indian_pines(2026));
+    let dims = scene.cube.dims();
+    // The paper shows the 587nm band: that wavelength lands at ~9% of the
+    // 0.4–2.5um range.
+    let band = dims.bands * 9 / 100;
+    let out = Path::new(dir);
+    render::write_file(&out.join("fig5a_band.pgm"), &render::band_to_pgm(&scene.cube, band))
+        .expect("write fig5a");
+    render::write_file(
+        &out.join("fig5b_ground_truth.ppm"),
+        &render::labels_to_ppm(&scene.ground_truth, dims.width, dims.height),
+    )
+    .expect("write fig5b");
+
+    let amc = hsi::classify::AmcClassifier::new(hsi::classify::AmcConfig::paper_default(
+        classes.len(),
+    ));
+    let result = amc.classify(&scene.cube).expect("AMC");
+    render::write_file(
+        &out.join("mei.pgm"),
+        &render::scores_to_pgm(&result.mei.scores, dims.width, dims.height),
+    )
+    .expect("write mei");
+    let mapped = hsi::metrics::map_clusters_to_truth(
+        &scene.ground_truth,
+        &result.labels,
+        result.class_count(),
+        classes.len(),
+    )
+    .expect("mapping");
+    render::write_file(
+        &out.join("classification.ppm"),
+        &render::labels_to_ppm(&mapped, dims.width, dims.height),
+    )
+    .expect("write classification");
+    eprintln!("[fig5] wrote fig5a_band.pgm, fig5b_ground_truth.ppm, mei.pgm, classification.ppm");
+}

@@ -1,0 +1,330 @@
+//! Fragment kernels for every AMC pipeline stage.
+//!
+//! Each stage exists in two forms with identical arithmetic:
+//!
+//! * an **ISA program** (fp30-style assembly, assembled once and executed by
+//!   the `gpu-sim` interpreter) — faithful to what the paper's Cg kernels
+//!   compiled to, with exact per-fragment instruction counts; and
+//! * a **closure twin** used as the fast execution path for large inputs.
+//!
+//! The twins mirror the ISA instruction sequence operation-for-operation
+//! (`log2(x)·ln2` instead of `ln`, ε-guards via `max`, identical summation
+//! order), so `KernelMode::Isa` and `KernelMode::Closure` produce bit-equal
+//! streams — a property the integration tests assert.
+
+use gpu_sim::asm::assemble;
+use gpu_sim::isa::Program;
+
+/// ε guard inside the SID kernels; equals [`hsi::spectral::SID_EPSILON`].
+pub const SID_EPS: f32 = 1e-12;
+/// ln(2) as f32, converting `LG2` output to natural log.
+pub const LN2: f32 = std::f32::consts::LN_2;
+
+/// Instruction cost of the band-sum kernel (per fragment).
+pub const BAND_SUM_COST: u64 = 4;
+/// Instruction cost of the normalize kernel.
+pub const NORMALIZE_COST: u64 = 5;
+/// Instruction cost of the partial-SID accumulation kernel.
+pub const SID_PARTIAL_COST: u64 = 13;
+/// Instruction cost of the min/max init kernel.
+pub const MINMAX_INIT_COST: u64 = 4;
+/// Instruction cost of the min/max update kernel.
+pub const MINMAX_UPDATE_COST: u64 = 9;
+/// Instruction cost of the MEI partial kernel.
+pub const MEI_PARTIAL_COST: u64 = 21;
+
+/// Band-sum accumulation: `sum' = sum + dot(bandgroup, 1)`.
+///
+/// Inputs: `tex0` = band-group plane (coord set `T0`), `tex1` = previous sum.
+pub fn band_sum_program() -> Program {
+    assemble(
+        "!!band_sum\n\
+         DEF C1, 1, 1, 1, 1\n\
+         TEX R0, T0, tex0\n\
+         TEX R1, T0, tex1\n\
+         DP4 R0, R0, C1\n\
+         ADD OC, R0, R1",
+    )
+    .expect("band_sum assembles")
+}
+
+/// Normalization (eqs. 3–4): `out = bandgroup / sum.x`.
+///
+/// Inputs: `tex0` = band-group plane, `tex1` = total band sum.
+pub fn normalize_program() -> Program {
+    assemble(
+        "!!normalize\n\
+         DEF C0, 1e-30, 0, 0, 0\n\
+         TEX R0, T0, tex0\n\
+         TEX R1, T0, tex1\n\
+         MAX R1, R1.x, C0.x\n\
+         RCP R1, R1\n\
+         MUL OC, R0, R1",
+    )
+    .expect("normalize assembles")
+}
+
+/// Partial SID accumulation (eq. 2 over one 4-band group):
+/// `accum' = accum + Σ_lanes (p − q)·ln(p/q)` with `p` sampled at `T0`
+/// (centre) and `q` at `T1` (the δ-shifted coordinate set).
+///
+/// Inputs: `tex0` = normalized band-group plane, `tex1` = previous accum.
+pub fn sid_partial_program() -> Program {
+    assemble(
+        "!!sid_partial\n\
+         DEF C0, 1e-12, 0.6931472, 0, 0\n\
+         DEF C1, 1, 1, 1, 1\n\
+         TEX R0, T0, tex0\n\
+         TEX R1, T1, tex0\n\
+         TEX R4, T0, tex1\n\
+         MAX R0, R0, C0.x\n\
+         MAX R1, R1, C0.x\n\
+         RCP R2, R1\n\
+         MUL R2, R0, R2\n\
+         LG2 R2, R2\n\
+         MUL R2, R2, C0.y\n\
+         SUB R3, R0, R1\n\
+         MUL R3, R3, R2\n\
+         DP4 R3, R3, C1\n\
+         ADD OC, R4, R3",
+    )
+    .expect("sid_partial assembles")
+}
+
+/// Min/max state initialisation from neighbour 0's cumulative distance:
+/// `state = (D₀, 0, D₀, 0)`.
+///
+/// Inputs: `tex0` = cumulative-distance field, sampled through the shifted
+/// coordinate set `T0` (= identity + δ₀).
+pub fn minmax_init_program() -> Program {
+    assemble(
+        "!!minmax_init\n\
+         DEF C1, 0, 0, 0, 0\n\
+         TEX R0, T0, tex0\n\
+         MOV R1, R0.x\n\
+         MOV R1.yw, C1\n\
+         MOV OC, R1",
+    )
+    .expect("minmax_init assembles")
+}
+
+/// Min/max state update with neighbour `k` (paper's Maximum/Minimum stage):
+/// strict comparisons keep the first extremum on ties, matching the CPU
+/// reference.
+///
+/// Inputs: `tex0` = previous state (`T0` identity), `tex1` = cumulative
+/// field (`T1` shifted by δₖ). Constant `C0` = `(k, k, k, k)`.
+pub fn minmax_update_program() -> Program {
+    assemble(
+        "!!minmax_update\n\
+         TEX R0, T0, tex0\n\
+         TEX R1, T1, tex1\n\
+         SLT R2, R1.x, R0.x\n\
+         SLT R3, R0.z, R1.x\n\
+         MIN R4.x, R0, R1.x\n\
+         LRP R4.y, R2, C0, R0\n\
+         MAX R4.z, R0, R1.x\n\
+         LRP R4.w, R3, C0, R0\n\
+         MOV OC, R4",
+    )
+    .expect("minmax_update assembles")
+}
+
+/// MEI partial accumulation (paper's SID Compute stage): dependent texture
+/// reads fetch the erosion/dilation pixels selected by the min/max state and
+/// accumulate their SID over one band group.
+///
+/// Inputs: `tex0` = normalized band-group plane, `tex1` = min/max state,
+/// `tex2` = previous MEI accum, `tex3` = the neighbour-offset lookup texture
+/// ([`offset_lut`]). Constant `C2` = `(1/p_B, 0.5/p_B, 0.5, 0)`.
+pub fn mei_partial_program() -> Program {
+    assemble(
+        "!!mei_partial\n\
+         DEF C0, 1e-12, 0.6931472, 0, 0\n\
+         DEF C1, 1, 1, 1, 1\n\
+         TEX R0, T0, tex1\n\
+         MAD R1, R0.yyww, C2.x, C2.y\n\
+         MOV R1.yw, C2.zzzz\n\
+         TEX R2, R1, tex3\n\
+         MOV R3, R1.zwzw\n\
+         TEX R4, R3, tex3\n\
+         ADD R2, R2, T0\n\
+         ADD R4, R4, T0\n\
+         TEX R5, R2, tex0\n\
+         TEX R6, R4, tex0\n\
+         MAX R5, R5, C0.x\n\
+         MAX R6, R6, C0.x\n\
+         RCP R7, R5\n\
+         MUL R7, R6, R7\n\
+         LG2 R7, R7\n\
+         MUL R7, R7, C0.y\n\
+         SUB R8, R6, R5\n\
+         MUL R8, R8, R7\n\
+         DP4 R8, R8, C1\n\
+         TEX R9, T0, tex2\n\
+         ADD OC, R9, R8",
+    )
+    .expect("mei_partial assembles")
+}
+
+/// Build the neighbour-offset lookup texture contents: `p_B x 1` texels,
+/// texel `k` = `(δxₖ/w, δyₖ/h, 0, 0)` in normalized texture coordinates.
+pub fn offset_lut(offsets: &[(i32, i32)], width: usize, height: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(offsets.len() * 4);
+    for &(dx, dy) in offsets {
+        out.push(dx as f32 / width as f32);
+        out.push(dy as f32 / height as f32);
+        out.push(0.0);
+        out.push(0.0);
+    }
+    out
+}
+
+/// All stage programs, assembled once.
+pub struct KernelSet {
+    /// Band-sum accumulation program.
+    pub band_sum: Program,
+    /// Normalization program.
+    pub normalize: Program,
+    /// Partial-SID accumulation program.
+    pub sid_partial: Program,
+    /// Min/max init program.
+    pub minmax_init: Program,
+    /// Min/max update program.
+    pub minmax_update: Program,
+    /// MEI partial program.
+    pub mei_partial: Program,
+}
+
+/// The lazily-assembled kernel set shared by every pipeline instance.
+pub static KERNEL_SET: std::sync::LazyLock<KernelSet> = std::sync::LazyLock::new(|| KernelSet {
+    band_sum: band_sum_program(),
+    normalize: normalize_program(),
+    sid_partial: sid_partial_program(),
+    minmax_init: minmax_init_program(),
+    minmax_update: minmax_update_program(),
+    mei_partial: mei_partial_program(),
+});
+
+// ---------------------------------------------------------------------------
+// Closure twins: scalar helpers mirroring the ISA arithmetic exactly.
+// ---------------------------------------------------------------------------
+
+/// The partial SID of one 4-band group, computed with the exact operation
+/// sequence of [`sid_partial_program`] (ε-guard, reciprocal multiply,
+/// `log2·ln2`, lane-ordered `DP4` summation).
+#[inline]
+pub fn sid_partial_value(p: [f32; 4], q: [f32; 4]) -> f32 {
+    let mut acc = 0.0f32;
+    let mut terms = [0.0f32; 4];
+    for lane in 0..4 {
+        let pl = p[lane].max(SID_EPS);
+        let ql = q[lane].max(SID_EPS);
+        let r = 1.0 / ql;
+        let ratio = pl * r;
+        let l = ratio.max(f32::MIN_POSITIVE).log2() * LN2;
+        terms[lane] = (pl - ql) * l;
+    }
+    // DP4 with the all-ones vector: sequential lane order.
+    for t in terms {
+        acc += t;
+    }
+    acc
+}
+
+/// The min/max state update of [`minmax_update_program`] in closure form.
+#[inline]
+pub fn minmax_update_value(state: [f32; 4], cand: f32, k: f32) -> [f32; 4] {
+    let s_min = if cand < state[0] { 1.0f32 } else { 0.0 };
+    let s_max = if state[2] < cand { 1.0f32 } else { 0.0 };
+    [
+        state[0].min(cand),
+        s_min * k + (1.0 - s_min) * state[1],
+        state[2].max(cand),
+        s_max * k + (1.0 - s_max) * state[3],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_assemble_with_expected_costs() {
+        assert_eq!(band_sum_program().len() as u64, BAND_SUM_COST);
+        assert_eq!(normalize_program().len() as u64, NORMALIZE_COST);
+        assert_eq!(sid_partial_program().len() as u64, SID_PARTIAL_COST);
+        assert_eq!(minmax_init_program().len() as u64, MINMAX_INIT_COST);
+        assert_eq!(minmax_update_program().len() as u64, MINMAX_UPDATE_COST);
+        assert_eq!(mei_partial_program().len() as u64, MEI_PARTIAL_COST);
+    }
+
+    #[test]
+    fn program_names_and_tex_counts() {
+        assert_eq!(band_sum_program().name, "band_sum");
+        assert_eq!(band_sum_program().tex_count(), 2);
+        assert_eq!(normalize_program().tex_count(), 2);
+        assert_eq!(sid_partial_program().tex_count(), 3);
+        assert_eq!(minmax_init_program().tex_count(), 1);
+        assert_eq!(minmax_update_program().tex_count(), 2);
+        assert_eq!(mei_partial_program().tex_count(), 6);
+    }
+
+    #[test]
+    fn sid_partial_value_matches_reference_sid() {
+        // Against hsi's ln-based SID (tolerance: log2·ln2 vs ln rounding).
+        let p = [0.1f32, 0.2, 0.3, 0.4];
+        let q = [0.4f32, 0.3, 0.2, 0.1];
+        let kernel = sid_partial_value(p, q);
+        let reference = hsi::spectral::sid_normalized(&p, &q);
+        assert!(
+            (kernel - reference).abs() < 1e-6,
+            "kernel {kernel} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn sid_partial_value_zero_for_identical() {
+        let p = [0.25f32; 4];
+        assert_eq!(sid_partial_value(p, p), 0.0);
+    }
+
+    #[test]
+    fn sid_partial_value_handles_padded_lanes() {
+        // Zero-padded lanes (last band group) must contribute nothing.
+        let p = [0.5f32, 0.5, 0.0, 0.0];
+        let q = [0.5f32, 0.5, 0.0, 0.0];
+        assert_eq!(sid_partial_value(p, q), 0.0);
+        // And mixed zero lanes stay finite.
+        let q = [0.3f32, 0.7, 0.0, 0.0];
+        assert!(sid_partial_value(p, q).is_finite());
+    }
+
+    #[test]
+    fn minmax_update_tracks_extrema_and_ties() {
+        let s0 = [5.0, 0.0, 5.0, 0.0];
+        // Smaller candidate updates the min side.
+        let s1 = minmax_update_value(s0, 3.0, 1.0);
+        assert_eq!(s1, [3.0, 1.0, 5.0, 0.0]);
+        // Larger candidate updates the max side.
+        let s2 = minmax_update_value(s1, 7.0, 2.0);
+        assert_eq!(s2, [3.0, 1.0, 7.0, 2.0]);
+        // Equal candidate keeps the earlier index (strict comparisons).
+        let s3 = minmax_update_value(s2, 3.0, 3.0);
+        assert_eq!(s3[1], 1.0);
+        let s4 = minmax_update_value(s3, 7.0, 4.0);
+        assert_eq!(s4[3], 2.0);
+    }
+
+    #[test]
+    fn offset_lut_encodes_normalized_offsets() {
+        let offsets = [(-1, -1), (0, 0), (1, 2)];
+        let lut = offset_lut(&offsets, 10, 20);
+        assert_eq!(lut.len(), 12);
+        assert_eq!(lut[0], -0.1);
+        assert_eq!(lut[1], -0.05);
+        assert_eq!(lut[4], 0.0);
+        assert_eq!(lut[8], 0.1);
+        assert_eq!(lut[9], 0.1);
+    }
+}

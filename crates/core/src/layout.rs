@@ -1,0 +1,159 @@
+//! Stream layout of hyperspectral cubes (Fig. 3 of the paper).
+//!
+//! "We have opted to split every hyperspectral image into a stack of 2D
+//! textures \[and\] mapped every group of four consecutive channels onto the
+//! RGBA color channels of the texture elements, in order to take advantage
+//! of the SIMD capabilities of the fragment processors."
+//!
+//! A cube with `N` bands becomes `ceil(N / 4)` band-group planes; the final
+//! group is zero-padded. Zero padding is harmless downstream: padded lanes
+//! contribute nothing to the band sum and cancel inside the ε-guarded SID.
+
+use hsi::cube::Cube;
+
+/// Number of spectral bands packed per texel.
+pub const BANDS_PER_TEXEL: usize = 4;
+
+/// Number of band-group planes for an `bands`-band cube.
+pub const fn band_groups(bands: usize) -> usize {
+    bands.div_ceil(BANDS_PER_TEXEL)
+}
+
+/// Pack band group `group` of a cube into a flat RGBA buffer
+/// (`width * height * 4` floats, row-major texels).
+///
+/// Lane `l` of texel `(x, y)` holds band `group * 4 + l`, or zero beyond the
+/// last band.
+pub fn pack_band_group(cube: &Cube, group: usize) -> Vec<f32> {
+    let dims = cube.dims();
+    assert!(group < band_groups(dims.bands), "band group out of range");
+    let mut out = vec![0.0f32; dims.width * dims.height * 4];
+    for y in 0..dims.height {
+        for x in 0..dims.width {
+            let base = (y * dims.width + x) * 4;
+            for lane in 0..BANDS_PER_TEXEL {
+                let band = group * BANDS_PER_TEXEL + lane;
+                if band < dims.bands {
+                    out[base + lane] = cube.get(x, y, band);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pack the whole cube into its stack of band-group buffers.
+pub fn pack_cube(cube: &Cube) -> Vec<Vec<f32>> {
+    (0..band_groups(cube.dims().bands))
+        .map(|g| pack_band_group(cube, g))
+        .collect()
+}
+
+/// Reassemble a cube (BIP) from packed band-group buffers.
+pub fn unpack_cube(
+    groups: &[Vec<f32>],
+    width: usize,
+    height: usize,
+    bands: usize,
+) -> hsi::error::Result<Cube> {
+    assert_eq!(groups.len(), band_groups(bands), "band group count");
+    let dims = hsi::cube::CubeDims::new(width, height, bands);
+    let mut data = vec![0.0f32; dims.samples()];
+    for (g, buf) in groups.iter().enumerate() {
+        assert_eq!(buf.len(), width * height * 4, "band group buffer size");
+        for y in 0..height {
+            for x in 0..width {
+                let base = (y * width + x) * 4;
+                for lane in 0..BANDS_PER_TEXEL {
+                    let band = g * BANDS_PER_TEXEL + lane;
+                    if band < bands {
+                        data[(y * width + x) * bands + band] = buf[base + lane];
+                    }
+                }
+            }
+        }
+    }
+    Cube::from_vec(dims, hsi::cube::Interleave::Bip, data)
+}
+
+/// Bytes of video memory one band-group plane occupies (RGBA32F).
+pub const fn plane_bytes(width: usize, height: usize) -> usize {
+    width * height * 16
+}
+
+/// Video memory needed to hold all band groups of a `w x h x bands` chunk.
+pub const fn cube_plane_bytes(width: usize, height: usize, bands: usize) -> usize {
+    band_groups(bands) * plane_bytes(width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi::cube::{CubeDims, Interleave};
+
+    #[test]
+    fn band_group_counts() {
+        assert_eq!(band_groups(1), 1);
+        assert_eq!(band_groups(4), 1);
+        assert_eq!(band_groups(5), 2);
+        assert_eq!(band_groups(216), 54); // AVIRIS after calibration drops
+        assert_eq!(band_groups(224), 56); // raw AVIRIS
+    }
+
+    #[test]
+    fn pack_places_bands_in_rgba_lanes() {
+        let cube = Cube::from_fn(CubeDims::new(2, 1, 6), Interleave::Bip, |x, _, b| {
+            (x * 10 + b) as f32
+        })
+        .unwrap();
+        let g0 = pack_band_group(&cube, 0);
+        assert_eq!(g0, vec![0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]);
+        let g1 = pack_band_group(&cube, 1);
+        // Bands 4, 5 then zero padding.
+        assert_eq!(g1, vec![4.0, 5.0, 0.0, 0.0, 14.0, 15.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for bands in [1, 3, 4, 7, 8] {
+            let cube = Cube::from_fn(
+                CubeDims::new(3, 2, bands),
+                Interleave::Bip,
+                |x, y, b| (100 * x + 10 * y + b) as f32,
+            )
+            .unwrap();
+            let groups = pack_cube(&cube);
+            assert_eq!(groups.len(), band_groups(bands));
+            let back = unpack_cube(&groups, 3, 2, bands).unwrap();
+            assert_eq!(back, cube, "bands = {bands}");
+        }
+    }
+
+    #[test]
+    fn pack_works_from_any_interleave() {
+        let dims = CubeDims::new(4, 3, 5);
+        let bip = Cube::from_fn(dims, Interleave::Bip, |x, y, b| {
+            (x + 2 * y + 3 * b) as f32
+        })
+        .unwrap();
+        let bsq = bip.to_interleave(Interleave::Bsq);
+        assert_eq!(pack_cube(&bip), pack_cube(&bsq));
+    }
+
+    #[test]
+    fn memory_footprints() {
+        assert_eq!(plane_bytes(64, 32), 64 * 32 * 16);
+        // Full Indian Pines: 54 planes of 2166x614 RGBA32F ≈ 1.07 GiB —
+        // exceeds the 256 MiB cards, which is exactly why the paper chunks.
+        let full = cube_plane_bytes(2166, 614, 216);
+        assert!(full > 256 * 1024 * 1024);
+        assert_eq!(full, 54 * 2166 * 614 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "band group out of range")]
+    fn pack_rejects_bad_group() {
+        let cube = Cube::zeros(CubeDims::new(2, 2, 4), Interleave::Bip).unwrap();
+        pack_band_group(&cube, 1);
+    }
+}

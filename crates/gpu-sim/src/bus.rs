@@ -1,0 +1,92 @@
+//! Host ↔ device bus model (the paper's stream upload/download stages).
+//!
+//! The FX5950 Ultra sits on AGP 8x, the 7800GTX on PCI Express x16 — the bus
+//! generation is one of the two headline differences between the paper's GPU
+//! platforms. Transfer time is modeled as fixed per-transfer latency plus
+//! bytes over effective bandwidth.
+
+/// Bus generations used by the paper's platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusKind {
+    /// AGP 8x: 2.1 GB/s peak towards the device, readbacks much slower.
+    Agp8x,
+    /// PCI Express x16 (Gen 1): 4 GB/s each direction.
+    PciExpress16,
+}
+
+/// Bus transfer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusModel {
+    /// Bus generation.
+    pub kind: BusKind,
+    /// Host → device effective bandwidth, bytes/second.
+    pub upload_bps: f64,
+    /// Device → host effective bandwidth, bytes/second.
+    pub download_bps: f64,
+    /// Fixed per-transfer setup latency, seconds.
+    pub latency_s: f64,
+}
+
+impl BusModel {
+    /// AGP 8x as on the FX5950 Ultra. AGP readback was notoriously slow
+    /// (~250 MB/s), a real asymmetry GPGPU work of the era had to design
+    /// around.
+    pub const fn agp8x() -> Self {
+        Self {
+            kind: BusKind::Agp8x,
+            upload_bps: 2.1e9,
+            download_bps: 0.25e9,
+            latency_s: 20e-6,
+        }
+    }
+
+    /// PCI Express x16 Gen 1 as on the 7800GTX.
+    pub const fn pcie16() -> Self {
+        Self {
+            kind: BusKind::PciExpress16,
+            upload_bps: 4.0e9,
+            download_bps: 3.0e9,
+            latency_s: 10e-6,
+        }
+    }
+
+    /// Seconds to upload `bytes` host → device.
+    pub fn upload_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.upload_bps
+    }
+
+    /// Seconds to download `bytes` device → host.
+    pub fn download_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.download_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_uploads_faster_than_agp() {
+        let agp = BusModel::agp8x();
+        let pcie = BusModel::pcie16();
+        let mb = 1 << 20;
+        assert!(pcie.upload_time(64 * mb) < agp.upload_time(64 * mb));
+        // AGP readback asymmetry.
+        assert!(agp.download_time(mb) > agp.upload_time(mb));
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let bus = BusModel::pcie16();
+        let t1 = bus.upload_time(1_000_000) - bus.latency_s;
+        let t2 = bus.upload_time(2_000_000) - bus.latency_s;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let bus = BusModel::agp8x();
+        assert_eq!(bus.upload_time(0), bus.latency_s);
+        assert_eq!(bus.download_time(0), bus.latency_s);
+    }
+}

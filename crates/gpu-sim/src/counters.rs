@@ -1,0 +1,132 @@
+//! Performance counters.
+//!
+//! The simulator's functional execution produces exact work counts; the
+//! timing model turns them into modeled milliseconds. Counters accumulate
+//! per render pass and can be summed over a whole pipeline run.
+
+/// Work counted during one render pass (or accumulated over many).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PassStats {
+    /// Fragments shaded.
+    pub fragments: u64,
+    /// SIMD4 shader instructions executed (TEX included).
+    pub instructions: u64,
+    /// Texel fetches issued (each 16 B for RGBA32F).
+    pub texel_fetches: u64,
+    /// Texture-cache hits (when the cache model is enabled).
+    pub cache_hits: u64,
+    /// Texture-cache misses.
+    pub cache_misses: u64,
+    /// Bytes written to render targets.
+    pub bytes_written: u64,
+    /// Bytes uploaded host → device.
+    pub bytes_uploaded: u64,
+    /// Bytes downloaded device → host.
+    pub bytes_downloaded: u64,
+    /// Render passes summed into this value.
+    pub passes: u64,
+}
+
+impl PassStats {
+    /// Zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate another pass into this total.
+    pub fn add(&mut self, other: &PassStats) {
+        self.fragments += other.fragments;
+        self.instructions += other.instructions;
+        self.texel_fetches += other.texel_fetches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.bytes_written += other.bytes_written;
+        self.bytes_uploaded += other.bytes_uploaded;
+        self.bytes_downloaded += other.bytes_downloaded;
+        self.passes += other.passes;
+    }
+
+    /// Mean shader instructions per fragment.
+    pub fn instructions_per_fragment(&self) -> f64 {
+        if self.fragments == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.fragments as f64
+        }
+    }
+
+    /// Texture-cache hit rate in `[0, 1]` (1.0 when no fetches were modeled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Bytes fetched from texture memory (16 B per RGBA32F texel).
+    pub fn texel_bytes(&self) -> u64 {
+        self.texel_fetches * 16
+    }
+}
+
+impl std::ops::Add for PassStats {
+    type Output = PassStats;
+    fn add(mut self, rhs: PassStats) -> PassStats {
+        PassStats::add(&mut self, &rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for PassStats {
+    fn sum<I: Iterator<Item = PassStats>>(iter: I) -> PassStats {
+        iter.fold(PassStats::default(), |acc, s| acc + s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_sums_fields() {
+        let a = PassStats {
+            fragments: 10,
+            instructions: 100,
+            texel_fetches: 20,
+            cache_hits: 15,
+            cache_misses: 5,
+            bytes_written: 160,
+            bytes_uploaded: 1,
+            bytes_downloaded: 2,
+            passes: 1,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.fragments, 20);
+        assert_eq!(c.instructions, 200);
+        assert_eq!(c.passes, 2);
+        let summed: PassStats = vec![a, b].into_iter().sum();
+        assert_eq!(summed, c);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = PassStats {
+            fragments: 4,
+            instructions: 12,
+            texel_fetches: 8,
+            cache_hits: 6,
+            cache_misses: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.instructions_per_fragment(), 3.0);
+        assert_eq!(s.cache_hit_rate(), 0.75);
+        assert_eq!(s.texel_bytes(), 128);
+        // Degenerate cases are NaN-free.
+        let z = PassStats::new();
+        assert_eq!(z.instructions_per_fragment(), 0.0);
+        assert_eq!(z.cache_hit_rate(), 1.0);
+    }
+}

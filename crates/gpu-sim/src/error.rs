@@ -1,0 +1,109 @@
+//! Error type for the GPU simulator.
+
+use std::fmt;
+
+/// Errors raised by the simulated device and its toolchain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Allocating a texture would exceed the device's video memory.
+    OutOfVideoMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still free.
+        available: usize,
+    },
+    /// A texture id is stale or was never allocated.
+    InvalidTexture {
+        /// The offending id value.
+        id: u32,
+    },
+    /// A texture dimension exceeds the device limit or is zero.
+    InvalidTextureSize {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+        /// Device maximum side length.
+        max_side: usize,
+    },
+    /// Host buffer size does not match the texture being up/downloaded.
+    SizeMismatch {
+        /// Expected number of f32 values.
+        expected: usize,
+        /// Supplied number of f32 values.
+        actual: usize,
+    },
+    /// A shader failed to assemble.
+    AssemblyError {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A shader program referenced a resource the pass did not bind.
+    BindingError {
+        /// Description of the missing binding.
+        message: String,
+    },
+    /// A render pass was misconfigured (e.g. target is also an input).
+    InvalidPass {
+        /// Description of the configuration error.
+        message: String,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfVideoMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of video memory: requested {requested} B, {available} B free"
+            ),
+            GpuError::InvalidTexture { id } => write!(f, "invalid texture id {id}"),
+            GpuError::InvalidTextureSize {
+                width,
+                height,
+                max_side,
+            } => write!(
+                f,
+                "invalid texture size {width}x{height} (max side {max_side})"
+            ),
+            GpuError::SizeMismatch { expected, actual } => {
+                write!(f, "buffer size mismatch: expected {expected}, got {actual}")
+            }
+            GpuError::AssemblyError { line, message } => {
+                write!(f, "shader assembly error at line {line}: {message}")
+            }
+            GpuError::BindingError { message } => write!(f, "binding error: {message}"),
+            GpuError::InvalidPass { message } => write!(f, "invalid pass: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, GpuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GpuError::OutOfVideoMemory {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = GpuError::AssemblyError {
+            line: 7,
+            message: "bad opcode".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("bad opcode"));
+    }
+}

@@ -1,0 +1,592 @@
+//! The simulated GPU device.
+//!
+//! Owns textures under the profile's video-memory budget, executes render
+//! passes (fragment programs over full-screen quads) across parallel
+//! fragment pipes, and accumulates performance counters. Two kernel forms
+//! are supported:
+//!
+//! * **ISA passes** ([`Gpu::run_pass`]) execute assembled fragment programs
+//!   through the interpreter — bit-faithful to what the modelled hardware
+//!   would compute, with exact instruction/texel counts.
+//! * **Closure passes** ([`Gpu::run_closure_pass`]) run a Rust closure per
+//!   fragment with a caller-declared instruction cost — the fast path for
+//!   large experiments, validated against the ISA path in tests.
+
+use crate::counters::PassStats;
+use crate::device::GpuProfile;
+use crate::error::{GpuError, Result};
+use crate::interp::{self, FragmentInput};
+use crate::isa::Program;
+use crate::raster::{fragment_input, Quad, TexCoordSet};
+use crate::texcache::TextureCache;
+use crate::texture::{AddressMode, Texel, Texture2D};
+use rayon::prelude::*;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a texture resident in simulated video memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TextureId(pub(crate) u32);
+
+/// Counted texture access interface handed to closure kernels.
+pub struct Fetcher<'a> {
+    textures: &'a [&'a Texture2D],
+    fetches: Cell<u64>,
+    cache: Option<*mut TextureCache>,
+}
+
+impl<'a> Fetcher<'a> {
+    fn new(textures: &'a [&'a Texture2D], cache: Option<&mut TextureCache>) -> Self {
+        Self {
+            textures,
+            fetches: Cell::new(0),
+            cache: cache.map(|c| c as *mut _),
+        }
+    }
+
+    /// Integer texel fetch from bound sampler `sampler`, honouring the
+    /// texture's address mode. Counted.
+    pub fn fetch(&self, sampler: usize, x: i64, y: i64) -> Texel {
+        self.fetches.set(self.fetches.get() + 1);
+        let tex = self.textures[sampler];
+        if let Some(cache) = self.cache {
+            let cx = x.clamp(0, tex.width() as i64 - 1) as usize;
+            let cy = y.clamp(0, tex.height() as i64 - 1) as usize;
+            // SAFETY: the Fetcher lives inside one rayon task; the cache
+            // pointer targets that task's private cache.
+            unsafe { (*cache).access(sampler as u32, cx, cy) };
+        }
+        tex.fetch(x, y)
+    }
+
+    /// Number of samplers bound.
+    pub fn samplers(&self) -> usize {
+        self.textures.len()
+    }
+
+    fn take_count(&self) -> u64 {
+        self.fetches.get()
+    }
+}
+
+/// The simulated device.
+pub struct Gpu {
+    profile: GpuProfile,
+    textures: HashMap<u32, Texture2D>,
+    next_id: u32,
+    allocated_bytes: usize,
+    stats: PassStats,
+    cache_model: bool,
+}
+
+impl Gpu {
+    /// Create a device with the given hardware profile.
+    pub fn new(profile: GpuProfile) -> Self {
+        Self {
+            profile,
+            textures: HashMap::new(),
+            next_id: 0,
+            allocated_bytes: 0,
+            stats: PassStats::default(),
+            cache_model: true,
+        }
+    }
+
+    /// The hardware profile.
+    pub fn profile(&self) -> &GpuProfile {
+        &self.profile
+    }
+
+    /// Enable/disable the texture-cache model (ablation hook). Functional
+    /// results are unaffected; only hit/miss counters change.
+    pub fn set_cache_model(&mut self, enabled: bool) {
+        self.cache_model = enabled;
+    }
+
+    /// Bytes of video memory still free.
+    pub fn free_bytes(&self) -> usize {
+        self.profile.video_memory_bytes() - self.allocated_bytes
+    }
+
+    /// Bytes of video memory in use.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+
+    /// Cumulative counters since the last [`Gpu::reset_stats`].
+    pub fn stats(&self) -> PassStats {
+        self.stats
+    }
+
+    /// Zero the cumulative counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PassStats::default();
+    }
+
+    /// Allocate a `w x h` RGBA32F texture.
+    pub fn alloc_texture(&mut self, width: usize, height: usize) -> Result<TextureId> {
+        if width == 0
+            || height == 0
+            || width > self.profile.max_texture_side
+            || height > self.profile.max_texture_side
+        {
+            return Err(GpuError::InvalidTextureSize {
+                width,
+                height,
+                max_side: self.profile.max_texture_side,
+            });
+        }
+        let bytes = width * height * 16;
+        if bytes > self.free_bytes() {
+            return Err(GpuError::OutOfVideoMemory {
+                requested: bytes,
+                available: self.free_bytes(),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.textures.insert(id, Texture2D::new(width, height));
+        self.allocated_bytes += bytes;
+        Ok(TextureId(id))
+    }
+
+    /// Free a texture.
+    pub fn free_texture(&mut self, id: TextureId) -> Result<()> {
+        match self.textures.remove(&id.0) {
+            Some(t) => {
+                self.allocated_bytes -= t.bytes();
+                Ok(())
+            }
+            None => Err(GpuError::InvalidTexture { id: id.0 }),
+        }
+    }
+
+    /// Borrow a texture.
+    pub fn texture(&self, id: TextureId) -> Result<&Texture2D> {
+        self.textures
+            .get(&id.0)
+            .ok_or(GpuError::InvalidTexture { id: id.0 })
+    }
+
+    /// Set a texture's addressing mode.
+    pub fn set_address_mode(&mut self, id: TextureId, mode: AddressMode) -> Result<()> {
+        self.textures
+            .get_mut(&id.0)
+            .ok_or(GpuError::InvalidTexture { id: id.0 })?
+            .set_address_mode(mode);
+        Ok(())
+    }
+
+    /// Upload flat f32 data (4 per texel) host → device. Counts bus bytes.
+    pub fn upload(&mut self, id: TextureId, data: &[f32]) -> Result<()> {
+        let tex = self
+            .textures
+            .get_mut(&id.0)
+            .ok_or(GpuError::InvalidTexture { id: id.0 })?;
+        let expected = tex.width() * tex.height() * 4;
+        if data.len() != expected {
+            return Err(GpuError::SizeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        for (t, c) in tex.texels_mut().iter_mut().zip(data.chunks_exact(4)) {
+            *t = [c[0], c[1], c[2], c[3]];
+        }
+        self.stats.bytes_uploaded += (data.len() * 4) as u64;
+        Ok(())
+    }
+
+    /// Download a texture's contents device → host as flat f32 data.
+    pub fn download(&mut self, id: TextureId) -> Result<Vec<f32>> {
+        let tex = self
+            .textures
+            .get(&id.0)
+            .ok_or(GpuError::InvalidTexture { id: id.0 })?;
+        let data = tex.to_flat();
+        self.stats.bytes_downloaded += (data.len() * 4) as u64;
+        Ok(data)
+    }
+
+    fn gather_inputs(&self, inputs: &[TextureId], target: TextureId) -> Result<Vec<&Texture2D>> {
+        if inputs.contains(&target) {
+            return Err(GpuError::InvalidPass {
+                message: "render target cannot also be bound as an input".into(),
+            });
+        }
+        inputs.iter().map(|&id| self.texture(id)).collect()
+    }
+
+    /// Execute an assembled fragment program over `quad` (default: the full
+    /// target), writing output `O0` to `target`.
+    ///
+    /// `inputs[i]` binds sampler `texI`; `texcoords[i]` defines coordinate
+    /// set `Ti`; `constants` override the program's `DEF`s.
+    pub fn run_pass(
+        &mut self,
+        program: &Program,
+        inputs: &[TextureId],
+        constants: &[(u8, [f32; 4])],
+        texcoords: &[TexCoordSet],
+        target: TextureId,
+        quad: Option<Quad>,
+    ) -> Result<PassStats> {
+        interp::validate_bindings(program, inputs.len())?;
+        let input_refs = self.gather_inputs(inputs, target)?;
+        let tgt = self.texture(target)?;
+        let (tw, th) = (tgt.width(), tgt.height());
+        let quad = quad.unwrap_or(Quad::full(tw, th));
+        if quad.x0 + quad.width > tw || quad.y0 + quad.height > th {
+            return Err(GpuError::InvalidPass {
+                message: format!(
+                    "quad {}x{}+{}+{} exceeds target {}x{}",
+                    quad.width, quad.height, quad.x0, quad.y0, tw, th
+                ),
+            });
+        }
+        let resolved = interp::resolve_constants(program, constants);
+        let instr_counter = AtomicU64::new(0);
+        let fetch_counter = AtomicU64::new(0);
+        let hit_counter = AtomicU64::new(0);
+        let miss_counter = AtomicU64::new(0);
+        let cache_model = self.cache_model;
+
+        // Shade the quad into a scratch buffer. Parallel pipes work on
+        // block-height row bands so the per-pipe cache model sees the same
+        // vertical block reuse the hardware's rasterisation order provides.
+        let mut out = vec![[0.0f32; 4]; quad.fragments()];
+        let band_rows = crate::texcache::BLOCK_H;
+        out.par_chunks_mut(quad.width * band_rows)
+            .enumerate()
+            .for_each(|(band, out_band)| {
+                let mut cache = cache_model.then(TextureCache::per_pipe_default);
+                let (mut instr, mut fetches) = (0u64, 0u64);
+                for (i, slot) in out_band.iter_mut().enumerate() {
+                    let x = quad.x0 + i % quad.width;
+                    let y = quad.y0 + band * band_rows + i / quad.width;
+                    let fin: FragmentInput = fragment_input(texcoords, x, y, tw, th);
+                    let r =
+                        interp::execute(program, &fin, &resolved, &input_refs, cache.as_mut());
+                    instr += r.instructions;
+                    fetches += r.texel_fetches;
+                    *slot = r.colors[0];
+                }
+                instr_counter.fetch_add(instr, Ordering::Relaxed);
+                fetch_counter.fetch_add(fetches, Ordering::Relaxed);
+                if let Some(c) = cache {
+                    hit_counter.fetch_add(c.hits(), Ordering::Relaxed);
+                    miss_counter.fetch_add(c.misses(), Ordering::Relaxed);
+                }
+            });
+
+        // Resolve to the framebuffer.
+        let tgt = self
+            .textures
+            .get_mut(&target.0)
+            .expect("target validated above");
+        for (row, chunk) in out.chunks_exact(quad.width).enumerate() {
+            for (col, &texel) in chunk.iter().enumerate() {
+                tgt.set_texel(quad.x0 + col, quad.y0 + row, texel);
+            }
+        }
+
+        let pass = PassStats {
+            fragments: quad.fragments() as u64,
+            instructions: instr_counter.into_inner(),
+            texel_fetches: fetch_counter.into_inner(),
+            cache_hits: hit_counter.into_inner(),
+            cache_misses: miss_counter.into_inner(),
+            bytes_written: (quad.fragments() * 16) as u64,
+            bytes_uploaded: 0,
+            bytes_downloaded: 0,
+            passes: 1,
+        };
+        self.stats.add(&pass);
+        Ok(pass)
+    }
+
+    /// Execute a closure kernel over `quad` (default: full target).
+    ///
+    /// `instr_per_fragment` declares the SIMD4 instruction cost the
+    /// equivalent fragment program would incur (used by the timing model);
+    /// texel fetches are counted exactly through the [`Fetcher`].
+    pub fn run_closure_pass<F>(
+        &mut self,
+        inputs: &[TextureId],
+        target: TextureId,
+        instr_per_fragment: u64,
+        quad: Option<Quad>,
+        kernel: F,
+    ) -> Result<PassStats>
+    where
+        F: Fn(&Fetcher<'_>, usize, usize) -> Texel + Sync,
+    {
+        let input_refs = self.gather_inputs(inputs, target)?;
+        let tgt = self.texture(target)?;
+        let (tw, th) = (tgt.width(), tgt.height());
+        let quad = quad.unwrap_or(Quad::full(tw, th));
+        if quad.x0 + quad.width > tw || quad.y0 + quad.height > th {
+            return Err(GpuError::InvalidPass {
+                message: "quad exceeds target".into(),
+            });
+        }
+        let fetch_counter = AtomicU64::new(0);
+        let hit_counter = AtomicU64::new(0);
+        let miss_counter = AtomicU64::new(0);
+        let cache_model = self.cache_model;
+
+        let mut out = vec![[0.0f32; 4]; quad.fragments()];
+        let band_rows = crate::texcache::BLOCK_H;
+        out.par_chunks_mut(quad.width * band_rows)
+            .enumerate()
+            .for_each(|(band, out_band)| {
+                let mut cache = cache_model.then(TextureCache::per_pipe_default);
+                let fetcher = Fetcher::new(&input_refs, cache.as_mut());
+                for (i, slot) in out_band.iter_mut().enumerate() {
+                    let x = quad.x0 + i % quad.width;
+                    let y = quad.y0 + band * band_rows + i / quad.width;
+                    *slot = kernel(&fetcher, x, y);
+                }
+                fetch_counter.fetch_add(fetcher.take_count(), Ordering::Relaxed);
+                if let Some(c) = cache {
+                    hit_counter.fetch_add(c.hits(), Ordering::Relaxed);
+                    miss_counter.fetch_add(c.misses(), Ordering::Relaxed);
+                }
+            });
+
+        let tgt = self
+            .textures
+            .get_mut(&target.0)
+            .expect("target validated above");
+        for (row, chunk) in out.chunks_exact(quad.width).enumerate() {
+            for (col, &texel) in chunk.iter().enumerate() {
+                tgt.set_texel(quad.x0 + col, quad.y0 + row, texel);
+            }
+        }
+
+        let pass = PassStats {
+            fragments: quad.fragments() as u64,
+            instructions: quad.fragments() as u64 * instr_per_fragment,
+            texel_fetches: fetch_counter.into_inner(),
+            cache_hits: hit_counter.into_inner(),
+            cache_misses: miss_counter.into_inner(),
+            bytes_written: (quad.fragments() * 16) as u64,
+            bytes_uploaded: 0,
+            bytes_downloaded: 0,
+            passes: 1,
+        };
+        self.stats.add(&pass);
+        Ok(pass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn small_gpu() -> Gpu {
+        Gpu::new(GpuProfile::fx5950_ultra())
+    }
+
+    #[test]
+    fn texture_lifecycle_and_memory_accounting() {
+        let mut gpu = small_gpu();
+        let total = gpu.free_bytes();
+        let t = gpu.alloc_texture(64, 32).unwrap();
+        assert_eq!(gpu.allocated_bytes(), 64 * 32 * 16);
+        assert_eq!(gpu.free_bytes(), total - 64 * 32 * 16);
+        gpu.free_texture(t).unwrap();
+        assert_eq!(gpu.free_bytes(), total);
+        assert!(gpu.free_texture(t).is_err());
+        assert!(gpu.texture(t).is_err());
+    }
+
+    #[test]
+    fn allocation_limits_enforced() {
+        let mut gpu = small_gpu();
+        assert!(matches!(
+            gpu.alloc_texture(0, 4),
+            Err(GpuError::InvalidTextureSize { .. })
+        ));
+        assert!(matches!(
+            gpu.alloc_texture(5000, 4),
+            Err(GpuError::InvalidTextureSize { .. })
+        ));
+        // 256 MiB budget: a 4096x4096 RGBA32F texture (256 MiB) exactly fits;
+        // two cannot.
+        let t = gpu.alloc_texture(4096, 4096).unwrap();
+        assert!(matches!(
+            gpu.alloc_texture(4096, 4096),
+            Err(GpuError::OutOfVideoMemory { .. })
+        ));
+        gpu.free_texture(t).unwrap();
+    }
+
+    #[test]
+    fn upload_download_round_trip_counts_bytes() {
+        let mut gpu = small_gpu();
+        let t = gpu.alloc_texture(2, 2).unwrap();
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        gpu.upload(t, &data).unwrap();
+        let back = gpu.download(t).unwrap();
+        assert_eq!(back, data);
+        let s = gpu.stats();
+        assert_eq!(s.bytes_uploaded, 64);
+        assert_eq!(s.bytes_downloaded, 64);
+        assert!(gpu.upload(t, &data[..8]).is_err());
+    }
+
+    #[test]
+    fn isa_pass_copies_texture() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(4, 4).unwrap();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        let data: Vec<f32> = (0..4 * 4 * 4).map(|i| i as f32).collect();
+        gpu.upload(src, &data).unwrap();
+        let prog = assemble("!!copy\nTEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let stats = gpu
+            .run_pass(
+                &prog,
+                &[src],
+                &[],
+                &[TexCoordSet::identity()],
+                dst,
+                None,
+            )
+            .unwrap();
+        assert_eq!(gpu.download(dst).unwrap(), data);
+        assert_eq!(stats.fragments, 16);
+        assert_eq!(stats.instructions, 32); // 2 per fragment
+        assert_eq!(stats.texel_fetches, 16);
+        assert_eq!(stats.bytes_written, 256);
+        assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn closure_pass_matches_isa_pass() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(8, 8).unwrap();
+        let a = gpu.alloc_texture(8, 8).unwrap();
+        let b = gpu.alloc_texture(8, 8).unwrap();
+        let data: Vec<f32> = (0..8 * 8 * 4).map(|i| (i % 17) as f32 * 0.5).collect();
+        gpu.upload(src, &data).unwrap();
+
+        // double = input + input, via ISA …
+        let prog = assemble("TEX R0, T0, tex0\nADD OC, R0, R0").unwrap();
+        gpu.run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], a, None)
+            .unwrap();
+        // … and via closure.
+        gpu.run_closure_pass(&[src], b, 2, None, |f, x, y| {
+            let t = f.fetch(0, x as i64, y as i64);
+            [t[0] * 2.0, t[1] * 2.0, t[2] * 2.0, t[3] * 2.0]
+        })
+        .unwrap();
+        assert_eq!(gpu.download(a).unwrap(), gpu.download(b).unwrap());
+    }
+
+    #[test]
+    fn target_cannot_be_input() {
+        let mut gpu = small_gpu();
+        let t = gpu.alloc_texture(4, 4).unwrap();
+        let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let err = gpu
+            .run_pass(&prog, &[t], &[], &[TexCoordSet::identity()], t, None)
+            .unwrap_err();
+        assert!(matches!(err, GpuError::InvalidPass { .. }));
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(2, 2).unwrap();
+        let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let err = gpu.run_pass(&prog, &[], &[], &[], dst, None).unwrap_err();
+        assert!(matches!(err, GpuError::BindingError { .. }));
+    }
+
+    #[test]
+    fn sub_quad_renders_only_its_rect() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        let prog = assemble("DEF C0, 7, 7, 7, 7\nMOV OC, C0").unwrap();
+        let quad = Quad {
+            x0: 1,
+            y0: 1,
+            width: 2,
+            height: 2,
+        };
+        let stats = gpu.run_pass(&prog, &[], &[], &[], dst, Some(quad)).unwrap();
+        assert_eq!(stats.fragments, 4);
+        let tex = gpu.texture(dst).unwrap();
+        assert_eq!(tex.texel(1, 1), [7.0; 4]);
+        assert_eq!(tex.texel(2, 2), [7.0; 4]);
+        assert_eq!(tex.texel(0, 0), [0.0; 4]);
+        assert_eq!(tex.texel(3, 3), [0.0; 4]);
+        // Out-of-range quad rejected.
+        let bad = Quad {
+            x0: 3,
+            y0: 3,
+            width: 2,
+            height: 2,
+        };
+        assert!(gpu.run_pass(&prog, &[], &[], &[], dst, Some(bad)).is_err());
+    }
+
+    #[test]
+    fn shifted_texcoords_access_neighbours_with_clamping() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(3, 1).unwrap();
+        let dst = gpu.alloc_texture(3, 1).unwrap();
+        let data: Vec<f32> = [[1.0f32; 4], [2.0; 4], [3.0; 4]].concat();
+        gpu.upload(src, &data).unwrap();
+        // Shift left by one texel: dst[x] = src[x-1] with clamp.
+        let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        gpu.run_pass(
+            &prog,
+            &[src],
+            &[],
+            &[TexCoordSet::shifted_texels(-1, 0, 3, 1)],
+            dst,
+            None,
+        )
+        .unwrap();
+        let out = gpu.download(dst).unwrap();
+        assert_eq!(out[0], 1.0); // clamped
+        assert_eq!(out[4], 1.0);
+        assert_eq!(out[8], 2.0);
+    }
+
+    #[test]
+    fn cache_counters_populate_when_enabled() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(16, 16).unwrap();
+        let dst = gpu.alloc_texture(16, 16).unwrap();
+        let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let stats = gpu
+            .run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
+            .unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.texel_fetches);
+        assert!(stats.cache_hit_rate() > 0.5, "{}", stats.cache_hit_rate());
+
+        gpu.set_cache_model(false);
+        let stats = gpu
+            .run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
+            .unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(2, 2).unwrap();
+        let prog = assemble("DEF C0, 1, 1, 1, 1\nMOV OC, C0").unwrap();
+        gpu.run_pass(&prog, &[], &[], &[], dst, None).unwrap();
+        gpu.run_pass(&prog, &[], &[], &[], dst, None).unwrap();
+        assert_eq!(gpu.stats().passes, 2);
+        assert_eq!(gpu.stats().fragments, 8);
+        gpu.reset_stats();
+        assert_eq!(gpu.stats(), PassStats::default());
+    }
+}

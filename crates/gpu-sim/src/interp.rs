@@ -1,0 +1,394 @@
+//! Fragment program interpreter.
+//!
+//! Executes one [`Program`] per fragment over a SIMD4 register file, exactly
+//! as the fragment processors of the modelled GPUs would: no control flow,
+//! one instruction per cycle, texture units resolved through the bound
+//! samplers. Work counts (instructions, texel fetches, cache hits/misses)
+//! are returned with the result so passes can be costed.
+
+use crate::isa::{Opcode, Program, Reg, NUM_CONSTS, NUM_OUTPUTS, NUM_TEMPS, NUM_TEXCOORDS};
+use crate::texcache::TextureCache;
+use crate::texture::Texture2D;
+
+/// Per-fragment inputs.
+#[derive(Debug, Clone)]
+pub struct FragmentInput {
+    /// Interpolated texture-coordinate sets (`T0..T7`); `[u, v, 0, 1]`.
+    pub texcoords: [[f32; 4]; NUM_TEXCOORDS],
+}
+
+impl FragmentInput {
+    /// All coordinate sets zero.
+    pub fn zero() -> Self {
+        Self {
+            texcoords: [[0.0, 0.0, 0.0, 1.0]; NUM_TEXCOORDS],
+        }
+    }
+}
+
+/// Per-fragment outputs and work counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentOutput {
+    /// Output colors `O0..O3` (`O0` = `OC`).
+    pub colors: [[f32; 4]; NUM_OUTPUTS],
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Texel fetches issued.
+    pub texel_fetches: u64,
+}
+
+/// Smallest positive f32, used to clamp `LG2` inputs (see module docs of
+/// [`crate::isa`]).
+const LG2_TINY: f32 = f32::MIN_POSITIVE;
+
+#[inline(always)]
+fn lanewise1(op: impl Fn(f32) -> f32, a: [f32; 4]) -> [f32; 4] {
+    [op(a[0]), op(a[1]), op(a[2]), op(a[3])]
+}
+
+#[inline(always)]
+fn lanewise2(op: impl Fn(f32, f32) -> f32, a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
+    [
+        op(a[0], b[0]),
+        op(a[1], b[1]),
+        op(a[2], b[2]),
+        op(a[3], b[3]),
+    ]
+}
+
+/// Execute `program` for one fragment.
+///
+/// `constants` are the pass-level constant registers (with `DEF`s already
+/// applied — see [`resolve_constants`]); `textures` are the bound samplers.
+/// `cache` optionally models the per-pipe texture cache.
+pub fn execute(
+    program: &Program,
+    input: &FragmentInput,
+    constants: &[[f32; 4]; NUM_CONSTS],
+    textures: &[&Texture2D],
+    mut cache: Option<&mut TextureCache>,
+) -> FragmentOutput {
+    let mut temps = [[0.0f32; 4]; NUM_TEMPS];
+    let mut outputs = [[0.0f32; 4]; NUM_OUTPUTS];
+    let mut instructions = 0u64;
+    let mut texel_fetches = 0u64;
+
+    for instr in &program.instrs {
+        instructions += 1;
+        let s = |i: usize| -> [f32; 4] {
+            let src = &instr.srcs[i];
+            let raw = match src.reg {
+                Reg::Temp(r) => temps[r as usize],
+                Reg::Const(c) => constants[c as usize],
+                Reg::TexCoord(t) => input.texcoords[t as usize],
+                Reg::Output(o) => outputs[o as usize],
+            };
+            let mut v = src.swizzle.apply(raw);
+            if src.negate {
+                v = [-v[0], -v[1], -v[2], -v[3]];
+            }
+            v
+        };
+
+        let value: [f32; 4] = match instr.op {
+            Opcode::Mov => s(0),
+            Opcode::Add => lanewise2(|a, b| a + b, s(0), s(1)),
+            Opcode::Sub => lanewise2(|a, b| a - b, s(0), s(1)),
+            Opcode::Mul => lanewise2(|a, b| a * b, s(0), s(1)),
+            Opcode::Mad => {
+                let (a, b, c) = (s(0), s(1), s(2));
+                [
+                    a[0] * b[0] + c[0],
+                    a[1] * b[1] + c[1],
+                    a[2] * b[2] + c[2],
+                    a[3] * b[3] + c[3],
+                ]
+            }
+            Opcode::Min => lanewise2(f32::min, s(0), s(1)),
+            Opcode::Max => lanewise2(f32::max, s(0), s(1)),
+            Opcode::Rcp => lanewise1(|a| 1.0 / a, s(0)),
+            Opcode::Rsq => lanewise1(|a| 1.0 / a.sqrt(), s(0)),
+            Opcode::Ex2 => lanewise1(f32::exp2, s(0)),
+            Opcode::Lg2 => lanewise1(|a| a.max(LG2_TINY).log2(), s(0)),
+            Opcode::Frc => lanewise1(|a| a - a.floor(), s(0)),
+            Opcode::Flr => lanewise1(f32::floor, s(0)),
+            Opcode::Abs => lanewise1(f32::abs, s(0)),
+            Opcode::Slt => lanewise2(|a, b| if a < b { 1.0 } else { 0.0 }, s(0), s(1)),
+            Opcode::Sge => lanewise2(|a, b| if a >= b { 1.0 } else { 0.0 }, s(0), s(1)),
+            Opcode::Cmp => {
+                let (c, a, b) = (s(0), s(1), s(2));
+                [
+                    if c[0] < 0.0 { a[0] } else { b[0] },
+                    if c[1] < 0.0 { a[1] } else { b[1] },
+                    if c[2] < 0.0 { a[2] } else { b[2] },
+                    if c[3] < 0.0 { a[3] } else { b[3] },
+                ]
+            }
+            Opcode::Lrp => {
+                let (t, a, b) = (s(0), s(1), s(2));
+                [
+                    t[0] * a[0] + (1.0 - t[0]) * b[0],
+                    t[1] * a[1] + (1.0 - t[1]) * b[1],
+                    t[2] * a[2] + (1.0 - t[2]) * b[2],
+                    t[3] * a[3] + (1.0 - t[3]) * b[3],
+                ]
+            }
+            Opcode::Dp3 => {
+                let (a, b) = (s(0), s(1));
+                let d = a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+                [d; 4]
+            }
+            Opcode::Dp4 => {
+                let (a, b) = (s(0), s(1));
+                let d = a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+                [d; 4]
+            }
+            Opcode::Tex => {
+                let coord = s(0);
+                let sampler = instr.sampler.expect("TEX carries a sampler") as usize;
+                let tex = textures[sampler];
+                texel_fetches += 1;
+                if let Some(cache) = cache.as_deref_mut() {
+                    // Mirror the sampler's coordinate resolution for the
+                    // cache tag (clamped — good enough for locality).
+                    let x = ((coord[0] * tex.width() as f32).floor() as i64)
+                        .clamp(0, tex.width() as i64 - 1) as usize;
+                    let y = ((coord[1] * tex.height() as f32).floor() as i64)
+                        .clamp(0, tex.height() as i64 - 1) as usize;
+                    cache.access(sampler as u32, x, y);
+                }
+                tex.sample(coord[0], coord[1])
+            }
+        };
+
+        let value = if instr.dst.saturate {
+            lanewise1(|a| a.clamp(0.0, 1.0), value)
+        } else {
+            value
+        };
+        let target: &mut [f32; 4] = match instr.dst.reg {
+            Reg::Temp(r) => &mut temps[r as usize],
+            Reg::Output(o) => &mut outputs[o as usize],
+            _ => unreachable!("assembler rejects non-writable destinations"),
+        };
+        for lane in 0..4 {
+            if instr.dst.mask[lane] {
+                target[lane] = value[lane];
+            }
+        }
+    }
+
+    FragmentOutput {
+        colors: outputs,
+        instructions,
+        texel_fetches,
+    }
+}
+
+/// Merge a program's `DEF` constants into a pass-level constant block.
+pub fn resolve_constants(
+    program: &Program,
+    pass_constants: &[(u8, [f32; 4])],
+) -> [[f32; 4]; NUM_CONSTS] {
+    let mut c = [[0.0f32; 4]; NUM_CONSTS];
+    for &(idx, v) in &program.defs {
+        c[idx as usize] = v;
+    }
+    for &(idx, v) in pass_constants {
+        c[idx as usize] = v;
+    }
+    c
+}
+
+/// Validate that every sampler the program references is bound.
+pub fn validate_bindings(program: &Program, texture_count: usize) -> crate::error::Result<()> {
+    if let Some(max) = program.max_sampler() {
+        if (max as usize) >= texture_count {
+            return Err(crate::error::GpuError::BindingError {
+                message: format!(
+                    "program `{}` samples tex{max} but only {texture_count} texture(s) bound",
+                    program.name
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, textures: &[&Texture2D]) -> FragmentOutput {
+        let p = assemble(src).unwrap();
+        let constants = resolve_constants(&p, &[]);
+        execute(&p, &FragmentInput::zero(), &constants, textures, None)
+    }
+
+    fn run_with_input(src: &str, input: &FragmentInput, textures: &[&Texture2D]) -> FragmentOutput {
+        let p = assemble(src).unwrap();
+        let constants = resolve_constants(&p, &[]);
+        execute(&p, input, &constants, textures, None)
+    }
+
+    #[test]
+    fn arithmetic_opcodes() {
+        let out = run(
+            "DEF C0, 1, 2, 3, 4\nDEF C1, 10, 20, 30, 40\n\
+             ADD R0, C0, C1\nSUB R1, C1, C0\nMUL R2, C0, C0\nMAD R3, C0, C1, C0\n\
+             MOV OC, R0\nMOV O1, R1\nMOV O2, R2\nMOV O3, R3",
+            &[],
+        );
+        assert_eq!(out.colors[0], [11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(out.colors[1], [9.0, 18.0, 27.0, 36.0]);
+        assert_eq!(out.colors[2], [1.0, 4.0, 9.0, 16.0]);
+        assert_eq!(out.colors[3], [11.0, 42.0, 93.0, 164.0]);
+        assert_eq!(out.instructions, 8);
+        assert_eq!(out.texel_fetches, 0);
+    }
+
+    #[test]
+    fn transcendental_opcodes() {
+        let out = run(
+            "DEF C0, 2, 4, 8, 1\nRCP R0, C0\nRSQ R1, C0\nLG2 R2, C0\nEX2 R3, C0\n\
+             MOV OC, R0\nMOV O1, R1\nMOV O2, R2\nMOV O3, R3",
+            &[],
+        );
+        assert_eq!(out.colors[0], [0.5, 0.25, 0.125, 1.0]);
+        assert!((out.colors[1][0] - 1.0 / 2.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(out.colors[2], [1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(out.colors[3], [4.0, 16.0, 256.0, 2.0]);
+    }
+
+    #[test]
+    fn lg2_clamps_non_positive() {
+        let out = run("DEF C0, 0, -1, 1, 2\nLG2 R0, C0\nMOV OC, R0", &[]);
+        assert!(out.colors[0][0].is_finite());
+        assert!(out.colors[0][1].is_finite());
+        assert_eq!(out.colors[0][2], 0.0);
+        assert_eq!(out.colors[0][3], 1.0);
+    }
+
+    #[test]
+    fn comparison_and_select_opcodes() {
+        let out = run(
+            "DEF C0, 1, 5, 3, 3\nDEF C1, 2, 2, 3, 4\n\
+             SLT R0, C0, C1\nSGE R1, C0, C1\n\
+             DEF C2, -1, 1, -0.5, 0\nCMP R2, C2, C0, C1\n\
+             MOV OC, R0\nMOV O1, R1\nMOV O2, R2",
+            &[],
+        );
+        assert_eq!(out.colors[0], [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(out.colors[1], [0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(out.colors[2], [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn misc_opcodes() {
+        let out = run(
+            "DEF C0, 1.75, -1.25, 2, -2\n\
+             FRC R0, C0\nFLR R1, C0\nABS R2, C0\n\
+             MIN R3, C0, -C0\nMAX R4, C0, -C0\n\
+             MOV OC, R0\nMOV O1, R1\nMOV O2, R2\nMOV O3, R3\nMOV R5, R4",
+            &[],
+        );
+        assert_eq!(out.colors[0], [0.75, 0.75, 0.0, 0.0]);
+        assert_eq!(out.colors[1], [1.0, -2.0, 2.0, -2.0]);
+        assert_eq!(out.colors[2], [1.75, 1.25, 2.0, 2.0]);
+        assert_eq!(out.colors[3], [-1.75, -1.25, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn dot_products_broadcast() {
+        let out = run(
+            "DEF C0, 1, 2, 3, 4\nDEF C1, 1, 1, 1, 1\nDP3 R0, C0, C1\nDP4 R1, C0, C1\n\
+             MOV OC, R0\nMOV O1, R1",
+            &[],
+        );
+        assert_eq!(out.colors[0], [6.0; 4]);
+        assert_eq!(out.colors[1], [10.0; 4]);
+    }
+
+    #[test]
+    fn lrp_interpolates() {
+        let out = run(
+            "DEF C0, 0, 1, 0.5, 0.25\nDEF C1, 10, 10, 10, 10\nDEF C2, 20, 20, 20, 20\n\
+             LRP R0, C0, C1, C2\nMOV OC, R0",
+            &[],
+        );
+        assert_eq!(out.colors[0], [20.0, 10.0, 15.0, 17.5]);
+    }
+
+    #[test]
+    fn swizzle_negate_mask_saturate() {
+        let out = run(
+            "DEF C0, 1, 2, 3, 4\nMOV R0, C0.wzyx\nMOV R1.xz, C0\nMOV_SAT R2, -C0\n\
+             MOV OC, R0\nMOV O1, R1\nMOV O2, R2",
+            &[],
+        );
+        assert_eq!(out.colors[0], [4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(out.colors[1], [1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(out.colors[2], [0.0; 4]); // negatives saturate to 0
+    }
+
+    #[test]
+    fn texture_sampling_uses_texcoords_and_counts_fetches() {
+        let mut tex = Texture2D::new(2, 2);
+        tex.set_texel(0, 0, [1.0, 0.0, 0.0, 1.0]);
+        tex.set_texel(1, 1, [0.0, 1.0, 0.0, 1.0]);
+        let mut input = FragmentInput::zero();
+        input.texcoords[0] = [0.25, 0.25, 0.0, 1.0]; // texel (0,0)
+        input.texcoords[1] = [0.75, 0.75, 0.0, 1.0]; // texel (1,1)
+        let out = run_with_input(
+            "TEX R0, T0, tex0\nTEX R1, T1, tex0\nADD OC, R0, R1",
+            &input,
+            &[&tex],
+        );
+        assert_eq!(out.colors[0], [1.0, 1.0, 0.0, 2.0]);
+        assert_eq!(out.texel_fetches, 2);
+        assert_eq!(out.instructions, 3);
+    }
+
+    #[test]
+    fn dependent_texture_read() {
+        // Compute a coordinate in the shader, then sample with it.
+        let mut lut = Texture2D::new(2, 1);
+        lut.set_texel(0, 0, [11.0; 4]);
+        lut.set_texel(1, 0, [22.0; 4]);
+        let out = run(
+            "DEF C0, 0.75, 0.5, 0, 0\nMOV R0, C0\nTEX R1, R0, tex0\nMOV OC, R1",
+            &[&lut],
+        );
+        assert_eq!(out.colors[0], [22.0; 4]);
+    }
+
+    #[test]
+    fn cache_is_consulted_per_fetch() {
+        let tex = Texture2D::new(4, 4);
+        let p = assemble("TEX R0, T0, tex0\nTEX R1, T0, tex0\nMOV OC, R0").unwrap();
+        let constants = resolve_constants(&p, &[]);
+        let mut cache = TextureCache::new(16, 2);
+        let input = FragmentInput::zero();
+        execute(&p, &input, &constants, &[&tex], Some(&mut cache));
+        assert_eq!(cache.hits() + cache.misses(), 2);
+        assert_eq!(cache.hits(), 1); // second fetch hits the same block
+    }
+
+    #[test]
+    fn pass_constants_override_defs() {
+        let p = assemble("DEF C0, 1, 1, 1, 1\nMOV OC, C0").unwrap();
+        let constants = resolve_constants(&p, &[(0, [9.0, 8.0, 7.0, 6.0])]);
+        let out = execute(&p, &FragmentInput::zero(), &constants, &[], None);
+        assert_eq!(out.colors[0], [9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn binding_validation() {
+        let p = assemble("TEX R0, T0, tex2\nMOV OC, R0").unwrap();
+        assert!(validate_bindings(&p, 2).is_err());
+        assert!(validate_bindings(&p, 3).is_ok());
+        let p = assemble("MOV OC, R0").unwrap();
+        assert!(validate_bindings(&p, 0).is_ok());
+    }
+}

@@ -1,0 +1,518 @@
+//! The fragment-shader instruction set.
+//!
+//! Modelled on the NV `fp30` profile the paper's Cg kernels compiled to:
+//! SIMD4 register-to-register arithmetic with swizzles, write masks,
+//! saturation and texture sampling. Two documented deviations from the real
+//! hardware keep kernels compact without changing counted work shape:
+//!
+//! 1. `RCP`/`RSQ`/`EX2`/`LG2` operate componentwise (real fp30 issued them
+//!    per scalar, but NV3x/G7x co-issued scalar ops, so a vector count is the
+//!    fairer cost model);
+//! 2. `LG2` of a non-positive input returns `log2` of the smallest positive
+//!    `f32` instead of an unspecified value, so mis-guarded kernels fail
+//!    loudly in tests rather than silently.
+
+use std::fmt;
+
+/// Register files visible to a fragment program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reg {
+    /// Temporary register `R0..R15`.
+    Temp(u8),
+    /// Program constant `C0..C31` (bound per pass or via `DEF`).
+    Const(u8),
+    /// Interpolated texture coordinate set `T0..T7`.
+    TexCoord(u8),
+    /// Output color `O0..O3` (`OC` is an alias for `O0`).
+    Output(u8),
+}
+
+/// Number of temporary registers.
+pub const NUM_TEMPS: usize = 16;
+/// Number of constant registers.
+pub const NUM_CONSTS: usize = 32;
+/// Number of texture-coordinate sets.
+pub const NUM_TEXCOORDS: usize = 8;
+/// Number of output registers (multiple render targets).
+pub const NUM_OUTPUTS: usize = 4;
+/// Number of texture samplers.
+pub const NUM_SAMPLERS: usize = 8;
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Temp(i) => write!(f, "R{i}"),
+            Reg::Const(i) => write!(f, "C{i}"),
+            Reg::TexCoord(i) => write!(f, "T{i}"),
+            Reg::Output(0) => write!(f, "OC"),
+            Reg::Output(i) => write!(f, "O{i}"),
+        }
+    }
+}
+
+/// A four-component swizzle; each entry selects a source lane (0..=3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Swizzle(pub [u8; 4]);
+
+impl Swizzle {
+    /// The identity swizzle `.xyzw`.
+    pub const IDENTITY: Swizzle = Swizzle([0, 1, 2, 3]);
+
+    /// Broadcast a single lane.
+    pub const fn splat(lane: u8) -> Swizzle {
+        Swizzle([lane, lane, lane, lane])
+    }
+
+    /// Apply to a vector.
+    #[inline(always)]
+    pub fn apply(&self, v: [f32; 4]) -> [f32; 4] {
+        [
+            v[self.0[0] as usize],
+            v[self.0[1] as usize],
+            v[self.0[2] as usize],
+            v[self.0[3] as usize],
+        ]
+    }
+
+    /// True if this is the identity swizzle.
+    pub fn is_identity(&self) -> bool {
+        self.0 == [0, 1, 2, 3]
+    }
+}
+
+impl fmt::Display for Swizzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return Ok(());
+        }
+        const LANES: [char; 4] = ['x', 'y', 'z', 'w'];
+        write!(f, ".")?;
+        // Collapse a splat to one character.
+        if self.0.iter().all(|&l| l == self.0[0]) {
+            return write!(f, "{}", LANES[self.0[0] as usize]);
+        }
+        for &l in &self.0 {
+            write!(f, "{}", LANES[l as usize])?;
+        }
+        Ok(())
+    }
+}
+
+/// A source operand: register, swizzle, optional negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Src {
+    /// Source register.
+    pub reg: Reg,
+    /// Lane selection.
+    pub swizzle: Swizzle,
+    /// Negate after swizzling.
+    pub negate: bool,
+}
+
+impl Src {
+    /// Plain (un-swizzled, positive) source.
+    pub const fn new(reg: Reg) -> Src {
+        Src {
+            reg,
+            swizzle: Swizzle::IDENTITY,
+            negate: false,
+        }
+    }
+
+    /// Source broadcasting one lane.
+    pub const fn lane(reg: Reg, lane: u8) -> Src {
+        Src {
+            reg,
+            swizzle: Swizzle::splat(lane),
+            negate: false,
+        }
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negate {
+            write!(f, "-")?;
+        }
+        write!(f, "{}{}", self.reg, self.swizzle)
+    }
+}
+
+/// A destination operand: register, write mask, optional saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dst {
+    /// Destination register (temp or output).
+    pub reg: Reg,
+    /// Per-lane write enable.
+    pub mask: [bool; 4],
+    /// Clamp results to `[0, 1]` before writing.
+    pub saturate: bool,
+}
+
+impl Dst {
+    /// Full write, no saturation.
+    pub const fn new(reg: Reg) -> Dst {
+        Dst {
+            reg,
+            mask: [true; 4],
+            saturate: false,
+        }
+    }
+
+    /// True when all four lanes are written.
+    pub fn full(&self) -> bool {
+        self.mask.iter().all(|&m| m)
+    }
+}
+
+impl fmt::Display for Dst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reg)?;
+        if !self.full() {
+            write!(f, ".")?;
+            const LANES: [char; 4] = ['x', 'y', 'z', 'w'];
+            for (i, &m) in self.mask.iter().enumerate() {
+                if m {
+                    write!(f, "{}", LANES[i])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Copy: `d = s0`.
+    Mov,
+    /// Componentwise add.
+    Add,
+    /// Componentwise subtract.
+    Sub,
+    /// Componentwise multiply.
+    Mul,
+    /// Multiply-add: `d = s0*s1 + s2`.
+    Mad,
+    /// Componentwise minimum.
+    Min,
+    /// Componentwise maximum.
+    Max,
+    /// Componentwise reciprocal.
+    Rcp,
+    /// Componentwise reciprocal square root.
+    Rsq,
+    /// Componentwise `2^x`.
+    Ex2,
+    /// Componentwise `log2(x)` (non-positive inputs clamp to tiny).
+    Lg2,
+    /// Fractional part: `x - floor(x)`.
+    Frc,
+    /// Floor.
+    Flr,
+    /// Absolute value.
+    Abs,
+    /// Set on less-than: `d = s0 < s1 ? 1 : 0`.
+    Slt,
+    /// Set on greater-or-equal.
+    Sge,
+    /// Conditional select: `d = s0 < 0 ? s1 : s2`.
+    Cmp,
+    /// Linear interpolation: `d = s0*s1 + (1-s0)*s2`.
+    Lrp,
+    /// 3-component dot product, broadcast to all lanes.
+    Dp3,
+    /// 4-component dot product, broadcast to all lanes.
+    Dp4,
+    /// Texture sample: `d = tex[sampler].sample(s0.xy)`.
+    Tex,
+}
+
+impl Opcode {
+    /// Number of source operands.
+    pub fn arity(&self) -> usize {
+        match self {
+            Opcode::Mov
+            | Opcode::Rcp
+            | Opcode::Rsq
+            | Opcode::Ex2
+            | Opcode::Lg2
+            | Opcode::Frc
+            | Opcode::Flr
+            | Opcode::Abs
+            | Opcode::Tex => 1,
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::Min
+            | Opcode::Max
+            | Opcode::Slt
+            | Opcode::Sge
+            | Opcode::Dp3
+            | Opcode::Dp4 => 2,
+            Opcode::Mad | Opcode::Cmp | Opcode::Lrp => 3,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Opcode::Mov => "MOV",
+            Opcode::Add => "ADD",
+            Opcode::Sub => "SUB",
+            Opcode::Mul => "MUL",
+            Opcode::Mad => "MAD",
+            Opcode::Min => "MIN",
+            Opcode::Max => "MAX",
+            Opcode::Rcp => "RCP",
+            Opcode::Rsq => "RSQ",
+            Opcode::Ex2 => "EX2",
+            Opcode::Lg2 => "LG2",
+            Opcode::Frc => "FRC",
+            Opcode::Flr => "FLR",
+            Opcode::Abs => "ABS",
+            Opcode::Slt => "SLT",
+            Opcode::Sge => "SGE",
+            Opcode::Cmp => "CMP",
+            Opcode::Lrp => "LRP",
+            Opcode::Dp3 => "DP3",
+            Opcode::Dp4 => "DP4",
+            Opcode::Tex => "TEX",
+        }
+    }
+
+    /// Parse a mnemonic (uppercase).
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Some(match s {
+            "MOV" => Opcode::Mov,
+            "ADD" => Opcode::Add,
+            "SUB" => Opcode::Sub,
+            "MUL" => Opcode::Mul,
+            "MAD" => Opcode::Mad,
+            "MIN" => Opcode::Min,
+            "MAX" => Opcode::Max,
+            "RCP" => Opcode::Rcp,
+            "RSQ" => Opcode::Rsq,
+            "EX2" => Opcode::Ex2,
+            "LG2" => Opcode::Lg2,
+            "FRC" => Opcode::Frc,
+            "FLR" => Opcode::Flr,
+            "ABS" => Opcode::Abs,
+            "SLT" => Opcode::Slt,
+            "SGE" => Opcode::Sge,
+            "CMP" => Opcode::Cmp,
+            "LRP" => Opcode::Lrp,
+            "DP3" => Opcode::Dp3,
+            "DP4" => Opcode::Dp4,
+            "TEX" => Opcode::Tex,
+            _ => return None,
+        })
+    }
+
+    /// All opcodes (for exhaustive tests).
+    pub const ALL: [Opcode; 21] = [
+        Opcode::Mov,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Mad,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Rcp,
+        Opcode::Rsq,
+        Opcode::Ex2,
+        Opcode::Lg2,
+        Opcode::Frc,
+        Opcode::Flr,
+        Opcode::Abs,
+        Opcode::Slt,
+        Opcode::Sge,
+        Opcode::Cmp,
+        Opcode::Lrp,
+        Opcode::Dp3,
+        Opcode::Dp4,
+        Opcode::Tex,
+    ];
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination.
+    pub dst: Dst,
+    /// Sources (`op.arity()` of them).
+    pub srcs: Vec<Src>,
+    /// Sampler index for [`Opcode::Tex`].
+    pub sampler: Option<u8>,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op.mnemonic())?;
+        if self.dst.saturate {
+            write!(f, "_SAT")?;
+        }
+        write!(f, " {}", self.dst)?;
+        for s in &self.srcs {
+            write!(f, ", {s}")?;
+        }
+        if let Some(s) = self.sampler {
+            write!(f, ", tex{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete fragment program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Optional program name (from the `!!name` directive).
+    pub name: String,
+    /// Instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// Constants pre-set by `DEF` directives: `(index, value)`.
+    pub defs: Vec<(u8, [f32; 4])>,
+}
+
+impl Program {
+    /// Number of instructions (the static cost the timing model uses).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of `TEX` instructions (texel fetches per fragment).
+    pub fn tex_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| i.op == Opcode::Tex)
+            .count()
+    }
+
+    /// Highest sampler index used, if any.
+    pub fn max_sampler(&self) -> Option<u8> {
+        self.instrs.iter().filter_map(|i| i.sampler).max()
+    }
+
+    /// Render the program back to assembly text.
+    pub fn to_asm(&self) -> String {
+        let mut out = String::new();
+        if !self.name.is_empty() {
+            out.push_str(&format!("!!{}\n", self.name));
+        }
+        for &(idx, v) in &self.defs {
+            out.push_str(&format!("DEF C{idx}, {}, {}, {}, {}\n", v[0], v[1], v[2], v[3]));
+        }
+        for i in &self.instrs {
+            out.push_str(&format!("{i}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swizzle_apply_and_display() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Swizzle::IDENTITY.apply(v), v);
+        assert_eq!(Swizzle([3, 2, 1, 0]).apply(v), [4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(Swizzle::splat(1).apply(v), [2.0; 4]);
+        assert_eq!(Swizzle::IDENTITY.to_string(), "");
+        assert_eq!(Swizzle::splat(2).to_string(), ".z");
+        assert_eq!(Swizzle([0, 0, 1, 1]).to_string(), ".xxyy");
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::Temp(3).to_string(), "R3");
+        assert_eq!(Reg::Const(15).to_string(), "C15");
+        assert_eq!(Reg::TexCoord(0).to_string(), "T0");
+        assert_eq!(Reg::Output(0).to_string(), "OC");
+        assert_eq!(Reg::Output(2).to_string(), "O2");
+    }
+
+    #[test]
+    fn operand_display() {
+        let mut s = Src::new(Reg::Temp(0));
+        s.negate = true;
+        s.swizzle = Swizzle::splat(0);
+        assert_eq!(s.to_string(), "-R0.x");
+        let mut d = Dst::new(Reg::Output(0));
+        d.mask = [true, true, false, false];
+        assert_eq!(d.to_string(), "OC.xy");
+        assert!(!d.full());
+        assert!(Dst::new(Reg::Temp(1)).full());
+    }
+
+    #[test]
+    fn opcode_round_trip_and_arity() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+            assert!(op.arity() >= 1 && op.arity() <= 3);
+        }
+        assert_eq!(Opcode::from_mnemonic("NOPE"), None);
+        assert_eq!(Opcode::Mad.arity(), 3);
+        assert_eq!(Opcode::Tex.arity(), 1);
+    }
+
+    #[test]
+    fn instr_display() {
+        let i = Instr {
+            op: Opcode::Mad,
+            dst: Dst::new(Reg::Temp(2)),
+            srcs: vec![
+                Src::new(Reg::Temp(0)),
+                Src::lane(Reg::Const(1), 0),
+                Src::new(Reg::Temp(1)),
+            ],
+            sampler: None,
+        };
+        assert_eq!(i.to_string(), "MAD R2, R0, C1.x, R1");
+        let t = Instr {
+            op: Opcode::Tex,
+            dst: Dst::new(Reg::Temp(0)),
+            srcs: vec![Src::new(Reg::TexCoord(0))],
+            sampler: Some(3),
+        };
+        assert_eq!(t.to_string(), "TEX R0, T0, tex3");
+    }
+
+    #[test]
+    fn program_queries() {
+        let p = Program {
+            name: "test".into(),
+            instrs: vec![
+                Instr {
+                    op: Opcode::Tex,
+                    dst: Dst::new(Reg::Temp(0)),
+                    srcs: vec![Src::new(Reg::TexCoord(0))],
+                    sampler: Some(0),
+                },
+                Instr {
+                    op: Opcode::Mov,
+                    dst: Dst::new(Reg::Output(0)),
+                    srcs: vec![Src::new(Reg::Temp(0))],
+                    sampler: None,
+                },
+            ],
+            defs: vec![(0, [1.0, 2.0, 3.0, 4.0])],
+        };
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.tex_count(), 1);
+        assert_eq!(p.max_sampler(), Some(0));
+        let asm = p.to_asm();
+        assert!(asm.contains("!!test"));
+        assert!(asm.contains("DEF C0, 1, 2, 3, 4"));
+        assert!(asm.contains("TEX R0, T0, tex0"));
+    }
+}

@@ -1,0 +1,334 @@
+//! A Brook-like stream layer over the raw device.
+//!
+//! The paper (Section 2) abstracts the GPU as a stream processor: data lives
+//! in *streams* (ordered sets backed by textures), computation in *kernels*
+//! (fragment programs mapped over whole streams) with no ordering guarantees
+//! between output elements. This module is that abstraction: [`Stream`]
+//! wraps a texture, [`map`]/[`map_closure`] apply a kernel, and
+//! [`reduce_sum`] shows the classic log-step GPGPU reduction.
+
+use crate::counters::PassStats;
+use crate::error::Result;
+use crate::gpu::{Fetcher, Gpu, TextureId};
+use crate::isa::Program;
+use crate::raster::{Quad, TexCoordSet};
+use crate::texture::Texel;
+
+/// A 2D stream of float4 elements, resident on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stream {
+    /// Backing texture.
+    pub id: TextureId,
+    /// Width in elements.
+    pub width: usize,
+    /// Height in elements.
+    pub height: usize,
+}
+
+impl Stream {
+    /// Allocate an uninitialised (zero) stream.
+    pub fn create(gpu: &mut Gpu, width: usize, height: usize) -> Result<Stream> {
+        let id = gpu.alloc_texture(width, height)?;
+        Ok(Stream { id, width, height })
+    }
+
+    /// Allocate and fill a stream from host data (4 floats per element).
+    pub fn upload(gpu: &mut Gpu, width: usize, height: usize, data: &[f32]) -> Result<Stream> {
+        let s = Stream::create(gpu, width, height)?;
+        gpu.upload(s.id, data)?;
+        Ok(s)
+    }
+
+    /// Read the stream back to the host.
+    pub fn read(&self, gpu: &mut Gpu) -> Result<Vec<f32>> {
+        gpu.download(self.id)
+    }
+
+    /// Release the backing texture.
+    pub fn free(self, gpu: &mut Gpu) -> Result<()> {
+        gpu.free_texture(self.id)
+    }
+
+    /// Elements in the stream.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// True if the stream has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Apply an assembled kernel to input streams, writing `output`.
+///
+/// Identity texture coordinates are generated for each input unless
+/// `texcoords` overrides them (e.g. neighbour-shifted sets).
+pub fn map(
+    gpu: &mut Gpu,
+    kernel: &Program,
+    inputs: &[&Stream],
+    constants: &[(u8, [f32; 4])],
+    texcoords: Option<&[TexCoordSet]>,
+    output: &Stream,
+) -> Result<PassStats> {
+    let ids: Vec<TextureId> = inputs.iter().map(|s| s.id).collect();
+    let default_coords: Vec<TexCoordSet> = inputs.iter().map(|_| TexCoordSet::identity()).collect();
+    let coords = texcoords.unwrap_or(&default_coords);
+    gpu.run_pass(kernel, &ids, constants, coords, output.id, None)
+}
+
+/// Apply a closure kernel to input streams (fast path; see
+/// [`Gpu::run_closure_pass`]).
+pub fn map_closure<F>(
+    gpu: &mut Gpu,
+    inputs: &[&Stream],
+    output: &Stream,
+    instr_per_fragment: u64,
+    kernel: F,
+) -> Result<PassStats>
+where
+    F: Fn(&Fetcher<'_>, usize, usize) -> Texel + Sync,
+{
+    let ids: Vec<TextureId> = inputs.iter().map(|s| s.id).collect();
+    gpu.run_closure_pass(&ids, output.id, instr_per_fragment, None, kernel)
+}
+
+/// Sum-reduce a stream to a single float4 with log-step halving passes —
+/// each pass folds a 2x2 block into one element, the canonical GPGPU
+/// reduction pattern.
+///
+/// Returns the reduced value and the accumulated pass statistics.
+pub fn reduce_sum(gpu: &mut Gpu, input: &Stream) -> Result<([f32; 4], PassStats)> {
+    let mut stats = PassStats::default();
+    let mut cur = *input;
+    let mut owned: Option<Stream> = None; // intermediate to free
+    while cur.width > 1 || cur.height > 1 {
+        let nw = cur.width.div_ceil(2);
+        let nh = cur.height.div_ceil(2);
+        let next = Stream::create(gpu, nw, nh)?;
+        let (cw, ch) = (cur.width, cur.height);
+        let pass = gpu.run_closure_pass(&[cur.id], next.id, 4, Some(Quad::full(nw, nh)), {
+            move |f, x, y| {
+                let mut acc = [0.0f32; 4];
+                for dy in 0..2usize {
+                    for dx in 0..2usize {
+                        let sx = 2 * x + dx;
+                        let sy = 2 * y + dy;
+                        if sx < cw && sy < ch {
+                            let t = f.fetch(0, sx as i64, sy as i64);
+                            for (a, v) in acc.iter_mut().zip(t) {
+                                *a += v;
+                            }
+                        }
+                    }
+                }
+                acc
+            }
+        })?;
+        stats.add(&pass);
+        if let Some(s) = owned.take() {
+            s.free(gpu)?;
+        }
+        owned = Some(next);
+        cur = next;
+    }
+    let flat = cur.read(&mut *gpu)?;
+    let result = [flat[0], flat[1], flat[2], flat[3]];
+    if let Some(s) = owned {
+        s.free(gpu)?;
+    }
+    Ok((result, stats))
+}
+
+/// Max-reduce a stream to a single float4 with the same log-step pattern as
+/// [`reduce_sum`].
+pub fn reduce_max(gpu: &mut Gpu, input: &Stream) -> Result<([f32; 4], PassStats)> {
+    let mut stats = PassStats::default();
+    let mut cur = *input;
+    let mut owned: Option<Stream> = None;
+    while cur.width > 1 || cur.height > 1 {
+        let nw = cur.width.div_ceil(2);
+        let nh = cur.height.div_ceil(2);
+        let next = Stream::create(gpu, nw, nh)?;
+        let (cw, ch) = (cur.width, cur.height);
+        let pass = gpu.run_closure_pass(&[cur.id], next.id, 4, Some(Quad::full(nw, nh)), {
+            move |f, x, y| {
+                let mut acc = [f32::NEG_INFINITY; 4];
+                for dy in 0..2usize {
+                    for dx in 0..2usize {
+                        let sx = 2 * x + dx;
+                        let sy = 2 * y + dy;
+                        if sx < cw && sy < ch {
+                            let t = f.fetch(0, sx as i64, sy as i64);
+                            for (a, v) in acc.iter_mut().zip(t) {
+                                *a = a.max(v);
+                            }
+                        }
+                    }
+                }
+                acc
+            }
+        })?;
+        stats.add(&pass);
+        if let Some(s) = owned.take() {
+            s.free(gpu)?;
+        }
+        owned = Some(next);
+        cur = next;
+    }
+    let flat = cur.read(&mut *gpu)?;
+    let result = [flat[0], flat[1], flat[2], flat[3]];
+    if let Some(s) = owned {
+        s.free(gpu)?;
+    }
+    Ok((result, stats))
+}
+
+/// Gather: `output[i] = input[indices[i]]` — the dependent-read primitive of
+/// the stream model (the MEI stage's index-driven fetches in kernel form).
+///
+/// `indices` holds flat element indices into `input` in its `.x` component.
+pub fn gather(
+    gpu: &mut Gpu,
+    input: &Stream,
+    indices: &Stream,
+    output: &Stream,
+) -> Result<PassStats> {
+    let (iw, ih) = (input.width as i64, input.height as i64);
+    gpu.run_closure_pass(&[input.id, indices.id], output.id, 3, None, move |f, x, y| {
+        // Out-of-range indices clamp to the valid element range.
+        let idx = (f.fetch(1, x as i64, y as i64)[0].max(0.0) as i64).min(iw * ih - 1);
+        f.fetch(0, idx % iw, idx / iw)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::device::GpuProfile;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuProfile::geforce_7800gtx())
+    }
+
+    #[test]
+    fn stream_lifecycle() {
+        let mut gpu = gpu();
+        let data: Vec<f32> = (0..4 * 2 * 4).map(|i| i as f32).collect();
+        let s = Stream::upload(&mut gpu, 4, 2, &data).unwrap();
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        assert_eq!(s.read(&mut gpu).unwrap(), data);
+        let used = gpu.allocated_bytes();
+        assert_eq!(used, 4 * 2 * 16);
+        s.free(&mut gpu).unwrap();
+        assert_eq!(gpu.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn map_applies_kernel_elementwise() {
+        let mut gpu = gpu();
+        let data: Vec<f32> = (0..4 * 4 * 4).map(|i| i as f32 * 0.25).collect();
+        let a = Stream::upload(&mut gpu, 4, 4, &data).unwrap();
+        let out = Stream::create(&mut gpu, 4, 4).unwrap();
+        let scale = assemble("TEX R0, T0, tex0\nMUL OC, R0, C0.x").unwrap();
+        map(
+            &mut gpu,
+            &scale,
+            &[&a],
+            &[(0, [3.0, 0.0, 0.0, 0.0])],
+            None,
+            &out,
+        )
+        .unwrap();
+        let got = out.read(&mut gpu).unwrap();
+        for (g, d) in got.iter().zip(&data) {
+            assert!((g - d * 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn map_closure_matches_map() {
+        let mut gpu = gpu();
+        let data: Vec<f32> = (0..8 * 8 * 4).map(|i| (i as f32).sin()).collect();
+        let a = Stream::upload(&mut gpu, 8, 8, &data).unwrap();
+        let o1 = Stream::create(&mut gpu, 8, 8).unwrap();
+        let o2 = Stream::create(&mut gpu, 8, 8).unwrap();
+        let sq = assemble("TEX R0, T0, tex0\nMUL OC, R0, R0").unwrap();
+        map(&mut gpu, &sq, &[&a], &[], None, &o1).unwrap();
+        map_closure(&mut gpu, &[&a], &o2, 2, |f, x, y| {
+            let t = f.fetch(0, x as i64, y as i64);
+            [t[0] * t[0], t[1] * t[1], t[2] * t[2], t[3] * t[3]]
+        })
+        .unwrap();
+        assert_eq!(o1.read(&mut gpu).unwrap(), o2.read(&mut gpu).unwrap());
+    }
+
+    #[test]
+    fn reduce_sum_totals_all_elements() {
+        let mut gpu = gpu();
+        // 5x3 stream (odd sizes exercise the ceil-halving path).
+        let mut data = Vec::new();
+        for i in 0..15 {
+            data.extend_from_slice(&[i as f32, 1.0, 0.5, 2.0]);
+        }
+        let s = Stream::upload(&mut gpu, 5, 3, &data).unwrap();
+        let before = gpu.allocated_bytes();
+        let (sum, stats) = reduce_sum(&mut gpu, &s).unwrap();
+        assert_eq!(sum[0], (0..15).sum::<i32>() as f32);
+        assert_eq!(sum[1], 15.0);
+        assert_eq!(sum[2], 7.5);
+        assert_eq!(sum[3], 30.0);
+        assert!(stats.passes >= 3); // log-step halving
+        // Intermediates were freed.
+        assert_eq!(gpu.allocated_bytes(), before);
+    }
+
+    #[test]
+    fn reduce_max_finds_componentwise_maxima() {
+        let mut gpu = gpu();
+        let mut data = Vec::new();
+        for i in 0..12 {
+            data.extend_from_slice(&[i as f32, -(i as f32), (i % 5) as f32, 1.0]);
+        }
+        let s = Stream::upload(&mut gpu, 4, 3, &data).unwrap();
+        let (m, stats) = reduce_max(&mut gpu, &s).unwrap();
+        assert_eq!(m[0], 11.0);
+        assert_eq!(m[1], 0.0);
+        assert_eq!(m[2], 4.0);
+        assert_eq!(m[3], 1.0);
+        assert!(stats.passes >= 2);
+    }
+
+    #[test]
+    fn gather_permutes_elements() {
+        let mut gpu = gpu();
+        let data: Vec<f32> = (0..6).flat_map(|i| [i as f32, 0.0, 0.0, 0.0]).collect();
+        let input = Stream::upload(&mut gpu, 3, 2, &data).unwrap();
+        // Reverse permutation in index stream.
+        let idx: Vec<f32> = (0..6).rev().flat_map(|i| [i as f32, 0.0, 0.0, 0.0]).collect();
+        let indices = Stream::upload(&mut gpu, 3, 2, &idx).unwrap();
+        let output = Stream::create(&mut gpu, 3, 2).unwrap();
+        gather(&mut gpu, &input, &indices, &output).unwrap();
+        let out = output.read(&mut gpu).unwrap();
+        let xs: Vec<f32> = out.chunks_exact(4).map(|t| t[0]).collect();
+        assert_eq!(xs, vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0]);
+        // Out-of-range indices clamp instead of crashing.
+        let idx_bad: Vec<f32> = [99.0, 0.0, 0.0, 0.0].repeat(6);
+        gpu.upload(indices.id, &idx_bad).unwrap();
+        gather(&mut gpu, &input, &indices, &output).unwrap();
+        let out = output.read(&mut gpu).unwrap();
+        assert_eq!(out[0], 5.0); // clamped to the last element
+    }
+
+    #[test]
+    fn reduce_sum_of_single_element_is_identity() {
+        let mut gpu = gpu();
+        let s = Stream::upload(&mut gpu, 1, 1, &[4.0, 3.0, 2.0, 1.0]).unwrap();
+        let (sum, stats) = reduce_sum(&mut gpu, &s).unwrap();
+        assert_eq!(sum, [4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(stats.passes, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! 2D RGBA32F textures — the streams of the stream programming model.
+//!
+//! The paper maps every group of four consecutive spectral channels onto the
+//! RGBA components of a 2D texture (Fig. 3), so a single texel carries four
+//! bands and the fragment processors' SIMD4 ALUs process four bands per
+//! instruction. All simulator textures are RGBA32F: float textures were the
+//! GPGPU workhorse format on both NV3x and G7x.
+
+/// One RGBA texel.
+pub type Texel = [f32; 4];
+
+/// Texture coordinate addressing mode (GL wrap modes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AddressMode {
+    /// Coordinates clamp to the edge texel (GPGPU default; gives the
+    /// morphological window its border-replication semantics).
+    ClampToEdge,
+    /// Coordinates wrap around (tiling).
+    Repeat,
+    /// Coordinates reflect at each edge.
+    MirroredRepeat,
+    /// Out-of-range fetches return the border color.
+    ClampToBorder(Texel),
+}
+
+/// A 2D texture of RGBA32F texels, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Texture2D {
+    width: usize,
+    height: usize,
+    address_mode: AddressMode,
+    texels: Vec<Texel>,
+}
+
+impl Texture2D {
+    /// A zero-initialised texture.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            address_mode: AddressMode::ClampToEdge,
+            texels: vec![[0.0; 4]; width * height],
+        }
+    }
+
+    /// Build from texel data (length must be `width * height`).
+    pub fn from_texels(width: usize, height: usize, texels: Vec<Texel>) -> Self {
+        assert_eq!(texels.len(), width * height, "texel buffer length");
+        Self {
+            width,
+            height,
+            address_mode: AddressMode::ClampToEdge,
+            texels,
+        }
+    }
+
+    /// Build from a flat f32 slice (4 floats per texel).
+    pub fn from_flat(width: usize, height: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), width * height * 4, "flat buffer length");
+        let texels = data
+            .chunks_exact(4)
+            .map(|c| [c[0], c[1], c[2], c[3]])
+            .collect();
+        Self::from_texels(width, height, texels)
+    }
+
+    /// Width in texels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in texels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Set the addressing mode used by out-of-range fetches.
+    pub fn set_address_mode(&mut self, mode: AddressMode) {
+        self.address_mode = mode;
+    }
+
+    /// Current addressing mode.
+    pub fn address_mode(&self) -> AddressMode {
+        self.address_mode
+    }
+
+    /// Video-memory footprint in bytes (16 B per texel).
+    pub fn bytes(&self) -> usize {
+        self.texels.len() * std::mem::size_of::<Texel>()
+    }
+
+    /// Borrow all texels row-major.
+    pub fn texels(&self) -> &[Texel] {
+        &self.texels
+    }
+
+    /// Mutably borrow all texels row-major.
+    pub fn texels_mut(&mut self) -> &mut [Texel] {
+        &mut self.texels
+    }
+
+    /// Flatten to an f32 vector (4 per texel).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.texels.len() * 4);
+        for t in &self.texels {
+            out.extend_from_slice(t);
+        }
+        out
+    }
+
+    /// Direct texel read with integer coordinates (must be in range).
+    #[inline(always)]
+    pub fn texel(&self, x: usize, y: usize) -> Texel {
+        self.texels[y * self.width + x]
+    }
+
+    /// Direct texel write with integer coordinates (must be in range).
+    #[inline(always)]
+    pub fn set_texel(&mut self, x: usize, y: usize, value: Texel) {
+        self.texels[y * self.width + x] = value;
+    }
+
+    /// Resolve a (possibly out-of-range) integer coordinate along one axis.
+    fn resolve(coord: i64, size: usize, mode: &AddressMode) -> Option<usize> {
+        let n = size as i64;
+        match mode {
+            AddressMode::ClampToEdge => Some(coord.clamp(0, n - 1) as usize),
+            AddressMode::Repeat => Some(coord.rem_euclid(n) as usize),
+            AddressMode::MirroredRepeat => {
+                let period = 2 * n;
+                let m = coord.rem_euclid(period);
+                let idx = if m < n { m } else { period - 1 - m };
+                Some(idx as usize)
+            }
+            AddressMode::ClampToBorder(_) => {
+                if coord < 0 || coord >= n {
+                    None
+                } else {
+                    Some(coord as usize)
+                }
+            }
+        }
+    }
+
+    /// Nearest-neighbour sample at normalized coordinates `(u, v)` in `[0,1]²`
+    /// (texel centres at `(x + 0.5) / width`), honouring the address mode.
+    pub fn sample(&self, u: f32, v: f32) -> Texel {
+        let x = (u * self.width as f32).floor() as i64;
+        let y = (v * self.height as f32).floor() as i64;
+        self.fetch(x, y)
+    }
+
+    /// Integer fetch honouring the address mode.
+    pub fn fetch(&self, x: i64, y: i64) -> Texel {
+        let rx = Self::resolve(x, self.width, &self.address_mode);
+        let ry = Self::resolve(y, self.height, &self.address_mode);
+        match (rx, ry) {
+            (Some(x), Some(y)) => self.texel(x, y),
+            _ => match self.address_mode {
+                AddressMode::ClampToBorder(border) => border,
+                _ => unreachable!("non-border modes always resolve"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient() -> Texture2D {
+        // 4x3, texel (x,y) = [x, y, x+y, 1].
+        let mut t = Texture2D::new(4, 3);
+        for y in 0..3 {
+            for x in 0..4 {
+                t.set_texel(x, y, [x as f32, y as f32, (x + y) as f32, 1.0]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Texture2D::new(8, 4);
+        assert_eq!(t.width(), 8);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.bytes(), 8 * 4 * 16);
+        assert_eq!(t.texel(7, 3), [0.0; 4]);
+
+        let flat: Vec<f32> = (0..2 * 2 * 4).map(|i| i as f32).collect();
+        let t = Texture2D::from_flat(2, 2, &flat);
+        assert_eq!(t.texel(1, 1), [12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(t.to_flat(), flat);
+    }
+
+    #[test]
+    #[should_panic(expected = "texel buffer length")]
+    fn from_texels_validates_length() {
+        Texture2D::from_texels(2, 2, vec![[0.0; 4]; 3]);
+    }
+
+    #[test]
+    fn sample_hits_texel_centres() {
+        let t = gradient();
+        // Centre of texel (2, 1) is ((2+0.5)/4, (1+0.5)/3).
+        let s = t.sample(2.5 / 4.0, 1.5 / 3.0);
+        assert_eq!(s, [2.0, 1.0, 3.0, 1.0]);
+        // u = 0 is texel 0, u → 1 is the last texel.
+        assert_eq!(t.sample(0.0, 0.0), [0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(t.sample(0.999, 0.999), [3.0, 2.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_to_edge_replicates_border() {
+        let t = gradient();
+        assert_eq!(t.fetch(-5, 1), t.texel(0, 1));
+        assert_eq!(t.fetch(10, 1), t.texel(3, 1));
+        assert_eq!(t.fetch(2, -1), t.texel(2, 0));
+        assert_eq!(t.fetch(2, 99), t.texel(2, 2));
+    }
+
+    #[test]
+    fn repeat_wraps() {
+        let mut t = gradient();
+        t.set_address_mode(AddressMode::Repeat);
+        assert_eq!(t.fetch(4, 0), t.texel(0, 0));
+        assert_eq!(t.fetch(-1, 0), t.texel(3, 0));
+        assert_eq!(t.fetch(0, 3), t.texel(0, 0));
+        assert_eq!(t.fetch(0, -3), t.texel(0, 0));
+    }
+
+    #[test]
+    fn mirrored_repeat_reflects() {
+        let mut t = gradient();
+        t.set_address_mode(AddressMode::MirroredRepeat);
+        // x = -1 reflects to 0, x = 4 reflects to 3, x = 5 to 2.
+        assert_eq!(t.fetch(-1, 0), t.texel(0, 0));
+        assert_eq!(t.fetch(4, 0), t.texel(3, 0));
+        assert_eq!(t.fetch(5, 0), t.texel(2, 0));
+    }
+
+    #[test]
+    fn clamp_to_border_returns_border() {
+        let mut t = gradient();
+        let border = [9.0, 9.0, 9.0, 9.0];
+        t.set_address_mode(AddressMode::ClampToBorder(border));
+        assert_eq!(t.fetch(-1, 0), border);
+        assert_eq!(t.fetch(0, 5), border);
+        assert_eq!(t.fetch(1, 1), t.texel(1, 1));
+    }
+
+    #[test]
+    fn default_mode_is_clamp_to_edge() {
+        let t = Texture2D::new(1, 1);
+        assert_eq!(t.address_mode(), AddressMode::ClampToEdge);
+    }
+}

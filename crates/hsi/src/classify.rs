@@ -1,0 +1,300 @@
+//! The complete Automated Morphological Classification (AMC) algorithm —
+//! reference CPU implementation.
+//!
+//! This is the four-step unsupervised classifier of Section 3.1 of the paper:
+//!
+//! 1. initialize the MEI score image;
+//! 2. slide the structuring element over every pixel, compute extended
+//!    erosion/dilation and update MEI with the SID between the dilation and
+//!    erosion pixels;
+//! 3. select the `c` highest-MEI pixel vectors as endmembers and estimate
+//!    per-pixel sub-pixel abundances with the standard linear mixture model;
+//! 4. label each pixel with the class of its largest abundance fraction.
+//!
+//! The GPU stream implementation in `amc-core` accelerates steps 1–2 (the
+//! O(p_f · p_B · N) morphological part, which dominates); this module is the
+//! oracle its outputs are validated against.
+
+use crate::cube::{Cube, Interleave};
+use crate::endmember::{
+    residual_ranking, select_endmembers, select_endmembers_atgp, spectra, Endmember,
+    SelectionConfig,
+};
+use crate::error::Result;
+use crate::morphology::{mei, normalize_cube, MeiImage, StructuringElement};
+use crate::spectral::SpectralDistance;
+use crate::unmix::{AbundanceConstraint, LinearMixtureModel};
+
+/// How step 3 picks its `c` endmember pixels from the MEI image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMethod {
+    /// Descending MEI with greedy pairwise-SID separation — the literal
+    /// reading of the paper's step 3. Fragile when one material boundary
+    /// dominates the MEI ranking (kept as an ablation).
+    MeiGreedy,
+    /// MEI-seeded residual-driven selection (ATGP, Chang 2003 — the paper's
+    /// reference \[2\]); robust default.
+    #[default]
+    MeiAtgp,
+}
+
+/// AMC configuration.
+#[derive(Debug, Clone)]
+pub struct AmcConfig {
+    /// Structuring element (the paper evaluates with 3×3).
+    pub se: StructuringElement,
+    /// Number of classes `c` to extract.
+    pub classes: usize,
+    /// Spectral distance driving the morphological ordering (paper: SID).
+    pub distance: SpectralDistance,
+    /// Abundance constraint for the mixture model.
+    pub constraint: AbundanceConstraint,
+    /// Minimum pairwise SID between selected endmembers
+    /// ([`SelectionMethod::MeiGreedy`] only).
+    pub min_endmember_sid: f32,
+    /// Endmember selection strategy.
+    pub selection: SelectionMethod,
+    /// Iterations of class-mean endmember refinement after the initial
+    /// classification (0 = the plain single-pass algorithm).
+    pub refine_iterations: usize,
+    /// Clusters smaller than this are considered starved during refinement
+    /// and reseeded at high-residual pixels.
+    pub min_cluster_pixels: usize,
+}
+
+impl AmcConfig {
+    /// The paper's evaluation configuration: 3×3 SE, SID ordering.
+    pub fn paper_default(classes: usize) -> Self {
+        Self {
+            se: StructuringElement::square(3).expect("3x3 SE is valid"),
+            classes,
+            distance: SpectralDistance::Sid,
+            constraint: AbundanceConstraint::SumToOneNonNeg,
+            min_endmember_sid: 1e-4,
+            selection: SelectionMethod::MeiAtgp,
+            refine_iterations: 5,
+            min_cluster_pixels: 20,
+        }
+    }
+}
+
+/// Output of one AMC run.
+#[derive(Debug, Clone)]
+pub struct AmcOutput {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Row-major class label per pixel (index into `endmembers`).
+    pub labels: Vec<u16>,
+    /// The MEI score image of step 2.
+    pub mei: MeiImage,
+    /// Selected endmembers (step 3). May be fewer than requested when the
+    /// scene lacks that many distinct signatures.
+    pub endmembers: Vec<Endmember>,
+}
+
+impl AmcOutput {
+    /// Label at `(x, y)`.
+    pub fn label(&self, x: usize, y: usize) -> u16 {
+        self.labels[y * self.width + x]
+    }
+
+    /// Number of classes actually used.
+    pub fn class_count(&self) -> usize {
+        self.endmembers.len()
+    }
+}
+
+/// The reference AMC classifier.
+#[derive(Debug, Clone)]
+pub struct AmcClassifier {
+    config: AmcConfig,
+}
+
+impl AmcClassifier {
+    /// Create a classifier with the given configuration.
+    pub fn new(config: AmcConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &AmcConfig {
+        &self.config
+    }
+
+    /// Run the full AMC pipeline on a cube.
+    pub fn classify(&self, cube: &Cube) -> Result<AmcOutput> {
+        let normalized = normalize_cube(cube);
+        let (mei_img, _morph) = mei(&normalized, &self.config.se, self.config.distance);
+        self.classify_with_mei(cube, mei_img)
+    }
+
+    /// Run steps 3–4 given a precomputed MEI image (e.g. produced by the GPU
+    /// pipeline). This is the CPU tail of the hybrid CPU/GPU partitioning.
+    pub fn classify_with_mei(&self, cube: &Cube, mei_img: MeiImage) -> Result<AmcOutput> {
+        let mut endmembers = match self.config.selection {
+            SelectionMethod::MeiGreedy => select_endmembers(
+                cube,
+                &mei_img,
+                SelectionConfig {
+                    count: self.config.classes,
+                    min_sid: self.config.min_endmember_sid,
+                },
+            )?,
+            SelectionMethod::MeiAtgp => {
+                select_endmembers_atgp(cube, &mei_img, self.config.classes)?
+            }
+        };
+        let dims = cube.dims();
+        let bip = cube.to_interleave(Interleave::Bip);
+        let mut model = LinearMixtureModel::new(&spectra(&endmembers))?;
+        let mut labels = model.classify_cube(&bip, self.config.constraint)?;
+
+        // Endmember refinement: replace each populated cluster's endmember
+        // with its class-mean spectrum (averaging out per-pixel mixing and
+        // noise); reseed starved clusters at the least-explained pixels.
+        for _ in 0..self.config.refine_iterations {
+            let c = endmembers.len();
+            let mut sums = vec![vec![0.0f64; dims.bands]; c];
+            let mut counts = vec![0u64; c];
+            for (i, px) in bip.data().chunks_exact(dims.bands).enumerate() {
+                let l = labels[i] as usize;
+                for (s, &v) in sums[l].iter_mut().zip(px) {
+                    *s += v as f64;
+                }
+                counts[l] += 1;
+            }
+            let mut starved = Vec::new();
+            for k in 0..c {
+                if counts[k] >= self.config.min_cluster_pixels as u64 {
+                    endmembers[k].spectrum = sums[k]
+                        .iter()
+                        .map(|v| (*v / counts[k] as f64) as f32)
+                        .collect();
+                } else {
+                    starved.push(k);
+                }
+            }
+            if !starved.is_empty() {
+                let interim = LinearMixtureModel::new(&spectra(&endmembers))?;
+                let ranked = residual_ranking(&bip, &interim);
+                // Spread reseeds across distinct high-residual sites.
+                let stride = (ranked.len() / (starved.len() * 8)).max(1).min(50);
+                for (j, &k) in starved.iter().enumerate() {
+                    let (_, x, y) = ranked[(j * stride).min(ranked.len() - 1)];
+                    endmembers[k].x = x;
+                    endmembers[k].y = y;
+                    endmembers[k].score = mei_img.get(x, y);
+                    endmembers[k].spectrum = cube.pixel(x, y);
+                }
+            }
+            model = LinearMixtureModel::new(&spectra(&endmembers))?;
+            labels = model.classify_cube(&bip, self.config.constraint)?;
+        }
+
+        Ok(AmcOutput {
+            width: dims.width,
+            height: dims.height,
+            labels,
+            mei: mei_img,
+            endmembers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{CubeDims, Interleave};
+
+    /// A scene of two vertical half-planes of distinct materials with a
+    /// boundary in the middle.
+    fn half_plane_cube() -> Cube {
+        let a = [100.0f32, 10.0, 10.0];
+        let b = [10.0f32, 10.0, 100.0];
+        Cube::from_fn(CubeDims::new(10, 6, 3), Interleave::Bip, |x, _, band| {
+            if x < 5 {
+                a[band]
+            } else {
+                b[band]
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_default_config() {
+        let cfg = AmcConfig::paper_default(30);
+        assert_eq!(cfg.classes, 30);
+        assert_eq!(cfg.se.extent(), (3, 3));
+        assert_eq!(cfg.distance, SpectralDistance::Sid);
+    }
+
+    #[test]
+    fn amc_separates_two_materials() {
+        let cube = half_plane_cube();
+        let amc = AmcClassifier::new(AmcConfig::paper_default(2));
+        let out = amc.classify(&cube).unwrap();
+        assert_eq!(out.class_count(), 2);
+        assert_eq!(out.width, 10);
+        assert_eq!(out.height, 6);
+        // All pixels on the same side share a label, and the two sides differ.
+        let left = out.label(0, 0);
+        let right = out.label(9, 0);
+        assert_ne!(left, right);
+        for y in 0..6 {
+            for x in 0..4 {
+                assert_eq!(out.label(x, y), left, "({x},{y})");
+            }
+            for x in 6..10 {
+                assert_eq!(out.label(x, y), right, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn mei_concentrates_on_material_boundary() {
+        let cube = half_plane_cube();
+        let amc = AmcClassifier::new(AmcConfig::paper_default(2));
+        let out = amc.classify(&cube).unwrap();
+        // Boundary windows (x in 4..=5) have high MEI; interiors near zero.
+        let boundary = out.mei.get(4, 3).max(out.mei.get(5, 3));
+        assert!(boundary > 1e-3);
+        assert!(out.mei.get(0, 3) < 1e-6);
+        assert!(out.mei.get(9, 3) < 1e-6);
+    }
+
+    #[test]
+    fn endmembers_come_from_opposite_materials() {
+        let cube = half_plane_cube();
+        let amc = AmcClassifier::new(AmcConfig::paper_default(2));
+        let out = amc.classify(&cube).unwrap();
+        let sides: Vec<bool> = out.endmembers.iter().map(|e| e.x < 5).collect();
+        assert_ne!(sides[0], sides[1], "endmembers should span both materials");
+    }
+
+    #[test]
+    fn classify_with_external_mei_matches_full_run() {
+        let cube = half_plane_cube();
+        let amc = AmcClassifier::new(AmcConfig::paper_default(2));
+        let full = amc.classify(&cube).unwrap();
+        let normalized = normalize_cube(&cube);
+        let (mei_img, _) = mei(&normalized, &amc.config().se, SpectralDistance::Sid);
+        let hybrid = amc.classify_with_mei(&cube, mei_img).unwrap();
+        assert_eq!(full.labels, hybrid.labels);
+    }
+
+    #[test]
+    fn degenerate_scene_still_classifies() {
+        // One material only: AMC degrades to a single class.
+        let cube = Cube::from_fn(CubeDims::new(5, 5, 3), Interleave::Bip, |_, _, b| {
+            (10 * (b + 1)) as f32
+        })
+        .unwrap();
+        let amc = AmcClassifier::new(AmcConfig::paper_default(3));
+        let out = amc.classify(&cube).unwrap();
+        assert_eq!(out.class_count(), 1);
+        assert!(out.labels.iter().all(|&l| l == 0));
+    }
+}

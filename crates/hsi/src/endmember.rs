@@ -1,0 +1,326 @@
+//! Endmember selection from the MEI image (step 3 of AMC).
+//!
+//! The paper selects "the set of c pixel vectors in f with higher associated
+//! score in the resulting MEI image". A literal top-c by score tends to pick
+//! the same spectral signature many times (a strong anomaly peaks every
+//! window that contains it), which makes the endmember matrix singular. As in
+//! the morphological endmember-extraction literature the paper builds on
+//! (Plaza et al. 2002), we add a greedy spectral-separation test: a candidate
+//! is accepted only if its SID to every already-accepted endmember exceeds a
+//! threshold.
+
+use crate::cube::Cube;
+use crate::error::{HsiError, Result};
+use crate::morphology::MeiImage;
+use crate::spectral;
+
+/// One selected endmember.
+#[derive(Debug, Clone)]
+pub struct Endmember {
+    /// Spatial location in the image.
+    pub x: usize,
+    /// Spatial location in the image.
+    pub y: usize,
+    /// MEI score that ranked this pixel.
+    pub score: f32,
+    /// The raw (unnormalized) spectral signature.
+    pub spectrum: Vec<f32>,
+}
+
+/// Configuration for endmember selection.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionConfig {
+    /// Number of endmembers (classes) to select — the paper's `c`.
+    pub count: usize,
+    /// Minimum pairwise SID between accepted endmembers.
+    pub min_sid: f32,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self {
+            count: 16,
+            min_sid: 1e-4,
+        }
+    }
+}
+
+/// Greedily select up to `config.count` endmembers by descending MEI score,
+/// enforcing pairwise spectral separation.
+///
+/// Returns fewer than `count` endmembers only when the image does not contain
+/// that many spectrally distinct high-MEI pixels; at least one endmember is
+/// always returned for a non-empty image.
+pub fn select_endmembers(
+    cube: &Cube,
+    mei: &MeiImage,
+    config: SelectionConfig,
+) -> Result<Vec<Endmember>> {
+    let dims = cube.dims();
+    if config.count == 0 || config.count > dims.pixels() {
+        return Err(HsiError::InvalidClassCount {
+            requested: config.count,
+            available: dims.pixels(),
+        });
+    }
+    // Rank every pixel by MEI descending (deterministic tie-break).
+    let ranked = mei.top_k(mei.scores.len());
+    let mut selected: Vec<Endmember> = Vec::with_capacity(config.count);
+    let mut selected_norm: Vec<Vec<f32>> = Vec::with_capacity(config.count);
+    for (x, y) in ranked {
+        if selected.len() == config.count {
+            break;
+        }
+        let spectrum = cube.pixel(x, y);
+        let norm = crate::pixel::normalized(&spectrum);
+        let distinct = selected_norm
+            .iter()
+            .all(|e| spectral::sid_normalized(&norm, e) > config.min_sid);
+        if distinct {
+            selected.push(Endmember {
+                x,
+                y,
+                score: mei.get(x, y),
+                spectrum,
+            });
+            selected_norm.push(norm);
+        }
+    }
+    if selected.is_empty() {
+        return Err(HsiError::InvalidClassCount {
+            requested: config.count,
+            available: 0,
+        });
+    }
+    Ok(selected)
+}
+
+/// Borrow the spectra of a selected endmember set as `&[f32]` slices, the
+/// form [`crate::unmix::LinearMixtureModel::new`] consumes.
+pub fn spectra(endmembers: &[Endmember]) -> Vec<&[f32]> {
+    endmembers.iter().map(|e| e.spectrum.as_slice()).collect()
+}
+
+/// Residual-driven endmember selection (ATGP, after Chang — the paper's
+/// reference \[2\]): seed with the highest-MEI pixel, then repeatedly add the
+/// pixel **worst explained** (largest least-squares reconstruction residual)
+/// by the endmembers selected so far.
+///
+/// Greedy MEI + pairwise-SID dedup ([`select_endmembers`]) fails on scenes
+/// where one strong material boundary produces a *continuum* of mixed
+/// spectra: the continuum yields arbitrarily many "distinct" signatures and
+/// the selection never leaves that boundary. Residual-driven selection is
+/// immune — once both ends of a mixing line are in the set, every point on
+/// the line reconstructs exactly and is skipped.
+pub fn select_endmembers_atgp(
+    cube: &Cube,
+    mei: &MeiImage,
+    count: usize,
+) -> Result<Vec<Endmember>> {
+    use crate::unmix::LinearMixtureModel;
+    let dims = cube.dims();
+    if count == 0 || count > dims.pixels() {
+        return Err(HsiError::InvalidClassCount {
+            requested: count,
+            available: dims.pixels(),
+        });
+    }
+    let bip = cube.to_interleave(crate::cube::Interleave::Bip);
+    // Stop threshold: a residual this far below the mean pixel energy means
+    // the image is already fully explained (degenerate scenes return fewer
+    // endmembers than requested instead of duplicating spectra).
+    let mean_energy: f64 = bip.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+        / dims.pixels() as f64;
+    // Above the ridge-bias floor (λ² ≈ 1e-9 of energy) but far below the
+    // sensor-noise floor of any real scene.
+    let stop = mean_energy * 1e-8;
+    let seed = mei.top_k(1)[0];
+    let mut selected = vec![Endmember {
+        x: seed.0,
+        y: seed.1,
+        score: mei.get(seed.0, seed.1),
+        spectrum: cube.pixel(seed.0, seed.1),
+    }];
+    while selected.len() < count {
+        let model = LinearMixtureModel::new(&spectra(&selected))?;
+        let ranked = residual_ranking(&bip, &model);
+        let &(residual, x, y) = ranked.first().expect("non-empty image");
+        if residual <= stop {
+            break;
+        }
+        selected.push(Endmember {
+            x,
+            y,
+            score: mei.get(x, y),
+            spectrum: cube.pixel(x, y),
+        });
+    }
+    Ok(selected)
+}
+
+/// Rank every pixel by unconstrained-LS reconstruction residual under
+/// `model`, descending. Used by ATGP selection and by the classifier's
+/// starved-cluster reseeding.
+pub fn residual_ranking(
+    bip: &Cube,
+    model: &crate::unmix::LinearMixtureModel,
+) -> Vec<(f64, usize, usize)> {
+    use rayon::prelude::*;
+    let dims = bip.dims();
+    let data = bip.data();
+    let mut ranked: Vec<(f64, usize, usize)> = data
+        .par_chunks(dims.bands)
+        .enumerate()
+        .map(|(i, px)| {
+            let r = model.residual_norm2(px).unwrap_or(0.0);
+            (r, i % dims.width, i / dims.width)
+        })
+        .collect();
+    ranked.par_sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{CubeDims, Interleave};
+    use crate::morphology::{mei_of_raw, StructuringElement};
+    use crate::spectral::SpectralDistance;
+
+    /// 8x8 cube with three materials in vertical strips.
+    fn three_material_cube() -> Cube {
+        let mats = [
+            [100.0f32, 10.0, 10.0, 10.0],
+            [10.0f32, 100.0, 10.0, 10.0],
+            [10.0f32, 10.0, 100.0, 10.0],
+        ];
+        Cube::from_fn(CubeDims::new(8, 8, 4), Interleave::Bip, |x, _, b| {
+            mats[x * 3 / 8][b]
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn selects_spectrally_distinct_endmembers() {
+        let cube = three_material_cube();
+        let (mei, _) = mei_of_raw(
+            &cube,
+            &StructuringElement::square(3).unwrap(),
+            SpectralDistance::Sid,
+        );
+        let ems = select_endmembers(
+            &cube,
+            &mei,
+            SelectionConfig {
+                count: 3,
+                min_sid: 1e-3,
+            },
+        )
+        .unwrap();
+        assert_eq!(ems.len(), 3);
+        // Pairwise SIDs all exceed the threshold.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert!(spectral::sid(&ems[i].spectrum, &ems[j].spectrum) > 1e-3);
+            }
+        }
+        // Each selected spectrum is dominated by a different band.
+        let mut dominant: Vec<usize> = ems
+            .iter()
+            .map(|e| {
+                e.spectrum
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        dominant.sort_unstable();
+        assert_eq!(dominant, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn returns_fewer_when_scene_lacks_diversity() {
+        // Constant image: only one distinct signature exists.
+        let cube = Cube::from_fn(CubeDims::new(6, 6, 3), Interleave::Bip, |_, _, b| {
+            (b + 1) as f32
+        })
+        .unwrap();
+        let (mei, _) = mei_of_raw(
+            &cube,
+            &StructuringElement::square(3).unwrap(),
+            SpectralDistance::Sid,
+        );
+        let ems = select_endmembers(
+            &cube,
+            &mei,
+            SelectionConfig {
+                count: 5,
+                min_sid: 1e-4,
+            },
+        )
+        .unwrap();
+        assert_eq!(ems.len(), 1);
+    }
+
+    #[test]
+    fn invalid_counts_rejected() {
+        let cube = three_material_cube();
+        let (mei, _) = mei_of_raw(
+            &cube,
+            &StructuringElement::square(3).unwrap(),
+            SpectralDistance::Sid,
+        );
+        assert!(select_endmembers(
+            &cube,
+            &mei,
+            SelectionConfig {
+                count: 0,
+                min_sid: 0.0
+            }
+        )
+        .is_err());
+        assert!(select_endmembers(
+            &cube,
+            &mei,
+            SelectionConfig {
+                count: 10_000,
+                min_sid: 0.0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn endmember_records_location_and_score() {
+        let cube = three_material_cube();
+        let (mei, _) = mei_of_raw(
+            &cube,
+            &StructuringElement::square(3).unwrap(),
+            SpectralDistance::Sid,
+        );
+        let ems = select_endmembers(&cube, &mei, SelectionConfig::default()).unwrap();
+        let first = &ems[0];
+        assert_eq!(first.score, mei.get(first.x, first.y));
+        assert_eq!(first.spectrum, cube.pixel(first.x, first.y));
+        // Scores are non-increasing in selection order.
+        for w in ems.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn spectra_view_matches() {
+        let cube = three_material_cube();
+        let (mei, _) = mei_of_raw(
+            &cube,
+            &StructuringElement::square(3).unwrap(),
+            SpectralDistance::Sid,
+        );
+        let ems = select_endmembers(&cube, &mei, SelectionConfig::default()).unwrap();
+        let views = spectra(&ems);
+        assert_eq!(views.len(), ems.len());
+        assert_eq!(views[0], ems[0].spectrum.as_slice());
+    }
+}

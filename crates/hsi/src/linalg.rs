@@ -1,0 +1,521 @@
+//! Small dense linear algebra for spectral unmixing.
+//!
+//! The linear mixture model needs, per scene, one factorization of the
+//! endmember Gram matrix (c×c with c ≈ 30) and, per pixel, one triangular
+//! solve. That is small enough that a self-contained column-major `f64`
+//! matrix with Cholesky and partially-pivoted LU is both sufficient and
+//! dependency-free.
+
+use crate::error::{HsiError, Result};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(HsiError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Build a `rows x cols` matrix whose columns are the given `f32` spectra
+    /// (the endmember matrix E of the mixture model).
+    pub fn from_columns_f32(columns: &[&[f32]]) -> Result<Self> {
+        let cols = columns.len();
+        if cols == 0 {
+            return Err(HsiError::EmptyDimension { which: "columns" });
+        }
+        let rows = columns[0].len();
+        for c in columns {
+            if c.len() != rows {
+                return Err(HsiError::DimensionMismatch {
+                    expected: rows,
+                    actual: c.len(),
+                });
+            }
+        }
+        let mut m = Self::zeros(rows, cols);
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m[(i, j)] = v as f64;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(HsiError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(HsiError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (symmetric positive semi-definite).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for k in 0..self.rows {
+                    s += self[(k, i)] * self[(k, j)];
+                }
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * v` for an `f32` vector — the per-pixel right-hand side of the
+    /// normal equations, computed without materialising a transpose.
+    pub fn transpose_matvec_f32(&self, v: &[f32]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(HsiError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            let vi = vi as f64;
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += r * vi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute entry (for test tolerances).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Holds the lower-triangular factor and solves `A x = b` with two triangular
+/// sweeps — the per-pixel hot path of unmixing.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    l: Vec<f64>, // row-major lower triangle (full storage for simplicity)
+}
+
+impl Cholesky {
+    /// Factorize `a`. Fails with [`HsiError::SingularMatrix`] if `a` is not
+    /// positive definite (within a tiny pivot tolerance).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(HsiError::ShapeMismatch {
+                left: a.shape(),
+                right: (a.cols(), a.rows()),
+            });
+        }
+        let n = a.rows();
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 1e-14 * (1.0 + a[(i, i)].abs()) {
+                        return Err(HsiError::SingularMatrix);
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        Ok(Self { n, l })
+    }
+
+    /// Solve `A x = b` in place (`b` becomes `x`).
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<()> {
+        if b.len() != self.n {
+            return Err(HsiError::ShapeMismatch {
+                left: (self.n, self.n),
+                right: (b.len(), 1),
+            });
+        }
+        let n = self.n;
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[i * n + k] * b[k];
+            }
+            b[i] = s / self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in i + 1..n {
+                s -= self.l[k * n + i] * b[k];
+            }
+            b[i] = s / self.l[i * n + i];
+        }
+        Ok(())
+    }
+
+    /// Solve returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+}
+
+/// LU factorization with partial pivoting, for general square systems
+/// (used by the sum-to-one constrained unmixing's bordered system, which is
+/// symmetric but indefinite).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorize `a`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(HsiError::ShapeMismatch {
+                left: a.shape(),
+                right: (a.cols(), a.rows()),
+            });
+        }
+        let n = a.rows();
+        let mut lu: Vec<f64> = (0..n * n).map(|i| a.data[i]).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Pivot.
+            let mut p = col;
+            for r in col + 1..n {
+                if lu[r * n + col].abs() > lu[p * n + col].abs() {
+                    p = r;
+                }
+            }
+            if lu[p * n + col].abs() < 1e-300 {
+                return Err(HsiError::SingularMatrix);
+            }
+            if p != col {
+                for j in 0..n {
+                    lu.swap(col * n + j, p * n + j);
+                }
+                perm.swap(col, p);
+            }
+            let pivot = lu[col * n + col];
+            for r in col + 1..n {
+                let factor = lu[r * n + col] / pivot;
+                lu[r * n + col] = factor;
+                for j in col + 1..n {
+                    lu[r * n + j] -= factor * lu[col * n + j];
+                }
+            }
+        }
+        Ok(Self { n, lu, perm })
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(HsiError::ShapeMismatch {
+                left: (self.n, self.n),
+                right: (b.len(), 1),
+            });
+        }
+        let n = self.n;
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower triangle).
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+/// Unconstrained linear least squares: `argmin_x ‖A x − b‖₂` via normal
+/// equations + Cholesky. `A` must have full column rank.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(HsiError::ShapeMismatch {
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let gram = a.gram();
+    let chol = Cholesky::new(&gram)?;
+    let at = a.transpose();
+    let rhs = at.matvec(b)?;
+    chol.solve(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn identity_and_indexing() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3[(0, 0)], 1.0);
+        assert_eq!(i3[(0, 1)], 0.0);
+        assert_eq!(i3.shape(), (3, 3));
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).is_ok());
+    }
+
+    #[test]
+    fn from_columns_builds_endmember_matrix() {
+        let e0 = [1.0f32, 2.0, 3.0];
+        let e1 = [4.0f32, 5.0, 6.0];
+        let m = Matrix::from_columns_f32(&[&e0, &e1]).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(2, 1)], 6.0);
+        // Ragged columns rejected.
+        let short = [1.0f32];
+        assert!(Matrix::from_columns_f32(&[&e0, &short]).is_err());
+        assert!(Matrix::from_columns_f32(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_and_matvec() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(1, 1)], 50.0);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        let bad = Matrix::zeros(3, 3);
+        assert!(a.matmul(&bad).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 0.0, 1.0, 4.0, -1.0]).unwrap();
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_f32_matches_explicit() {
+        let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 0.0, 1.0, 4.0, -1.0]).unwrap();
+        let v = [1.0f32, 2.0, 3.0];
+        let got = a.transpose_matvec_f32(&v).unwrap();
+        let expected = a
+            .transpose()
+            .matvec(&[1.0, 2.0, 3.0])
+            .unwrap();
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < TOL);
+        }
+        assert!(a.transpose_matvec_f32(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = Lref Lrefᵀ with Lref = [[2,0],[1,3]] → A = [[4,2],[2,10]].
+        let a = Matrix::from_rows(2, 2, &[4.0, 2.0, 2.0, 10.0]).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let x = chol.solve(&[8.0, 26.0]).unwrap();
+        // Check A x = b.
+        let b = a.matvec(&x).unwrap();
+        assert!((b[0] - 8.0).abs() < TOL && (b[1] - 26.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, −1
+        assert!(matches!(Cholesky::new(&a), Err(HsiError::SingularMatrix)));
+        let rect = Matrix::zeros(2, 3);
+        assert!(Cholesky::new(&rect).is_err());
+    }
+
+    #[test]
+    fn cholesky_solve_checks_length() {
+        let a = Matrix::identity(3);
+        let chol = Cholesky::new(&a).unwrap();
+        assert!(chol.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        // Needs pivoting: zero on the diagonal.
+        let a = Matrix::from_rows(3, 3, &[0.0, 2.0, 1.0, 1.0, 0.0, 3.0, 2.0, 1.0, 0.0]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let xref = [1.0, -2.0, 3.0];
+        let b = a.matvec(&xref).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-8, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(HsiError::SingularMatrix)));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined consistent system.
+        let a = Matrix::from_rows(4, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]).unwrap();
+        let xref = [0.5, 2.0];
+        let b = a.matvec(&xref).unwrap();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-8);
+        assert!((x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(3, 2, &[1.0, 1.0, 1.0, 2.0, 1.0, 3.0]).unwrap();
+        let b = [1.0, 0.0, 2.0];
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        // Aᵀ r = 0.
+        let atr = a.transpose().matvec(&r).unwrap();
+        assert!(atr.iter().all(|v| v.abs() < 1e-8), "{atr:?}");
+    }
+}

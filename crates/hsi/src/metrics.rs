@@ -1,0 +1,307 @@
+//! Classification accuracy metrics (Table 3 of the paper).
+//!
+//! AMC is unsupervised: its cluster indices carry no ground-truth meaning, so
+//! accuracy assessment first maps each cluster to the ground-truth class it
+//! overlaps most ([`map_clusters_to_truth`]) — the standard protocol for
+//! scoring unsupervised classifiers against a labelled map — and then builds
+//! a confusion matrix.
+
+use crate::error::{HsiError, Result};
+
+/// Label value meaning "no ground truth available here" (ignored pixels).
+pub const UNLABELLED: u16 = u16::MAX;
+
+/// A square confusion matrix. Rows are ground-truth classes, columns are
+/// predicted classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel label rasters, skipping [`UNLABELLED`] ground truth.
+    pub fn from_labels(truth: &[u16], predicted: &[u16], n_classes: usize) -> Result<Self> {
+        if truth.len() != predicted.len() {
+            return Err(HsiError::DimensionMismatch {
+                expected: truth.len(),
+                actual: predicted.len(),
+            });
+        }
+        let mut counts = vec![0u64; n_classes * n_classes];
+        for (&t, &p) in truth.iter().zip(predicted) {
+            if t == UNLABELLED {
+                continue;
+            }
+            let (t, p) = (t as usize, p as usize);
+            if t >= n_classes || p >= n_classes {
+                return Err(HsiError::OutOfBounds {
+                    what: format!("label ({t}, {p}) exceeds class count {n_classes}"),
+                });
+            }
+            counts[t * n_classes + p] += 1;
+        }
+        Ok(Self {
+            n: n_classes,
+            counts,
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.n
+    }
+
+    /// Count of pixels with truth `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> u64 {
+        self.counts[t * self.n + p]
+    }
+
+    /// Total scored pixels.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Pixels of ground-truth class `t`.
+    pub fn row_total(&self, t: usize) -> u64 {
+        self.counts[t * self.n..(t + 1) * self.n].iter().sum()
+    }
+
+    /// Pixels predicted as class `p`.
+    pub fn col_total(&self, p: usize) -> u64 {
+        (0..self.n).map(|t| self.get(t, p)).sum()
+    }
+
+    /// Correctly classified pixels (trace).
+    pub fn trace(&self) -> u64 {
+        (0..self.n).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Overall accuracy in percent — the paper's "Overall: 72.35".
+    pub fn overall_accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.trace() as f64 / total as f64
+    }
+
+    /// Per-class accuracy in percent (producer's accuracy), `NaN`-free:
+    /// classes with no ground-truth pixels score 0.
+    pub fn per_class_accuracy(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|t| {
+                let row = self.row_total(t);
+                if row == 0 {
+                    0.0
+                } else {
+                    100.0 * self.get(t, t) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Average (mean per-class) accuracy in percent over non-empty classes.
+    pub fn average_accuracy(&self) -> f64 {
+        let per = self.per_class_accuracy();
+        let non_empty: Vec<f64> = (0..self.n)
+            .filter(|&t| self.row_total(t) > 0)
+            .map(|t| per[t])
+            .collect();
+        if non_empty.is_empty() {
+            0.0
+        } else {
+            non_empty.iter().sum::<f64>() / non_empty.len() as f64
+        }
+    }
+
+    /// Cohen's kappa coefficient.
+    pub fn kappa(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let po = self.trace() as f64 / total;
+        let pe: f64 = (0..self.n)
+            .map(|i| (self.row_total(i) as f64 / total) * (self.col_total(i) as f64 / total))
+            .sum();
+        if (1.0 - pe).abs() < 1e-12 {
+            return 0.0;
+        }
+        (po - pe) / (1.0 - pe)
+    }
+}
+
+/// Map unsupervised cluster indices to ground-truth classes by majority
+/// overlap, returning a remapped copy of `predicted`.
+///
+/// Each cluster is assigned the ground-truth class with which it shares the
+/// most pixels (ignoring [`UNLABELLED`]); clusters that never overlap labelled
+/// ground truth keep their own index (clamped into range) so they simply
+/// count as errors.
+pub fn map_clusters_to_truth(
+    truth: &[u16],
+    predicted: &[u16],
+    n_clusters: usize,
+    n_classes: usize,
+) -> Result<Vec<u16>> {
+    if truth.len() != predicted.len() {
+        return Err(HsiError::DimensionMismatch {
+            expected: truth.len(),
+            actual: predicted.len(),
+        });
+    }
+    // overlap[cluster][class]
+    let mut overlap = vec![0u64; n_clusters * n_classes];
+    for (&t, &p) in truth.iter().zip(predicted) {
+        if t == UNLABELLED {
+            continue;
+        }
+        let (t, p) = (t as usize, p as usize);
+        if p >= n_clusters || t >= n_classes {
+            return Err(HsiError::OutOfBounds {
+                what: format!("cluster {p} / class {t} out of range"),
+            });
+        }
+        overlap[p * n_classes + t] += 1;
+    }
+    let mapping: Vec<u16> = (0..n_clusters)
+        .map(|c| {
+            let row = &overlap[c * n_classes..(c + 1) * n_classes];
+            let (best, &count) = row
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &v)| v)
+                .expect("n_classes > 0");
+            if count > 0 {
+                best as u16
+            } else {
+                (c.min(n_classes - 1)) as u16
+            }
+        })
+        .collect();
+    Ok(predicted.iter().map(|&p| mapping[p as usize]).collect())
+}
+
+/// Score an unsupervised prediction against ground truth: majority-map the
+/// clusters, then build the confusion matrix.
+pub fn score_unsupervised(
+    truth: &[u16],
+    predicted: &[u16],
+    n_clusters: usize,
+    n_classes: usize,
+) -> Result<ConfusionMatrix> {
+    let mapped = map_clusters_to_truth(truth, predicted, n_clusters, n_classes)?;
+    ConfusionMatrix::from_labels(truth, &mapped, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = vec![0u16, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_labels(&truth, &truth, 3).unwrap();
+        assert_eq!(cm.overall_accuracy(), 100.0);
+        assert_eq!(cm.per_class_accuracy(), vec![100.0; 3]);
+        assert_eq!(cm.average_accuracy(), 100.0);
+        assert!((cm.kappa() - 1.0).abs() < 1e-12);
+        assert_eq!(cm.trace(), 6);
+        assert_eq!(cm.total(), 6);
+    }
+
+    #[test]
+    fn known_confusion_matrix_statistics() {
+        // truth:     0 0 0 0 1 1
+        // predicted: 0 0 0 1 1 0
+        let truth = vec![0u16, 0, 0, 0, 1, 1];
+        let pred = vec![0u16, 0, 0, 1, 1, 0];
+        let cm = ConfusionMatrix::from_labels(&truth, &pred, 2).unwrap();
+        assert_eq!(cm.get(0, 0), 3);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 0), 1);
+        assert_eq!(cm.get(1, 1), 1);
+        assert_eq!(cm.row_total(0), 4);
+        assert_eq!(cm.col_total(0), 4);
+        assert!((cm.overall_accuracy() - 100.0 * 4.0 / 6.0).abs() < 1e-9);
+        let per = cm.per_class_accuracy();
+        assert!((per[0] - 75.0).abs() < 1e-9);
+        assert!((per[1] - 50.0).abs() < 1e-9);
+        assert!((cm.average_accuracy() - 62.5).abs() < 1e-9);
+        // Hand-computed kappa: po = 2/3, pe = (4/6·4/6)+(2/6·2/6) = 5/9.
+        let expected_kappa = (2.0 / 3.0 - 5.0 / 9.0) / (1.0 - 5.0 / 9.0);
+        assert!((cm.kappa() - expected_kappa).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlabelled_pixels_are_skipped() {
+        let truth = vec![0u16, UNLABELLED, 1];
+        let pred = vec![0u16, 0, 0];
+        let cm = ConfusionMatrix::from_labels(&truth, &pred, 2).unwrap();
+        assert_eq!(cm.total(), 2);
+        assert_eq!(cm.overall_accuracy(), 50.0);
+    }
+
+    #[test]
+    fn out_of_range_labels_rejected() {
+        let truth = vec![0u16, 5];
+        let pred = vec![0u16, 0];
+        assert!(ConfusionMatrix::from_labels(&truth, &pred, 2).is_err());
+        assert!(ConfusionMatrix::from_labels(&[0], &[0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_is_zero_not_nan() {
+        let cm = ConfusionMatrix::from_labels(&[], &[], 3).unwrap();
+        assert_eq!(cm.overall_accuracy(), 0.0);
+        assert_eq!(cm.average_accuracy(), 0.0);
+        assert_eq!(cm.kappa(), 0.0);
+    }
+
+    #[test]
+    fn empty_classes_score_zero_and_are_excluded_from_aa() {
+        let truth = vec![0u16, 0];
+        let pred = vec![0u16, 0];
+        let cm = ConfusionMatrix::from_labels(&truth, &pred, 3).unwrap();
+        assert_eq!(cm.per_class_accuracy(), vec![100.0, 0.0, 0.0]);
+        assert_eq!(cm.average_accuracy(), 100.0);
+    }
+
+    #[test]
+    fn cluster_mapping_recovers_permutation() {
+        // Clusters are a permutation of classes: 0->2, 1->0, 2->1.
+        let truth = vec![2u16, 2, 0, 0, 1, 1];
+        let pred = vec![0u16, 0, 1, 1, 2, 2];
+        let mapped = map_clusters_to_truth(&truth, &pred, 3, 3).unwrap();
+        assert_eq!(mapped, truth);
+        let cm = score_unsupervised(&truth, &pred, 3, 3).unwrap();
+        assert_eq!(cm.overall_accuracy(), 100.0);
+    }
+
+    #[test]
+    fn cluster_mapping_handles_merged_clusters() {
+        // Two clusters both map to class 0: class 1 is never predicted.
+        let truth = vec![0u16, 0, 1, 1];
+        let pred = vec![0u16, 1, 0, 0];
+        let mapped = map_clusters_to_truth(&truth, &pred, 2, 2).unwrap();
+        // Cluster 0 overlaps class 0 once and class 1 twice → maps to 1.
+        // Cluster 1 overlaps class 0 once → maps to 0.
+        assert_eq!(mapped, vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn unmatched_cluster_keeps_identity() {
+        let truth = vec![0u16, UNLABELLED];
+        let pred = vec![0u16, 1]; // cluster 1 only hits unlabelled pixels
+        let mapped = map_clusters_to_truth(&truth, &pred, 2, 2).unwrap();
+        assert_eq!(mapped[1], 1);
+    }
+
+    #[test]
+    fn mapping_validates_lengths_and_ranges() {
+        assert!(map_clusters_to_truth(&[0], &[0, 1], 2, 2).is_err());
+        assert!(map_clusters_to_truth(&[0, 0], &[0, 5], 2, 2).is_err());
+        assert!(map_clusters_to_truth(&[7, 0], &[0, 1], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Principal-component analysis over the spectral dimension.
+//!
+//! The morphological-classification literature the paper builds on (its
+//! reference \[11\]) pairs extended morphology with dimensionality
+//! reduction; PCA is the standard instrument. This module computes the band
+//! covariance matrix of a cube, eigendecomposes it with a cyclic Jacobi
+//! sweep (self-contained, adequate for the ≤ a-few-hundred-band matrices
+//! hyperspectral work needs), and projects cubes onto the leading
+//! components.
+
+use crate::cube::{Cube, CubeDims, Interleave};
+use crate::error::{HsiError, Result};
+use crate::linalg::Matrix;
+
+/// Band mean vector of a cube.
+pub fn band_means(cube: &Cube) -> Vec<f64> {
+    let dims = cube.dims();
+    let mut means = vec![0.0f64; dims.bands];
+    let bip = cube.to_interleave(Interleave::Bip);
+    for px in bip.data().chunks_exact(dims.bands) {
+        for (m, &v) in means.iter_mut().zip(px) {
+            *m += v as f64;
+        }
+    }
+    let n = dims.pixels() as f64;
+    means.iter_mut().for_each(|m| *m /= n);
+    means
+}
+
+/// Band covariance matrix (bands × bands, symmetric PSD).
+pub fn band_covariance(cube: &Cube) -> Matrix {
+    let dims = cube.dims();
+    let means = band_means(cube);
+    let bip = cube.to_interleave(Interleave::Bip);
+    let b = dims.bands;
+    let mut cov = Matrix::zeros(b, b);
+    let mut centred = vec![0.0f64; b];
+    for px in bip.data().chunks_exact(b) {
+        for ((c, &v), &m) in centred.iter_mut().zip(px).zip(&means) {
+            *c = v as f64 - m;
+        }
+        for i in 0..b {
+            let ci = centred[i];
+            for j in i..b {
+                cov[(i, j)] += ci * centred[j];
+            }
+        }
+    }
+    let n = dims.pixels().max(2) as f64 - 1.0;
+    for i in 0..b {
+        for j in i..b {
+            let v = cov[(i, j)] / n;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    cov
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvector `k` is column `k` of the returned matrix.
+pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
+    if a.rows() != a.cols() {
+        return Err(HsiError::ShapeMismatch {
+            left: a.shape(),
+            right: (a.cols(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let off = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+        }
+        s
+    };
+    let scale: f64 = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
+    let tol = 1e-22 * scale * scale * (n * n) as f64;
+    for _sweep in 0..100 {
+        if off(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p,q,θ): M ← GᵀMG, V ← VG.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok((values, vectors))
+}
+
+/// A fitted PCA transform over the spectral dimension.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// bands × components projection basis (leading eigenvectors).
+    basis: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit a PCA with `components` leading principal components.
+    pub fn fit(cube: &Cube, components: usize) -> Result<Pca> {
+        let bands = cube.dims().bands;
+        if components == 0 || components > bands {
+            return Err(HsiError::InvalidClassCount {
+                requested: components,
+                available: bands,
+            });
+        }
+        let cov = band_covariance(cube);
+        let (values, vectors) = symmetric_eigen(&cov)?;
+        let mut basis = Matrix::zeros(bands, components);
+        for c in 0..components {
+            for r in 0..bands {
+                basis[(r, c)] = vectors[(r, c)];
+            }
+        }
+        Ok(Pca {
+            means: band_means(cube),
+            basis,
+            eigenvalues: values,
+        })
+    }
+
+    /// Number of retained components.
+    pub fn components(&self) -> usize {
+        self.basis.cols()
+    }
+
+    /// All eigenvalues of the band covariance (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance captured by the retained components.
+    pub fn explained_variance(&self) -> f64 {
+        let total: f64 = self.eigenvalues.iter().map(|v| v.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues[..self.components()]
+            .iter()
+            .map(|v| v.max(0.0))
+            .sum::<f64>()
+            / total
+    }
+
+    /// Project one pixel onto the retained components.
+    pub fn project_pixel(&self, pixel: &[f32]) -> Result<Vec<f32>> {
+        if pixel.len() != self.means.len() {
+            return Err(HsiError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: pixel.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.components()];
+        for (c, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for (b, (&v, &m)) in pixel.iter().zip(&self.means).enumerate() {
+                acc += (v as f64 - m) * self.basis[(b, c)];
+            }
+            *slot = acc as f32;
+        }
+        Ok(out)
+    }
+
+    /// Project a whole cube, producing a `components`-band cube.
+    pub fn project_cube(&self, cube: &Cube) -> Result<Cube> {
+        let dims = cube.dims();
+        if dims.bands != self.means.len() {
+            return Err(HsiError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: dims.bands,
+            });
+        }
+        let bip = cube.to_interleave(Interleave::Bip);
+        let k = self.components();
+        let mut data = Vec::with_capacity(dims.pixels() * k);
+        for px in bip.data().chunks_exact(dims.bands) {
+            data.extend(self.project_pixel(px)?);
+        }
+        Cube::from_vec(CubeDims::new(dims.width, dims.height, k), Interleave::Bip, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_direction_cube() -> Cube {
+        // Pixels vary along two orthogonal spectral directions with very
+        // different variances; a third direction carries none.
+        let d1 = [1.0f64, 1.0, 0.0, 0.0];
+        let d2 = [0.0f64, 0.0, 1.0, -1.0];
+        let base = [100.0f64, 100.0, 100.0, 100.0];
+        Cube::from_fn(CubeDims::new(16, 16, 4), Interleave::Bip, |x, y, b| {
+            let a = (x as f64 - 7.5) * 10.0; // strong direction
+            let c = (y as f64 - 7.5) * 1.0; // weak direction
+            (base[b] + a * d1[b] + c * d2[b]) as f32
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn band_means_and_covariance_basics() {
+        let cube = two_direction_cube();
+        let means = band_means(&cube);
+        for m in &means {
+            assert!((m - 100.0).abs() < 1e-6, "{means:?}");
+        }
+        let cov = band_covariance(&cube);
+        // Bands 0 and 1 move together; 2 and 3 oppose each other.
+        assert!(cov[(0, 1)] > 0.0);
+        assert!(cov[(2, 3)] < 0.0);
+        assert!((cov[(0, 1)] - cov[(1, 0)]).abs() < 1e-12, "symmetric");
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigensystem() {
+        // A = diag(4, 1) rotated by 45°: eigenvalues 4 and 1.
+        let a = Matrix::from_rows(2, 2, &[2.5, 1.5, 1.5, 2.5]).unwrap();
+        let (vals, vecs) = symmetric_eigen(&a).unwrap();
+        assert!((vals[0] - 4.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Leading eigenvector is (1,1)/√2 up to sign.
+        let (v0, v1) = (vecs[(0, 0)], vecs[(1, 0)]);
+        assert!((v0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0 - v1).abs() < 1e-9, "components equal for (1,1) direction");
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            &[4.0, 1.0, 0.5, 1.0, 3.0, -0.25, 0.5, -0.25, 2.0],
+        )
+        .unwrap();
+        let (vals, vecs) = symmetric_eigen(&a).unwrap();
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        // VᵀV = I.
+        let vtv = vecs.transpose().matmul(&vecs).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-9, "({i},{j})");
+            }
+        }
+        // A v = λ v for the leading pair.
+        let v0: Vec<f64> = (0..3).map(|r| vecs[(r, 0)]).collect();
+        let av = a.matvec(&v0).unwrap();
+        for r in 0..3 {
+            assert!((av[r] - vals[0] * v0[r]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pca_orders_components_by_variance() {
+        let cube = two_direction_cube();
+        let pca = Pca::fit(&cube, 2).unwrap();
+        let vals = pca.eigenvalues();
+        assert!(vals[0] > 50.0 * vals[1], "strong ≫ weak: {vals:?}");
+        assert!(vals[2].abs() < 1e-6, "third direction carries no variance");
+        assert!(pca.explained_variance() > 0.999);
+    }
+
+    #[test]
+    fn projection_reduces_bands_and_preserves_structure() {
+        let cube = two_direction_cube();
+        let pca = Pca::fit(&cube, 1).unwrap();
+        let reduced = pca.project_cube(&cube).unwrap();
+        assert_eq!(reduced.dims().bands, 1);
+        assert_eq!(reduced.dims().width, 16);
+        // PC1 scores vary along x (the strong direction), constant along y.
+        let p = |x: usize, y: usize| reduced.get(x, y, 0);
+        assert!((p(0, 3) - p(0, 12)).abs() < 1e-3);
+        assert!((p(0, 8) - p(15, 8)).abs() > 50.0);
+    }
+
+    #[test]
+    fn projection_is_mean_centred() {
+        let cube = two_direction_cube();
+        let pca = Pca::fit(&cube, 2).unwrap();
+        let reduced = pca.project_cube(&cube).unwrap();
+        let mean0 = crate::stats::band_stats(&reduced, 0).mean;
+        assert!(mean0.abs() < 1e-3, "PC scores centre on zero: {mean0}");
+    }
+
+    #[test]
+    fn pca_validates_arguments() {
+        let cube = two_direction_cube();
+        assert!(Pca::fit(&cube, 0).is_err());
+        assert!(Pca::fit(&cube, 5).is_err());
+        let pca = Pca::fit(&cube, 2).unwrap();
+        assert!(pca.project_pixel(&[1.0, 2.0]).is_err());
+        let wrong = Cube::zeros(CubeDims::new(2, 2, 3), Interleave::Bip).unwrap();
+        assert!(pca.project_cube(&wrong).is_err());
+    }
+
+    #[test]
+    fn classification_survives_pca_reduction() {
+        // AMC on a PCA-reduced two-material scene still separates the
+        // materials — the dimensionality-reduction + morphology pipeline of
+        // the paper's reference [11].
+        let a = [100.0f32, 10.0, 10.0, 20.0, 40.0, 30.0];
+        let b = [10.0f32, 10.0, 100.0, 20.0, 10.0, 60.0];
+        let cube = Cube::from_fn(CubeDims::new(10, 6, 6), Interleave::Bip, |x, _, band| {
+            if x < 5 {
+                a[band]
+            } else {
+                b[band]
+            }
+        })
+        .unwrap();
+        let pca = Pca::fit(&cube, 3).unwrap();
+        let reduced = pca.project_cube(&cube).unwrap();
+        // Shift positive: AMC normalisation expects non-negative radiances.
+        let min = reduced.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let shifted = Cube::from_vec(
+            reduced.dims(),
+            Interleave::Bip,
+            reduced.data().iter().map(|v| v - min + 1.0).collect(),
+        )
+        .unwrap();
+        let amc = crate::classify::AmcClassifier::new(
+            crate::classify::AmcConfig::paper_default(2),
+        );
+        let out = amc.classify(&shifted).unwrap();
+        assert_ne!(out.label(0, 3), out.label(9, 3));
+    }
+}

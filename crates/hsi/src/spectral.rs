@@ -1,0 +1,216 @@
+//! Spectral distance measures.
+//!
+//! The paper's morphological ordering is driven by the **Spectral Information
+//! Divergence** (SID, eq. 2): the symmetrised Kullback–Leibler divergence
+//! between the band-normalized "probability" spectra of two pixels
+//! (eqs. 3–4). SAM and Euclidean distance are provided as well — they are the
+//! other standard measures in the hyperspectral literature and serve as
+//! ablation points for the ordering relation.
+
+use crate::pixel;
+
+/// Epsilon used to keep `log(p/q)` finite when a normalized band is zero.
+///
+/// Matches the guard every practical SID implementation applies; at `1e-12`
+/// relative to probabilities that sum to one it perturbs distances far below
+/// the sensor noise floor.
+pub const SID_EPSILON: f32 = 1e-12;
+
+/// SID between two **already normalized** probability spectra (eq. 2).
+///
+/// `p` and `q` must be non-negative and each sum to ~1 (see
+/// [`pixel::normalize_into`]). The result is symmetric, non-negative and zero
+/// iff `p == q`.
+pub fn sid_normalized(p: &[f32], q: &[f32]) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut acc = 0.0f32;
+    for (&pl, &ql) in p.iter().zip(q) {
+        let pl = pl.max(SID_EPSILON);
+        let ql = ql.max(SID_EPSILON);
+        let log_ratio = (pl / ql).ln();
+        // p·log(p/q) + q·log(q/p) = (p − q)·log(p/q)
+        acc += (pl - ql) * log_ratio;
+    }
+    // Rounding can leave a tiny negative residue when p ≈ q.
+    acc.max(0.0)
+}
+
+/// SID between two raw radiance pixels: normalizes (eqs. 3–4) then applies
+/// eq. 2.
+pub fn sid(a: &[f32], b: &[f32]) -> f32 {
+    let p = pixel::normalized(a);
+    let q = pixel::normalized(b);
+    sid_normalized(&p, &q)
+}
+
+/// Spectral Angle Mapper: the angle (radians) between the two spectra.
+pub fn sam(a: &[f32], b: &[f32]) -> f32 {
+    let denom = pixel::norm(a) * pixel::norm(b);
+    if denom <= f32::MIN_POSITIVE {
+        return 0.0;
+    }
+    let cos = (pixel::dot(a, b) / denom).clamp(-1.0, 1.0);
+    cos.acos()
+}
+
+/// Euclidean distance between the two spectra.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Selectable pointwise spectral distance.
+///
+/// The paper uses SID throughout; SAM and Euclidean are kept for ablations of
+/// the morphological ordering relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectralDistance {
+    /// Spectral Information Divergence (the paper's choice, eq. 2).
+    #[default]
+    Sid,
+    /// Spectral Angle Mapper.
+    Sam,
+    /// Euclidean distance.
+    Euclidean,
+}
+
+impl SpectralDistance {
+    /// Evaluate this distance on raw (unnormalized) pixels.
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            SpectralDistance::Sid => sid(a, b),
+            SpectralDistance::Sam => sam(a, b),
+            SpectralDistance::Euclidean => euclidean(a, b),
+        }
+    }
+
+    /// Evaluate on pre-normalized spectra where that is meaningful.
+    ///
+    /// For SID this skips re-normalization (the hot path of the pipeline,
+    /// which normalizes each pixel exactly once — the paper's stage 2). SAM
+    /// and Euclidean are scale-sensitive, so they are evaluated directly.
+    pub fn eval_normalized(&self, p: &[f32], q: &[f32]) -> f32 {
+        match self {
+            SpectralDistance::Sid => sid_normalized(p, q),
+            SpectralDistance::Sam => sam(p, q),
+            SpectralDistance::Euclidean => euclidean(p, q),
+        }
+    }
+
+    /// Short identifier for table output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpectralDistance::Sid => "SID",
+            SpectralDistance::Sam => "SAM",
+            SpectralDistance::Euclidean => "ED",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f32 = 1e-6;
+
+    #[test]
+    fn sid_of_identical_pixels_is_zero() {
+        let a = [0.3f32, 0.5, 0.2];
+        assert_eq!(sid_normalized(&a, &a), 0.0);
+        let raw = [10.0f32, 90.0, 45.0];
+        assert!(sid(&raw, &raw).abs() < TOL);
+    }
+
+    #[test]
+    fn sid_is_scale_invariant() {
+        // Normalization makes SID invariant to per-pixel gain.
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [3.0f32, 1.0, 2.0];
+        let a2: Vec<f32> = a.iter().map(|v| v * 7.5).collect();
+        assert!((sid(&a, &b) - sid(&a2, &b)).abs() < TOL);
+    }
+
+    #[test]
+    fn sid_is_symmetric() {
+        let a = [0.1f32, 0.4, 0.5];
+        let b = [0.6f32, 0.3, 0.1];
+        assert!((sid_normalized(&a, &b) - sid_normalized(&b, &a)).abs() < TOL);
+    }
+
+    #[test]
+    fn sid_matches_textbook_formula() {
+        // Direct evaluation of eq. 2 on a hand-picked pair.
+        let p = [0.2f32, 0.8];
+        let q = [0.5f32, 0.5];
+        let expected: f32 = p
+            .iter()
+            .zip(&q)
+            .map(|(&pl, &ql)| pl * (pl / ql).ln() + ql * (ql / pl).ln())
+            .sum();
+        assert!((sid_normalized(&p, &q) - expected).abs() < TOL);
+        assert!(expected > 0.0);
+    }
+
+    #[test]
+    fn sid_handles_zero_bands() {
+        let p = [0.0f32, 1.0];
+        let q = [0.5f32, 0.5];
+        let d = sid_normalized(&p, &q);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn sid_grows_with_divergence() {
+        let p = [0.5f32, 0.5];
+        let near = [0.45f32, 0.55];
+        let far = [0.1f32, 0.9];
+        assert!(sid_normalized(&p, &near) < sid_normalized(&p, &far));
+    }
+
+    #[test]
+    fn sam_basics() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!((sam(&a, &b) - std::f32::consts::FRAC_PI_2).abs() < TOL);
+        assert!(sam(&a, &a).abs() < 1e-3);
+        // Scale invariant.
+        let b2 = [0.0f32, 42.0];
+        assert!((sam(&a, &b) - sam(&a, &b2)).abs() < TOL);
+        // Degenerate zero vector.
+        assert_eq!(sam(&[0.0, 0.0], &a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_enum_dispatch() {
+        let a = [2.0f32, 1.0, 1.0];
+        let b = [1.0f32, 2.0, 1.0];
+        assert!((SpectralDistance::Sid.eval(&a, &b) - sid(&a, &b)).abs() < TOL);
+        assert!((SpectralDistance::Sam.eval(&a, &b) - sam(&a, &b)).abs() < TOL);
+        assert!((SpectralDistance::Euclidean.eval(&a, &b) - euclidean(&a, &b)).abs() < TOL);
+        assert_eq!(SpectralDistance::default(), SpectralDistance::Sid);
+        assert_eq!(SpectralDistance::Sid.name(), "SID");
+    }
+
+    #[test]
+    fn eval_normalized_sid_skips_renormalization() {
+        let p = [0.25f32, 0.75];
+        let q = [0.5f32, 0.5];
+        assert!(
+            (SpectralDistance::Sid.eval_normalized(&p, &q) - sid_normalized(&p, &q)).abs() < TOL
+        );
+    }
+}

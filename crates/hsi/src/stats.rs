@@ -1,0 +1,161 @@
+//! Band statistics and signal-to-noise estimation.
+//!
+//! Used by the synthetic scene generator to verify that generated data has
+//! the intended radiometric properties, and by examples to summarise cubes.
+
+use crate::cube::Cube;
+
+/// Summary statistics of one spectral band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandStats {
+    /// Minimum sample value.
+    pub min: f32,
+    /// Maximum sample value.
+    pub max: f32,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+/// Compute statistics for band `band` of a cube.
+pub fn band_stats(cube: &Cube, band: usize) -> BandStats {
+    let dims = cube.dims();
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let n = dims.pixels() as f64;
+    for y in 0..dims.height {
+        for x in 0..dims.width {
+            let v = cube.get(x, y, band);
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+            sum_sq += (v as f64) * (v as f64);
+        }
+    }
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    BandStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Statistics for every band.
+pub fn all_band_stats(cube: &Cube) -> Vec<BandStats> {
+    (0..cube.dims().bands).map(|b| band_stats(cube, b)).collect()
+}
+
+/// Estimate per-band SNR (in dB) of `noisy` against the noise-free
+/// `reference` cube: `10·log10(signal_power / noise_power)`.
+pub fn snr_db(reference: &Cube, noisy: &Cube) -> Vec<f64> {
+    assert_eq!(reference.dims(), noisy.dims(), "cube dims must match");
+    let dims = reference.dims();
+    let mut out = Vec::with_capacity(dims.bands);
+    for b in 0..dims.bands {
+        let mut signal = 0.0f64;
+        let mut noise = 0.0f64;
+        for y in 0..dims.height {
+            for x in 0..dims.width {
+                let s = reference.get(x, y, b) as f64;
+                let d = noisy.get(x, y, b) as f64 - s;
+                signal += s * s;
+                noise += d * d;
+            }
+        }
+        out.push(if noise <= 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (signal / noise).log10()
+        });
+    }
+    out
+}
+
+/// Mean spectrum over all pixels.
+pub fn mean_spectrum(cube: &Cube) -> Vec<f64> {
+    let dims = cube.dims();
+    let mut acc = vec![0.0f64; dims.bands];
+    for y in 0..dims.height {
+        for x in 0..dims.width {
+            for (b, slot) in acc.iter_mut().enumerate() {
+                *slot += cube.get(x, y, b) as f64;
+            }
+        }
+    }
+    let n = dims.pixels() as f64;
+    acc.iter_mut().for_each(|v| *v /= n);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{CubeDims, Interleave};
+
+    #[test]
+    fn constant_band_statistics() {
+        let cube = Cube::from_fn(CubeDims::new(3, 3, 2), Interleave::Bip, |_, _, b| {
+            if b == 0 {
+                5.0
+            } else {
+                -1.0
+            }
+        })
+        .unwrap();
+        let s = band_stats(&cube, 0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!(s.std_dev < 1e-9);
+        let all = all_band_stats(&cube);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].max, -1.0);
+    }
+
+    #[test]
+    fn ramp_band_statistics() {
+        // Values 0..4 over a 5x1 image: mean 2, var 2.
+        let cube = Cube::from_fn(CubeDims::new(5, 1, 1), Interleave::Bip, |x, _, _| x as f32)
+            .unwrap();
+        let s = band_stats(&cube, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_of_identical_cubes_is_infinite() {
+        let cube = Cube::from_fn(CubeDims::new(2, 2, 2), Interleave::Bip, |x, y, b| {
+            (x + y + b) as f32 + 1.0
+        })
+        .unwrap();
+        let snr = snr_db(&cube, &cube);
+        assert!(snr.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn snr_matches_hand_computation() {
+        let refc = Cube::from_fn(CubeDims::new(2, 1, 1), Interleave::Bip, |_, _, _| 10.0).unwrap();
+        let mut noisy = refc.clone();
+        noisy.set(0, 0, 0, 11.0); // noise power = 1 over 2 pixels
+        let snr = snr_db(&refc, &noisy);
+        // signal power = 200, noise power = 1 → 10·log10(200) ≈ 23.0103
+        assert!((snr[0] - 10.0 * 200.0f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_spectrum_averages_pixels() {
+        let cube = Cube::from_fn(CubeDims::new(2, 1, 2), Interleave::Bip, |x, _, b| {
+            (x * 10 + b) as f32
+        })
+        .unwrap();
+        let m = mean_spectrum(&cube);
+        assert_eq!(m, vec![5.0, 6.0]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Linear spectral unmixing (step 3 of the AMC algorithm).
+//!
+//! The standard linear mixture model (Chang 2003, the paper's \[2\]) writes
+//! each pixel as `f(x,y) ≈ Σ_i α_i(x,y) · e_i` where `e_i` are the endmember
+//! spectra selected from the MEI image. Abundances are estimated by least
+//! squares; the classic variants differ in which physical constraints they
+//! enforce.
+
+use crate::error::{HsiError, Result};
+use crate::linalg::{Cholesky, Lu, Matrix};
+use rayon::prelude::*;
+
+/// Which abundance constraints the estimator enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AbundanceConstraint {
+    /// Unconstrained least squares (UCLS).
+    None,
+    /// Sum-to-one constrained least squares (SCLS) via a bordered KKT system.
+    SumToOne,
+    /// SCLS followed by clamping negatives to zero and renormalizing — the
+    /// cheap approximation of fully-constrained LS used when only the argmax
+    /// is needed (as in AMC's classification step).
+    #[default]
+    SumToOneNonNeg,
+}
+
+/// Default ridge λ as a fraction of the Gram matrix's mean diagonal.
+pub const RIDGE_SCALE: f64 = 3e-5;
+
+/// A fitted linear mixture model over a fixed endmember set.
+///
+/// Construction factorizes the (c×c) systems once; per-pixel unmixing is then
+/// a matrix-vector product plus a triangular solve.
+#[derive(Debug, Clone)]
+pub struct LinearMixtureModel {
+    endmembers: Matrix, // bands x c
+    chol: Cholesky,     // of EᵀE
+    bordered: Lu,       // KKT system for sum-to-one
+    bands: usize,
+    count: usize,
+}
+
+impl LinearMixtureModel {
+    /// Fit the model to the given endmember spectra (each of equal length).
+    ///
+    /// Fails with [`HsiError::SingularMatrix`] if the endmembers are linearly
+    /// dependent (e.g. the same pixel selected twice).
+    pub fn new(endmembers: &[&[f32]]) -> Result<Self> {
+        let e = Matrix::from_columns_f32(endmembers)?;
+        let bands = e.rows();
+        let count = e.cols();
+        if count > bands {
+            return Err(HsiError::InvalidClassCount {
+                requested: count,
+                available: bands,
+            });
+        }
+        let mut gram = e.gram();
+        // Ridge regularisation (damped least squares): real endmember sets
+        // (e.g. a dozen corn variants early in the growing season) are
+        // near-collinear, so the unregularised LS estimate amplifies sensor
+        // noise along the Gram matrix's small eigenvalues. A small fixed λ
+        // relative to the mean diagonal stabilises abundances; it escalates
+        // only if the factorization still fails (exactly duplicate spectra).
+        let mean_diag: f64 =
+            (0..count).map(|i| gram[(i, i)]).sum::<f64>() / count as f64;
+        let mut scale = RIDGE_SCALE;
+        for i in 0..count {
+            gram[(i, i)] += mean_diag * scale;
+        }
+        let mut chol = Cholesky::new(&gram);
+        while chol.is_err() && scale <= 1e-4 {
+            scale *= 100.0;
+            for i in 0..count {
+                gram[(i, i)] += mean_diag * scale;
+            }
+            chol = Cholesky::new(&gram);
+        }
+        let chol = chol?;
+        // Bordered KKT system for min ‖Ex − b‖ s.t. Σx = 1:
+        //   [ G   1 ] [x] = [Eᵀb]
+        //   [ 1ᵀ  0 ] [λ]   [ 1 ]
+        let mut kkt = Matrix::zeros(count + 1, count + 1);
+        for i in 0..count {
+            for j in 0..count {
+                kkt[(i, j)] = gram[(i, j)];
+            }
+            kkt[(i, count)] = 1.0;
+            kkt[(count, i)] = 1.0;
+        }
+        let bordered = Lu::new(&kkt)?;
+        Ok(Self {
+            endmembers: e,
+            chol,
+            bordered,
+            bands,
+            count,
+        })
+    }
+
+    /// Number of spectral bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Number of endmembers (classes) `c`.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The endmember matrix (bands × c).
+    pub fn endmember_matrix(&self) -> &Matrix {
+        &self.endmembers
+    }
+
+    /// Estimate the abundance vector of one pixel.
+    pub fn abundances(&self, pixel: &[f32], constraint: AbundanceConstraint) -> Result<Vec<f64>> {
+        if pixel.len() != self.bands {
+            return Err(HsiError::DimensionMismatch {
+                expected: self.bands,
+                actual: pixel.len(),
+            });
+        }
+        let etb = self.endmembers.transpose_matvec_f32(pixel)?;
+        match constraint {
+            AbundanceConstraint::None => self.chol.solve(&etb),
+            AbundanceConstraint::SumToOne => {
+                let x = self.solve_sum_to_one(&etb)?;
+                Ok(x)
+            }
+            AbundanceConstraint::SumToOneNonNeg => {
+                let mut x = self.solve_sum_to_one(&etb)?;
+                clamp_renormalize(&mut x);
+                Ok(x)
+            }
+        }
+    }
+
+    fn solve_sum_to_one(&self, etb: &[f64]) -> Result<Vec<f64>> {
+        let mut rhs = Vec::with_capacity(self.count + 1);
+        rhs.extend_from_slice(etb);
+        rhs.push(1.0);
+        let mut sol = self.bordered.solve(&rhs)?;
+        sol.truncate(self.count); // drop the multiplier λ
+        Ok(sol)
+    }
+
+    /// Index of the largest abundance — AMC's class assignment (step 4).
+    pub fn classify_pixel(&self, pixel: &[f32], constraint: AbundanceConstraint) -> Result<usize> {
+        let a = self.abundances(pixel, constraint)?;
+        Ok(argmax(&a))
+    }
+
+    /// Classify every pixel of a BIP cube in parallel, returning row-major
+    /// labels in `0..count`.
+    pub fn classify_cube(
+        &self,
+        cube: &crate::cube::Cube,
+        constraint: AbundanceConstraint,
+    ) -> Result<Vec<u16>> {
+        let dims = cube.dims();
+        let bip = cube.to_interleave(crate::cube::Interleave::Bip);
+        let data = bip.data();
+        let labels: Vec<u16> = data
+            .par_chunks(dims.bands)
+            .map(|px| {
+                self.classify_pixel(px, constraint)
+                    .map(|c| c as u16)
+                    .unwrap_or(0)
+            })
+            .collect();
+        Ok(labels)
+    }
+
+    /// Reconstruct a pixel from abundances (for residual checks).
+    pub fn reconstruct(&self, abundances: &[f64]) -> Result<Vec<f64>> {
+        self.endmembers.matvec(abundances)
+    }
+
+    /// Squared reconstruction residual `‖pixel − E·α‖²` under unconstrained
+    /// LS abundances — the selection criterion of ATGP endmember extraction.
+    pub fn residual_norm2(&self, pixel: &[f32]) -> Result<f64> {
+        let a = self.abundances(pixel, AbundanceConstraint::None)?;
+        let recon = self.reconstruct(&a)?;
+        Ok(pixel
+            .iter()
+            .zip(&recon)
+            .map(|(&p, &q)| {
+                let d = p as f64 - q;
+                d * d
+            })
+            .sum())
+    }
+}
+
+/// Clamp negative abundances to zero and renormalize to sum one.
+pub fn clamp_renormalize(x: &mut [f64]) {
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        x.iter_mut().for_each(|v| *v *= inv);
+    } else {
+        let uniform = 1.0 / x.len() as f64;
+        x.iter_mut().for_each(|v| *v = uniform);
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(x: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate() {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{Cube, CubeDims, Interleave};
+
+    fn simple_model() -> LinearMixtureModel {
+        let e0 = [1.0f32, 0.0, 0.0, 0.5];
+        let e1 = [0.0f32, 1.0, 0.0, 0.5];
+        let e2 = [0.0f32, 0.0, 1.0, 0.5];
+        LinearMixtureModel::new(&[&e0, &e1, &e2]).unwrap()
+    }
+
+    #[test]
+    fn model_shape_accessors() {
+        let m = simple_model();
+        assert_eq!(m.bands(), 4);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.endmember_matrix().shape(), (4, 3));
+    }
+
+    #[test]
+    fn ridge_handles_dependent_endmembers() {
+        // Collinear endmembers (the same material selected twice) must not
+        // crash: the ridge makes the system solvable with finite abundances.
+        let e0 = [1.0f32, 2.0, 3.0];
+        let e1 = [2.0f32, 4.0, 6.0];
+        let m = LinearMixtureModel::new(&[&e0, &e1]).unwrap();
+        let a = m
+            .abundances(&[1.5, 3.0, 4.5], AbundanceConstraint::SumToOneNonNeg)
+            .unwrap();
+        assert!(a.iter().all(|v| v.is_finite()));
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_more_endmembers_than_bands() {
+        let e = [1.0f32, 0.0];
+        let e2 = [0.0f32, 1.0];
+        let e3 = [1.0f32, 1.0];
+        assert!(matches!(
+            LinearMixtureModel::new(&[&e[..], &e2[..], &e3[..]]),
+            Err(HsiError::InvalidClassCount { .. })
+        ));
+    }
+
+    #[test]
+    fn unconstrained_recovers_exact_mixture() {
+        let m = simple_model();
+        // pixel = 0.2 e0 + 0.3 e1 + 0.5 e2
+        let px = [0.2f32, 0.3, 0.5, 0.5];
+        let a = m.abundances(&px, AbundanceConstraint::None).unwrap();
+        // Tolerance reflects the stabilising ridge bias (RIDGE_SCALE).
+        assert!((a[0] - 0.2).abs() < 1e-3, "{a:?}");
+        assert!((a[1] - 0.3).abs() < 1e-3);
+        assert!((a[2] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_to_one_enforces_constraint() {
+        let m = simple_model();
+        // Pixel scaled by 3: unconstrained abundances sum to 3, SCLS to 1.
+        let px = [0.6f32, 0.9, 1.5, 1.5];
+        let unc = m.abundances(&px, AbundanceConstraint::None).unwrap();
+        assert!((unc.iter().sum::<f64>() - 3.0).abs() < 1e-2);
+        let scls = m.abundances(&px, AbundanceConstraint::SumToOne).unwrap();
+        assert!((scls.iter().sum::<f64>() - 1.0).abs() < 1e-8, "{scls:?}");
+        // Relative ordering preserved.
+        assert!(scls[2] > scls[1] && scls[1] > scls[0]);
+    }
+
+    #[test]
+    fn nonneg_variant_produces_probability_vector() {
+        let m = simple_model();
+        // A pixel outside the simplex can yield negative SCLS abundances.
+        let px = [2.0f32, -0.5, 0.1, 0.2];
+        let a = m
+            .abundances(&px, AbundanceConstraint::SumToOneNonNeg)
+            .unwrap();
+        assert!(a.iter().all(|&v| v >= 0.0), "{a:?}");
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pixel_length_checked() {
+        let m = simple_model();
+        assert!(m.abundances(&[1.0, 2.0], AbundanceConstraint::None).is_err());
+    }
+
+    #[test]
+    fn classify_pixel_picks_dominant_endmember() {
+        let m = simple_model();
+        for (i, px) in [
+            [0.9f32, 0.05, 0.05, 0.5],
+            [0.05f32, 0.9, 0.05, 0.5],
+            [0.05f32, 0.05, 0.9, 0.5],
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(
+                m.classify_pixel(px, AbundanceConstraint::SumToOneNonNeg)
+                    .unwrap(),
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn classify_cube_labels_every_pixel() {
+        let m = simple_model();
+        let cube = Cube::from_fn(CubeDims::new(2, 2, 4), Interleave::Bip, |x, y, b| {
+            // (0,0)->e0, (1,0)->e1, (0,1)->e2, (1,1)->e0-ish
+            let e: usize = match (x, y) {
+                (0, 0) => 0,
+                (1, 0) => 1,
+                (0, 1) => 2,
+                _ => 0,
+            };
+            if b == e {
+                1.0
+            } else if b == 3 {
+                0.5
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let labels = m
+            .classify_cube(&cube, AbundanceConstraint::SumToOneNonNeg)
+            .unwrap();
+        assert_eq!(labels, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn reconstruct_round_trips() {
+        let m = simple_model();
+        let recon = m.reconstruct(&[0.2, 0.3, 0.5]).unwrap();
+        assert!((recon[0] - 0.2).abs() < 1e-9);
+        assert!((recon[3] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_renormalize_edge_cases() {
+        let mut x = vec![-1.0, 2.0, 2.0];
+        clamp_renormalize(&mut x);
+        assert_eq!(x, vec![0.0, 0.5, 0.5]);
+        let mut zeros = vec![-1.0, -2.0];
+        clamp_renormalize(&mut zeros);
+        assert_eq!(zeros, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

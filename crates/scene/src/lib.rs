@@ -1,0 +1,30 @@
+//! # `hsi-scene` — synthetic AVIRIS-like scene generation
+//!
+//! The paper evaluates on the AVIRIS Indian Pines scene (2166 × 614 samples,
+//! 216 calibrated bands, ~500 MB, 30+ ground-truth land-cover classes). That
+//! data cannot ship with this repository, so this crate synthesises scenes
+//! with the properties the algorithms actually exercise:
+//!
+//! * [`spectra`] — parametric reflectance signatures (vegetation red edge,
+//!   soil continuum, water absorption, man-made flats) over an AVIRIS-like
+//!   0.4–2.5 µm band axis;
+//! * [`library`] — the 32 ground-truth classes of the paper's Table 3 with
+//!   their published accuracies, used both to parameterise per-class pixel
+//!   purity and as the reference the experiment harness compares against;
+//! * [`scene`] — field-patch scene synthesis: rectangular agricultural
+//!   fields, per-pixel sub-pixel mixing (the mechanism behind the paper's
+//!   "heavily mixed pixels" narrative), sensor noise, ground truth;
+//! * [`envi`] — ENVI-format header + raw cube I/O;
+//! * [`render`] — PGM/PPM renders of bands, MEI maps and class maps
+//!   (Fig. 5 analogue).
+
+#![warn(missing_docs)]
+
+pub mod envi;
+pub mod library;
+pub mod render;
+pub mod scene;
+pub mod spectra;
+
+pub use library::{indian_pines_classes, ClassSpec};
+pub use scene::{SceneConfig, SyntheticScene};

@@ -1,0 +1,149 @@
+//! PGM/PPM rendering of bands, score maps and class maps.
+//!
+//! Fig. 5 of the paper shows (a) one spectral band of the scene and (b) the
+//! colour-coded ground-truth map. These helpers regenerate both for any
+//! scene: greyscale PGM for a single band or score image, colour PPM for a
+//! label raster with a deterministic 32-entry palette.
+
+use hsi::cube::Cube;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Render one spectral band to an 8-bit binary PGM (P5), min–max stretched.
+pub fn band_to_pgm(cube: &Cube, band: usize) -> Vec<u8> {
+    let dims = cube.dims();
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for y in 0..dims.height {
+        for x in 0..dims.width {
+            let v = cube.get(x, y, band);
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let range = (max - min).max(f32::MIN_POSITIVE);
+    let mut out = format!("P5\n{} {}\n255\n", dims.width, dims.height).into_bytes();
+    for y in 0..dims.height {
+        for x in 0..dims.width {
+            let v = (cube.get(x, y, band) - min) / range;
+            out.push((v * 255.0).round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    out
+}
+
+/// Render a row-major score raster (e.g. an MEI image) to PGM.
+pub fn scores_to_pgm(scores: &[f32], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(scores.len(), width * height, "score raster size");
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in scores {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let range = (max - min).max(f32::MIN_POSITIVE);
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    for &v in scores {
+        out.push((((v - min) / range) * 255.0).round().clamp(0.0, 255.0) as u8);
+    }
+    out
+}
+
+/// Deterministic colour for class `i` (golden-angle hue walk, full
+/// saturation, alternating value so adjacent indices stay distinguishable).
+pub fn class_color(i: usize) -> [u8; 3] {
+    let h = (i as f64 * 137.508) % 360.0;
+    let v = if i.is_multiple_of(2) { 0.95 } else { 0.7 };
+    hsv_to_rgb(h, 0.85, v)
+}
+
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> [u8; 3] {
+    let c = v * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - ((hp % 2.0) - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    [
+        ((r + m) * 255.0).round() as u8,
+        ((g + m) * 255.0).round() as u8,
+        ((b + m) * 255.0).round() as u8,
+    ]
+}
+
+/// Render a label raster to a binary PPM (P6) with the class palette.
+pub fn labels_to_ppm(labels: &[u16], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(labels.len(), width * height, "label raster size");
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    for &l in labels {
+        out.extend_from_slice(&class_color(l as usize));
+    }
+    out
+}
+
+/// Write bytes to a file (convenience wrapper used by the harness bins).
+pub fn write_file(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi::cube::{CubeDims, Interleave};
+
+    #[test]
+    fn pgm_header_and_stretch() {
+        let cube = Cube::from_fn(CubeDims::new(3, 2, 1), Interleave::Bip, |x, y, _| {
+            (x + 3 * y) as f32
+        })
+        .unwrap();
+        let pgm = band_to_pgm(&cube, 0);
+        let header_end = pgm.windows(4).position(|w| w == b"255\n").unwrap() + 4;
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+        let pixels = &pgm[header_end..];
+        assert_eq!(pixels.len(), 6);
+        assert_eq!(pixels[0], 0); // min
+        assert_eq!(pixels[5], 255); // max
+    }
+
+    #[test]
+    fn scores_pgm_constant_input() {
+        let pgm = scores_to_pgm(&[1.0; 4], 2, 2);
+        assert!(pgm.starts_with(b"P5\n2 2\n255\n"));
+        // Constant raster must not produce NaN — everything maps to 0.
+        assert_eq!(&pgm[pgm.len() - 4..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn class_colors_distinct_for_table3() {
+        let colors: Vec<[u8; 3]> = (0..32).map(class_color).collect();
+        for i in 0..colors.len() {
+            for j in i + 1..colors.len() {
+                assert_ne!(colors[i], colors[j], "classes {i} and {j} share a colour");
+            }
+        }
+    }
+
+    #[test]
+    fn ppm_structure() {
+        let ppm = labels_to_ppm(&[0, 1, 2, 3], 2, 2);
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n2 2\n255\n".len() + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label raster size")]
+    fn label_size_checked() {
+        labels_to_ppm(&[0, 1], 2, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Scene generation ↔ ENVI I/O ↔ rendering, across crate boundaries.
+
+use hyperspec::prelude::*;
+use hyperspec::scene::{envi, library::indian_pines_classes, render};
+
+fn small_scene(seed: u64) -> SyntheticScene {
+    let classes: Vec<_> = indian_pines_classes().into_iter().take(6).collect();
+    let cfg = SceneConfig {
+        width: 32,
+        height: 24,
+        bands: 12,
+        field_width: 8,
+        field_height: 8,
+        seed,
+        noise_fraction: 0.002,
+        mixing_halfwidth: 0.3,
+        sensor_scale: 4000.0,
+        purity_boost: 0.10,
+    };
+    generate(&classes, &cfg)
+}
+
+#[test]
+fn scene_survives_envi_round_trip() {
+    let scene = small_scene(4);
+    let dir = std::env::temp_dir().join(format!("hsi_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scene.raw");
+    envi::write_cube(&path, &scene.cube, "synthetic scene").unwrap();
+    let back = envi::read_cube(&path).unwrap();
+    assert_eq!(back, scene.cube);
+    // The reloaded cube classifies identically.
+    let amc = AmcClassifier::new(AmcConfig::paper_default(6));
+    let a = amc.classify(&scene.cube).unwrap();
+    let b = amc.classify(&back).unwrap();
+    assert_eq!(a.labels, b.labels);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn renders_have_correct_sizes() {
+    let scene = small_scene(9);
+    let dims = scene.cube.dims();
+    let pgm = render::band_to_pgm(&scene.cube, 3);
+    // P5 header + pixels.
+    assert!(pgm.starts_with(format!("P5\n{} {}\n255\n", dims.width, dims.height).as_bytes()));
+    assert_eq!(
+        pgm.len(),
+        format!("P5\n{} {}\n255\n", dims.width, dims.height).len() + dims.pixels()
+    );
+    let ppm = render::labels_to_ppm(&scene.ground_truth, dims.width, dims.height);
+    assert_eq!(
+        ppm.len(),
+        format!("P6\n{} {}\n255\n", dims.width, dims.height).len() + dims.pixels() * 3
+    );
+}
+
+#[test]
+fn ground_truth_is_consistent_with_signatures() {
+    // Pixels must on average be closer (by SID) to their own class
+    // signature than to a random other signature.
+    let scene = small_scene(13);
+    let dims = scene.cube.dims();
+    let mut own = 0.0f64;
+    let mut other = 0.0f64;
+    let mut n = 0u32;
+    for y in 0..dims.height {
+        for x in 0..dims.width {
+            let l = scene.label(x, y) as usize;
+            let px = scene.cube.pixel(x, y);
+            own += hyperspec::hsi::spectral::sid(&px, &scene.signatures[l]) as f64;
+            other += hyperspec::hsi::spectral::sid(
+                &px,
+                &scene.signatures[(l + 3) % scene.signatures.len()],
+            ) as f64;
+            n += 1;
+        }
+    }
+    let (mean_own, mean_other) = (own / n as f64, other / n as f64);
+    assert!(mean_own < mean_other, "own {mean_own} other {mean_other}");
+}
