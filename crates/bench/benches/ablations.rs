@@ -20,7 +20,9 @@ fn cube(w: usize, h: usize, bands: usize) -> Cube {
 fn bench_se_size(c: &mut Criterion) {
     // O(p_f * p_B * N): doubling the SE area should roughly double time.
     let mut group = c.benchmark_group("se_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let cb = cube(20, 20, 8);
     for side in [3usize, 5, 7] {
         group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
@@ -38,7 +40,9 @@ fn bench_rgba_packing(c: &mut Criterion) {
     // (2 band groups) vs an unpacked emulation (8 one-band groups → 4x the
     // band-group passes).
     let mut group = c.benchmark_group("rgba_packing");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let se = StructuringElement::square(3).unwrap();
     let packed = cube(16, 16, 8);
     // Unpacked emulation: spread each band into its own group of 4 (3 zero
@@ -64,7 +68,9 @@ fn bench_rgba_packing(c: &mut Criterion) {
 fn bench_chunk_granularity(c: &mut Criterion) {
     // Smaller chunks = more halo recomputation + more passes.
     let mut group = c.benchmark_group("chunk_lines");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let cb = cube(16, 48, 8);
     let se = StructuringElement::square(3).unwrap();
     for lines in [6usize, 12, 48] {
@@ -84,5 +90,10 @@ fn bench_chunk_granularity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_se_size, bench_rgba_packing, bench_chunk_granularity);
+criterion_group!(
+    benches,
+    bench_se_size,
+    bench_rgba_packing,
+    bench_chunk_granularity
+);
 criterion_main!(benches);

@@ -11,15 +11,19 @@ use hsi::morphology::StructuringElement;
 use std::time::Duration;
 
 fn cube(side: usize, bands: usize) -> Cube {
-    Cube::from_fn(CubeDims::new(side, side, bands), Interleave::Bip, |x, y, b| {
-        10.0 + ((x * 31 + y * 17 + b * 7) % 97) as f32
-    })
+    Cube::from_fn(
+        CubeDims::new(side, side, bands),
+        Interleave::Bip,
+        |x, y, b| 10.0 + ((x * 31 + y * 17 + b * 7) % 97) as f32,
+    )
     .unwrap()
 }
 
 fn bench_size_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("amc_pipeline_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let se = StructuringElement::square(3).unwrap();
     for side in [16usize, 24, 32] {
         let cb = cube(side, 8);
@@ -35,7 +39,9 @@ fn bench_size_scaling(c: &mut Criterion) {
 
 fn bench_band_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("amc_pipeline_bands");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let se = StructuringElement::square(3).unwrap();
     for bands in [4usize, 8, 16] {
         let cb = cube(20, bands);

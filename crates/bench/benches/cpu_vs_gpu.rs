@@ -21,16 +21,14 @@ fn cube() -> Cube {
 
 fn bench_implementations(c: &mut Criterion) {
     let mut group = c.benchmark_group("implementations_24x24x8");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let cb = cube();
     let se = StructuringElement::square(3).unwrap();
 
-    group.bench_function("cpu_scalar", |b| {
-        b.iter(|| cpu::run_scalar(&cb, &se))
-    });
-    group.bench_function("cpu_simd4", |b| {
-        b.iter(|| cpu::run_simd4(&cb, &se))
-    });
+    group.bench_function("cpu_scalar", |b| b.iter(|| cpu::run_scalar(&cb, &se)));
+    group.bench_function("cpu_simd4", |b| b.iter(|| cpu::run_simd4(&cb, &se)));
     group.bench_function("gpu_closure", |b| {
         let amc = GpuAmc::new(se.clone(), KernelMode::Closure);
         let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
@@ -48,7 +46,9 @@ fn bench_analytic_model(c: &mut Criterion) {
     // Generating the full Table 4 from the analytic model must be
     // effectively free — that's the point of having it.
     let mut group = c.benchmark_group("analytic_model");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     let se = StructuringElement::square(3).unwrap();
     group.bench_function("predict_full_547mb_scene", |b| {
         b.iter(|| {

@@ -10,7 +10,12 @@ use std::time::Duration;
 
 const SIDE: usize = 64;
 
-fn setup() -> (Gpu, gpu_sim::gpu::TextureId, gpu_sim::gpu::TextureId, gpu_sim::gpu::TextureId) {
+fn setup() -> (
+    Gpu,
+    gpu_sim::gpu::TextureId,
+    gpu_sim::gpu::TextureId,
+    gpu_sim::gpu::TextureId,
+) {
     let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
     let a = gpu.alloc_texture(SIDE, SIDE).unwrap();
     let b = gpu.alloc_texture(SIDE, SIDE).unwrap();
@@ -25,7 +30,9 @@ fn setup() -> (Gpu, gpu_sim::gpu::TextureId, gpu_sim::gpu::TextureId, gpu_sim::g
 
 fn bench_stage_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage_kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
 
     let (mut gpu, a, b, out) = setup();
 
@@ -53,7 +60,10 @@ fn bench_stage_kernels(c: &mut Criterion) {
             TexCoordSet::identity(),
             TexCoordSet::shifted_texels(1, 1, SIDE, SIDE),
         ];
-        bench.iter(|| gpu.run_pass(&prog, &[a, b], &[], &coords, out, None).unwrap())
+        bench.iter(|| {
+            gpu.run_pass(&prog, &[a, b], &[], &coords, out, None)
+                .unwrap()
+        })
     });
     group.bench_function("sid_partial_closure", |bench| {
         bench.iter(|| {
@@ -85,7 +95,9 @@ fn bench_cache_ablation(c: &mut Criterion) {
     // Cache model on/off: functional output identical, simulation overhead
     // and counter fidelity differ.
     let mut group = c.benchmark_group("cache_model");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for enabled in [true, false] {
         group.bench_with_input(
             BenchmarkId::new("sid_partial", enabled),

@@ -17,8 +17,14 @@ fn main() {
         "table1" => print!("{}", format_table1()),
         "table2" => print!("{}", format_table2()),
         "table3" => run_table3(),
-        "table4" => print!("{}", format_time_table(Compiler::Gcc, &time_rows(Compiler::Gcc))),
-        "table5" => print!("{}", format_time_table(Compiler::Icc, &time_rows(Compiler::Icc))),
+        "table4" => print!(
+            "{}",
+            format_time_table(Compiler::Gcc, &time_rows(Compiler::Gcc))
+        ),
+        "table5" => print!(
+            "{}",
+            format_time_table(Compiler::Icc, &time_rows(Compiler::Icc))
+        ),
         "fig5" => run_fig5(args.get(1).map(String::as_str).unwrap_or("out")),
         "fig6" => print!("{}", format_fig6(&time_rows(Compiler::Gcc))),
         "ablations" => print!("{}", format_ablations()),
@@ -27,9 +33,15 @@ fn main() {
             println!();
             print!("{}", format_table2());
             println!();
-            print!("{}", format_time_table(Compiler::Gcc, &time_rows(Compiler::Gcc)));
+            print!(
+                "{}",
+                format_time_table(Compiler::Gcc, &time_rows(Compiler::Gcc))
+            );
             println!();
-            print!("{}", format_time_table(Compiler::Icc, &time_rows(Compiler::Icc)));
+            print!(
+                "{}",
+                format_time_table(Compiler::Icc, &time_rows(Compiler::Icc))
+            );
             println!();
             print!("{}", format_fig6(&time_rows(Compiler::Gcc)));
             println!();
@@ -47,7 +59,9 @@ fn main() {
 }
 
 fn run_table3() {
-    eprintln!("[table3] generating the synthetic Indian Pines scene and running AMC (3x3 SE, c=32)...");
+    eprintln!(
+        "[table3] generating the synthetic Indian Pines scene and running AMC (3x3 SE, c=32)..."
+    );
     let result = accuracy_experiment(2026);
     print!("{}", format_table3(&result));
 }
@@ -57,7 +71,9 @@ fn run_fig5(dir: &str) {
     use hsi_scene::render;
     use hsi_scene::scene::{generate, SceneConfig};
 
-    eprintln!("[fig5] rendering scene band, ground truth, MEI and classification maps to {dir}/ ...");
+    eprintln!(
+        "[fig5] rendering scene band, ground truth, MEI and classification maps to {dir}/ ..."
+    );
     let classes = indian_pines_classes();
     let scene = generate(&classes, &SceneConfig::reduced_indian_pines(2026));
     let dims = scene.cube.dims();
@@ -65,17 +81,19 @@ fn run_fig5(dir: &str) {
     // 0.4–2.5um range.
     let band = dims.bands * 9 / 100;
     let out = Path::new(dir);
-    render::write_file(&out.join("fig5a_band.pgm"), &render::band_to_pgm(&scene.cube, band))
-        .expect("write fig5a");
+    render::write_file(
+        &out.join("fig5a_band.pgm"),
+        &render::band_to_pgm(&scene.cube, band),
+    )
+    .expect("write fig5a");
     render::write_file(
         &out.join("fig5b_ground_truth.ppm"),
         &render::labels_to_ppm(&scene.ground_truth, dims.width, dims.height),
     )
     .expect("write fig5b");
 
-    let amc = hsi::classify::AmcClassifier::new(hsi::classify::AmcConfig::paper_default(
-        classes.len(),
-    ));
+    let amc =
+        hsi::classify::AmcClassifier::new(hsi::classify::AmcConfig::paper_default(classes.len()));
     let result = amc.classify(&scene.cube).expect("AMC");
     render::write_file(
         &out.join("mei.pgm"),

@@ -34,6 +34,12 @@ use hsi_scene::scene::{generate, SceneConfig};
 
 pub mod paper;
 
+/// One labelled feature-table row: name plus a formatter over a profile.
+type FeatureRow<'a, P> = (&'a str, Box<dyn Fn(&P) -> String>);
+
+/// One plotted Fig. 6 series: label plus an accessor into a [`TimeRow`].
+type SeriesRow = (&'static str, fn(&TimeRow) -> f64);
+
 /// One row of a Table 4/5 reproduction.
 #[derive(Debug, Clone)]
 pub struct TimeRow {
@@ -163,13 +169,10 @@ pub fn accuracy_experiment_with(config: &SceneConfig) -> AccuracyResult {
 pub fn format_table1() -> String {
     let gpus = GpuProfile::paper_gpus();
     let mut s = String::from("Table 1. Experimental GPU's Features\n");
-    let rows: Vec<(&str, Box<dyn Fn(&GpuProfile) -> String>)> = vec![
+    let rows: Vec<FeatureRow<GpuProfile>> = vec![
         ("Year", Box::new(|g: &GpuProfile| g.year.to_string())),
         ("Architecture", Box::new(|g| g.architecture.to_string())),
-        (
-            "Bus",
-            Box::new(|g| format!("{:?}", g.bus.kind)),
-        ),
+        ("Bus", Box::new(|g| format!("{:?}", g.bus.kind))),
         (
             "Video Memory",
             Box::new(|g| format!("{}MB", g.video_memory_mib)),
@@ -204,7 +207,12 @@ pub fn format_table1() -> String {
         "Feature", gpus[0].name, gpus[1].name
     ));
     for (label, f) in rows {
-        s.push_str(&format!("{:<26} {:<22} {:<22}\n", label, f(&gpus[0]), f(&gpus[1])));
+        s.push_str(&format!(
+            "{:<26} {:<22} {:<22}\n",
+            label,
+            f(&gpus[0]),
+            f(&gpus[1])
+        ));
     }
     s
 }
@@ -217,24 +225,23 @@ pub fn format_table2() -> String {
         "{:<12} {:<28} {:<22}\n",
         "Feature", cpus[0].name, cpus[1].name
     ));
-    let rows: Vec<(&str, Box<dyn Fn(&CpuProfile) -> String>)> = vec![
+    let rows: Vec<FeatureRow<CpuProfile>> = vec![
         ("Year", Box::new(|c: &CpuProfile| c.year.to_string())),
-        (
-            "FSB",
-            Box::new(|c| format!("800 MHz, {} GB/s", c.fsb_gbs)),
-        ),
+        ("FSB", Box::new(|c| format!("800 MHz, {} GB/s", c.fsb_gbs))),
         ("L2 Cache", Box::new(|c| format!("{}KB", c.l2_kib))),
-        (
-            "Memory",
-            Box::new(|c| format!("{}GB", c.memory_mib / 1024)),
-        ),
+        ("Memory", Box::new(|c| format!("{}GB", c.memory_mib / 1024))),
         (
             "Clock",
             Box::new(|c| format!("{} GHz", c.clock_mhz / 1000.0)),
         ),
     ];
     for (label, f) in rows {
-        s.push_str(&format!("{:<12} {:<28} {:<22}\n", label, f(&cpus[0]), f(&cpus[1])));
+        s.push_str(&format!(
+            "{:<12} {:<28} {:<22}\n",
+            label,
+            f(&cpus[0]),
+            f(&cpus[1])
+        ));
     }
     s
 }
@@ -328,7 +335,7 @@ pub fn format_fig6(rows: &[TimeRow]) -> String {
         ));
     }
     s.push_str("\nlog10(ms) per platform (each column one size, '#' = value):\n");
-    let series: [(&str, fn(&TimeRow) -> f64); 4] = [
+    let series: [SeriesRow; 4] = [
         ("P4      ", |r| r.p4_ms),
         ("Prescott", |r| r.prescott_ms),
         ("FX5950U ", |r| r.fx5950_ms),
@@ -352,9 +359,7 @@ pub fn format_ablations() -> String {
     use hsi::cube::{Chunking, CubeDims};
     let dims = CubeDims::new(2166, 614, 216);
     let g70 = GpuProfile::geforce_7800gtx();
-    let mut s = String::from(
-        "Ablations (modeled, full 547 MB scene, GeForce 7800GTX)\n\n",
-    );
+    let mut s = String::from("Ablations (modeled, full 547 MB scene, GeForce 7800GTX)\n\n");
 
     // 1. Structuring-element size: O(p_f * p_B * N).
     s.push_str("SE size sweep (kernel ms; complexity is linear in p_B):\n");
@@ -393,7 +398,12 @@ pub fn format_ablations() -> String {
     s.push_str("\nChunk granularity (halo = 2 lines; instruction overhead vs unchunked):\n");
     let whole = perf::predict_stats(dims, &se, Chunking::new(614, 2), &PredictConfig::default());
     for lines in [8usize, 32, 128, 614] {
-        let c = perf::predict_stats(dims, &se, Chunking::new(lines, 2), &PredictConfig::default());
+        let c = perf::predict_stats(
+            dims,
+            &se,
+            Chunking::new(lines, 2),
+            &PredictConfig::default(),
+        );
         s.push_str(&format!(
             "  {lines:>4} lines/chunk: {:>5.1}% extra shader work\n",
             (c.instructions as f64 / whole.instructions as f64 - 1.0) * 100.0
@@ -465,7 +475,15 @@ mod tests {
         let times: Vec<f64> = r
             .lines()
             .filter(|l| l.contains("p_B ="))
-            .map(|l| l.split(':').nth(1).unwrap().trim().trim_end_matches(" ms").parse().unwrap())
+            .map(|l| {
+                l.split(':')
+                    .nth(1)
+                    .unwrap()
+                    .trim()
+                    .trim_end_matches(" ms")
+                    .parse()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(times.len(), 3);
         assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");

@@ -112,9 +112,9 @@ pub fn run_simd4(cube: &Cube, se: &StructuringElement) -> CpuAmcResult {
 
     let sid4 = |ax: i64, ay: i64, bx: i64, by: i64| -> f32 {
         let mut acc = 0.0f32;
-        for g in 0..groups {
-            let p = texel(&norm[g], ax, ay);
-            let q = texel(&norm[g], bx, by);
+        for plane in norm.iter().take(groups) {
+            let p = texel(plane, ax, ay);
+            let q = texel(plane, bx, by);
             acc += kernels::sid_partial_value(p, q);
         }
         acc

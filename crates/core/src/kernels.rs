@@ -271,6 +271,35 @@ mod tests {
     }
 
     #[test]
+    fn all_kernels_verify_clean() {
+        use gpu_sim::verify::{verify, PassBindings};
+        use gpu_sim::GpuProfile;
+        // The exact binding contexts pipeline.rs runs each kernel with.
+        let ctx = |samplers, texcoord_sets, constants: Vec<u8>| PassBindings {
+            samplers,
+            texcoord_sets,
+            constants,
+            outputs_read: [true, false, false, false],
+        };
+        let cases = [
+            (band_sum_program(), ctx(2, 1, vec![])),
+            (normalize_program(), ctx(2, 1, vec![])),
+            (sid_partial_program(), ctx(2, 2, vec![])),
+            (minmax_init_program(), ctx(1, 1, vec![])),
+            (minmax_update_program(), ctx(2, 2, vec![0])),
+            (mei_partial_program(), ctx(4, 1, vec![2])),
+        ];
+        for profile in GpuProfile::paper_gpus() {
+            for (prog, bindings) in &cases {
+                let d = verify(prog, &profile, Some(bindings));
+                assert!(d.is_empty(), "`{}` on {}: {d:?}", prog.name, profile.name);
+                let d = verify(prog, &profile, None);
+                assert!(d.is_empty(), "lint `{}`: {d:?}", prog.name);
+            }
+        }
+    }
+
+    #[test]
     fn sid_partial_value_matches_reference_sid() {
         // Against hsi's ln-based SID (tolerance: log2·ln2 vs ln rounding).
         let p = [0.1f32, 0.2, 0.3, 0.4];

@@ -116,11 +116,9 @@ mod tests {
     #[test]
     fn pack_unpack_round_trip() {
         for bands in [1, 3, 4, 7, 8] {
-            let cube = Cube::from_fn(
-                CubeDims::new(3, 2, bands),
-                Interleave::Bip,
-                |x, y, b| (100 * x + 10 * y + b) as f32,
-            )
+            let cube = Cube::from_fn(CubeDims::new(3, 2, bands), Interleave::Bip, |x, y, b| {
+                (100 * x + 10 * y + b) as f32
+            })
             .unwrap();
             let groups = pack_cube(&cube);
             assert_eq!(groups.len(), band_groups(bands));
@@ -132,10 +130,8 @@ mod tests {
     #[test]
     fn pack_works_from_any_interleave() {
         let dims = CubeDims::new(4, 3, 5);
-        let bip = Cube::from_fn(dims, Interleave::Bip, |x, y, b| {
-            (x + 2 * y + 3 * b) as f32
-        })
-        .unwrap();
+        let bip =
+            Cube::from_fn(dims, Interleave::Bip, |x, y, b| (x + 2 * y + 3 * b) as f32).unwrap();
         let bsq = bip.to_interleave(Interleave::Bsq);
         assert_eq!(pack_cube(&bip), pack_cube(&bsq));
     }

@@ -68,7 +68,7 @@ pub fn predict_chunk_stats(
             + 1               // minmax init
             + (p_b - 1) * 2   // minmax update
             + g * 6); // mei partial
-    // Every pass writes one RGBA32F texel per fragment.
+                      // Every pass writes one RGBA32F texel per fragment.
     let bytes_written = frag * 16 * passes;
 
     let (bytes_uploaded, bytes_downloaded) = if config.include_transfers {

@@ -522,10 +522,8 @@ impl GpuAmc {
                         let _ = f.fetch(3, kmax as i64, 0);
                         let (mindx, mindy) = offsets[kmin.min(offsets.len() - 1)];
                         let (maxdx, maxdy) = offsets[kmax.min(offsets.len() - 1)];
-                        let pmin =
-                            f.fetch(0, x as i64 + mindx as i64, y as i64 + mindy as i64);
-                        let pmax =
-                            f.fetch(0, x as i64 + maxdx as i64, y as i64 + maxdy as i64);
+                        let pmin = f.fetch(0, x as i64 + mindx as i64, y as i64 + mindy as i64);
+                        let pmax = f.fetch(0, x as i64 + maxdx as i64, y as i64 + maxdy as i64);
                         let prev = f.fetch(2, x as i64, y as i64);
                         let acc = kernels::sid_partial_value(pmax, pmin);
                         [prev[0] + acc, prev[1] + acc, prev[2] + acc, prev[3] + acc]
@@ -602,7 +600,10 @@ mod tests {
         assert_eq!(out.min_index, ref_min);
         assert_eq!(out.max_index, ref_max);
         assert_eq!(out.chunks, 1);
-        assert!(gpu.allocated_bytes() == 0, "pipeline must free its textures");
+        assert!(
+            gpu.allocated_bytes() == 0,
+            "pipeline must free its textures"
+        );
     }
 
     #[test]
@@ -663,8 +664,7 @@ mod tests {
                 let gy = chunk.y_start + (local_y - chunk.halo_top);
                 for x in 0..dims.width {
                     stitched[gy * dims.width + x] = out.mei.scores[local_y * dims.width + x];
-                    stitched_min[gy * dims.width + x] =
-                        out.min_index[local_y * dims.width + x];
+                    stitched_min[gy * dims.width + x] = out.min_index[local_y * dims.width + x];
                 }
             }
         }
@@ -679,8 +679,7 @@ mod tests {
         let amc = GpuAmc::new(se, KernelMode::Closure);
         let gpu = Gpu::new(GpuProfile::fx5950_ultra());
         // Full AVIRIS frame: 2166 wide, 216 bands — must chunk.
-        let cube_dims_bytes =
-            amc.chunk_bytes(2166, 614, 216);
+        let cube_dims_bytes = amc.chunk_bytes(2166, 614, 216);
         assert!(cube_dims_bytes > gpu.profile().video_memory_bytes());
         let cube = test_cube(64, 32, 8, 5);
         let chunking = amc.plan_chunking(&gpu, &cube);

@@ -1,0 +1,260 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so this in-tree shim
+//! implements the API subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size` / `measurement_time` /
+//! `throughput`), `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Documented deviations from real criterion: no statistical analysis,
+//! outlier detection, HTML reports, or baseline comparison. Each benchmark
+//! runs a short warm-up, then `sample_size` timed samples within the
+//! `measurement_time` budget, and prints the median wall-clock time per
+//! iteration (plus throughput if configured).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse CLI arguments. The shim accepts and ignores criterion's flags
+    /// (`--bench`, filters, …) so `cargo bench` invocations still work.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Run all registered groups (no-op: groups run eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the sampling phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Configure throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run(&id.to_string(), |b| f(b));
+    }
+
+    /// Run one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Finish the group (all benchmarks already ran eagerly).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.samples.sort();
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        let mut line = format!(
+            "  {}/{id}: median {median:?}/iter over {} sample(s)",
+            self.name,
+            bencher.samples.len()
+        );
+        if let Some(t) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(", {:.3e} elem/s", n as f64 / secs));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(", {:.3e} B/s", n as f64 / secs));
+                    }
+                }
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting up to `sample_size` samples within the
+    /// group's measurement budget (always at least one).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        hint::black_box(routine()); // warm-up, untimed
+        let deadline = Instant::now() + self.measurement_time;
+        for i in 0..self.sample_size {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(start.elapsed());
+            if i > 0 && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($group), "` benchmark group.")]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // warm-up + up to 3 samples
+        assert!((2..=4).contains(&runs), "ran {runs} times");
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &v| {
+            b.iter(|| black_box(v * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("mei", 64).to_string(), "mei/64");
+        assert_eq!(BenchmarkId::from_parameter(512).to_string(), "512");
+    }
+
+    criterion_group!(demo_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("noop");
+        g.sample_size(1).measurement_time(Duration::from_millis(1));
+        g.bench_function("nothing", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        demo_group();
+    }
+}

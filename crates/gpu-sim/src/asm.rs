@@ -16,13 +16,20 @@
 
 use crate::error::{GpuError, Result};
 use crate::isa::{
-    Dst, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_CONSTS, NUM_OUTPUTS, NUM_SAMPLERS,
-    NUM_TEMPS, NUM_TEXCOORDS,
+    ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_CONSTS, NUM_OUTPUTS,
+    NUM_SAMPLERS, NUM_TEMPS, NUM_TEXCOORDS,
 };
 
 /// Assemble a source string into a [`Program`].
+///
+/// Every instruction and `DEF` remembers its 1-based source line, so
+/// downstream diagnostics (the verifier, `shader-lint`) can point back into
+/// the text. A second `!!name` directive and a `DEF` that redefines an
+/// already-`DEF`ed constant register are rejected here — both are always
+/// authoring mistakes and the later value would silently win.
 pub fn assemble(source: &str) -> Result<Program> {
     let mut program = Program::default();
+    let mut named_on: Option<usize> = None;
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
         let text = strip_comment(raw).trim();
@@ -30,6 +37,13 @@ pub fn assemble(source: &str) -> Result<Program> {
             continue;
         }
         if let Some(name) = text.strip_prefix("!!") {
+            if let Some(prev) = named_on {
+                return Err(err(
+                    line,
+                    format!("duplicate `!!` name directive (program already named on line {prev})"),
+                ));
+            }
+            named_on = Some(line);
             program.name = name.trim().to_string();
             continue;
         }
@@ -37,7 +51,17 @@ pub fn assemble(source: &str) -> Result<Program> {
             .split_once(char::is_whitespace)
             .ok_or_else(|| err(line, "instruction needs operands"))?;
         if mnemonic.eq_ignore_ascii_case("DEF") {
-            program.defs.push(parse_def(line, rest)?);
+            let def = parse_def(line, rest)?;
+            if let Some(prev) = program.defs.iter().find(|d| d.index == def.index) {
+                return Err(err(
+                    line,
+                    format!(
+                        "duplicate DEF for C{} (first defined on line {})",
+                        def.index, prev.line
+                    ),
+                ));
+            }
+            program.defs.push(def);
             continue;
         }
         program.instrs.push(parse_instr(line, mnemonic, rest)?);
@@ -62,7 +86,7 @@ fn strip_comment(line: &str) -> &str {
     &line[..cut]
 }
 
-fn parse_def(line: usize, rest: &str) -> Result<(u8, [f32; 4])> {
+fn parse_def(line: usize, rest: &str) -> Result<ConstDef> {
     let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
     if parts.len() != 5 {
         return Err(err(line, "DEF needs: DEF Cn, x, y, z, w"));
@@ -78,7 +102,11 @@ fn parse_def(line: usize, rest: &str) -> Result<(u8, [f32; 4])> {
             .parse::<f32>()
             .map_err(|_| err(line, format!("bad float literal `{p}`")))?;
     }
-    Ok((idx, vals))
+    Ok(ConstDef {
+        index: idx,
+        value: vals,
+        line,
+    })
 }
 
 fn parse_instr(line: usize, mnemonic: &str, rest: &str) -> Result<Instr> {
@@ -122,6 +150,7 @@ fn parse_instr(line: usize, mnemonic: &str, rest: &str) -> Result<Instr> {
         dst,
         srcs,
         sampler,
+        line,
     })
 }
 
@@ -264,11 +293,17 @@ mod tests {
         "#;
         let p = assemble(src).unwrap();
         assert_eq!(p.name, "sid_partial");
-        assert_eq!(p.defs, vec![(0, [1e-12, 0.693_147_2, 1.0, 0.0])]);
+        assert_eq!(p.defs.len(), 1);
+        assert_eq!(p.defs[0].index, 0);
+        assert_eq!(p.defs[0].value, [1e-12, std::f32::consts::LN_2, 1.0, 0.0]);
+        assert_eq!(p.defs[0].line, 4);
         assert_eq!(p.len(), 13);
         assert_eq!(p.tex_count(), 3);
         assert_eq!(p.max_sampler(), Some(1));
         assert_eq!(p.instrs[12].dst.reg, Reg::Output(0));
+        // Instructions carry their 1-based source line.
+        assert_eq!(p.instrs[0].line, 5);
+        assert_eq!(p.instrs[12].line, 17);
     }
 
     #[test]
@@ -339,6 +374,35 @@ mod tests {
         assert!(assemble("DEF R0, 1, 2, 3, 4").is_err());
         assert!(assemble("DEF C0, a, 2, 3, 4").is_err());
         assert!(assemble("DEF C31, 1, 2, 3, 4").is_ok());
+    }
+
+    #[test]
+    fn duplicate_name_directive_rejected() {
+        let e = assemble("!!first\nMOV R0, R1\n!!second\n").unwrap_err();
+        match e {
+            GpuError::AssemblyError { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("line 1"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_def_rejected() {
+        let e = assemble("DEF C3, 1, 2, 3, 4\nMOV R0, C3\nDEF C3, 5, 6, 7, 8\n").unwrap_err();
+        match e {
+            GpuError::AssemblyError { line, message } => {
+                assert_eq!(line, 3);
+                assert!(
+                    message.contains("C3") && message.contains("line 1"),
+                    "{message}"
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Different registers are fine.
+        assert!(assemble("DEF C3, 1, 2, 3, 4\nDEF C4, 1, 2, 3, 4\n").is_ok());
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct GpuProfile {
     pub shader_efficiency: f64,
     /// Maximum texture side length, texels.
     pub max_texture_side: usize,
+    /// Maximum static instructions per fragment program (fp30 exposed 1024
+    /// slots; fp40 raised the ceiling).
+    pub max_program_instrs: usize,
+    /// Maximum dependent-texture-read chain depth: how many `TEX` results
+    /// may feed, transitively, into another `TEX`'s coordinates.
+    pub max_tex_indirections: usize,
 }
 
 impl GpuProfile {
@@ -85,6 +91,8 @@ impl GpuProfile {
             alu_issue_per_pipe: 2.5,
             shader_efficiency: 0.55,
             max_texture_side: 4096,
+            max_program_instrs: 1024,
+            max_tex_indirections: 4,
         }
     }
 
@@ -105,6 +113,8 @@ impl GpuProfile {
             alu_issue_per_pipe: 2.0,
             shader_efficiency: 0.55,
             max_texture_side: 4096,
+            max_program_instrs: 4096,
+            max_tex_indirections: 8,
         }
     }
 

@@ -50,6 +50,13 @@ pub enum GpuError {
         /// Description of the configuration error.
         message: String,
     },
+    /// Static verification rejected the program before execution.
+    VerifyError {
+        /// Name of the offending program.
+        program: String,
+        /// Everything the verifier found (errors and warnings).
+        diagnostics: Vec<crate::verify::Diagnostic>,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -79,6 +86,23 @@ impl fmt::Display for GpuError {
             }
             GpuError::BindingError { message } => write!(f, "binding error: {message}"),
             GpuError::InvalidPass { message } => write!(f, "invalid pass: {message}"),
+            GpuError::VerifyError {
+                program,
+                diagnostics,
+            } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == crate::verify::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "program `{program}` failed verification with {errors} error(s)"
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -105,5 +129,18 @@ mod tests {
         };
         assert!(e.to_string().contains("line 7"));
         assert!(e.to_string().contains("bad opcode"));
+        let e = GpuError::VerifyError {
+            program: "amc".into(),
+            diagnostics: vec![crate::verify::Diagnostic {
+                kind: crate::verify::DiagKind::UseBeforeDef,
+                severity: crate::verify::Severity::Error,
+                line: 3,
+                message: "reads R2.w before any write".into(),
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("`amc`"));
+        assert!(s.contains("1 error(s)"));
+        assert!(s.contains("use-before-def"));
     }
 }

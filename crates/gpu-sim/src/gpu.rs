@@ -20,6 +20,7 @@ use crate::isa::Program;
 use crate::raster::{fragment_input, Quad, TexCoordSet};
 use crate::texcache::TextureCache;
 use crate::texture::{AddressMode, Texel, Texture2D};
+use crate::verify;
 use rayon::prelude::*;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -223,6 +224,10 @@ impl Gpu {
     ///
     /// `inputs[i]` binds sampler `texI`; `texcoords[i]` defines coordinate
     /// set `Ti`; `constants` override the program's `DEF`s.
+    ///
+    /// The program is statically verified against this device's profile and
+    /// the pass bindings before any fragment is shaded; a program with
+    /// verification errors is rejected with [`GpuError::VerifyError`].
     pub fn run_pass(
         &mut self,
         program: &Program,
@@ -232,7 +237,20 @@ impl Gpu {
         target: TextureId,
         quad: Option<Quad>,
     ) -> Result<PassStats> {
-        interp::validate_bindings(program, inputs.len())?;
+        let bindings = verify::PassBindings {
+            samplers: inputs.len(),
+            texcoord_sets: texcoords.len(),
+            constants: constants.iter().map(|&(idx, _)| idx).collect(),
+            // run_pass resolves only O0 to the target texture.
+            outputs_read: [true, false, false, false],
+        };
+        let diagnostics = verify::verify(program, &self.profile, Some(&bindings));
+        if verify::has_errors(&diagnostics) {
+            return Err(GpuError::VerifyError {
+                program: program.name.clone(),
+                diagnostics,
+            });
+        }
         let input_refs = self.gather_inputs(inputs, target)?;
         let tgt = self.texture(target)?;
         let (tw, th) = (tgt.width(), tgt.height());
@@ -266,8 +284,7 @@ impl Gpu {
                     let x = quad.x0 + i % quad.width;
                     let y = quad.y0 + band * band_rows + i / quad.width;
                     let fin: FragmentInput = fragment_input(texcoords, x, y, tw, th);
-                    let r =
-                        interp::execute(program, &fin, &resolved, &input_refs, cache.as_mut());
+                    let r = interp::execute(program, &fin, &resolved, &input_refs, cache.as_mut());
                     instr += r.instructions;
                     fetches += r.texel_fetches;
                     *slot = r.colors[0];
@@ -322,6 +339,23 @@ impl Gpu {
     where
         F: Fn(&Fetcher<'_>, usize, usize) -> Texel + Sync,
     {
+        // Closure kernels have no program text to analyse, but the declared
+        // cost is still subject to the profile's program-length limit.
+        if instr_per_fragment as usize > self.profile.max_program_instrs {
+            return Err(GpuError::VerifyError {
+                program: "<closure>".into(),
+                diagnostics: vec![verify::Diagnostic {
+                    kind: verify::DiagKind::TooManyInstructions,
+                    severity: verify::Severity::Error,
+                    line: 0,
+                    message: format!(
+                        "closure kernel declares {instr_per_fragment} instructions/fragment; \
+                         {} allows {}",
+                        self.profile.name, self.profile.max_program_instrs
+                    ),
+                }],
+            });
+        }
         let input_refs = self.gather_inputs(inputs, target)?;
         let tgt = self.texture(target)?;
         let (tw, th) = (tgt.width(), tgt.height());
@@ -447,14 +481,7 @@ mod tests {
         gpu.upload(src, &data).unwrap();
         let prog = assemble("!!copy\nTEX R0, T0, tex0\nMOV OC, R0").unwrap();
         let stats = gpu
-            .run_pass(
-                &prog,
-                &[src],
-                &[],
-                &[TexCoordSet::identity()],
-                dst,
-                None,
-            )
+            .run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
             .unwrap();
         assert_eq!(gpu.download(dst).unwrap(), data);
         assert_eq!(stats.fragments, 16);
@@ -503,7 +530,39 @@ mod tests {
         let dst = gpu.alloc_texture(2, 2).unwrap();
         let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
         let err = gpu.run_pass(&prog, &[], &[], &[], dst, None).unwrap_err();
-        assert!(matches!(err, GpuError::BindingError { .. }));
+        match err {
+            GpuError::VerifyError { diagnostics, .. } => {
+                let kinds: Vec<_> = diagnostics.iter().map(|d| d.kind).collect();
+                assert!(kinds.contains(&crate::verify::DiagKind::UnboundSampler));
+                assert!(kinds.contains(&crate::verify::DiagKind::UnboundTexCoord));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_uninitialized_reads_before_shading() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(2, 2).unwrap();
+        // R3 is never written: rejected before any fragment executes.
+        let prog = assemble("MOV OC, R3").unwrap();
+        let err = gpu.run_pass(&prog, &[], &[], &[], dst, None).unwrap_err();
+        assert!(matches!(err, GpuError::VerifyError { .. }), "{err:?}");
+        assert_eq!(gpu.stats().passes, 0, "no pass may have run");
+    }
+
+    #[test]
+    fn closure_pass_instruction_budget_enforced() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(2, 2).unwrap();
+        let limit = gpu.profile().max_program_instrs as u64;
+        let err = gpu
+            .run_closure_pass(&[], dst, limit + 1, None, |_, _, _| [0.0; 4])
+            .unwrap_err();
+        assert!(matches!(err, GpuError::VerifyError { .. }), "{err:?}");
+        assert!(gpu
+            .run_closure_pass(&[], dst, limit, None, |_, _, _| [0.0; 4])
+            .is_ok());
     }
 
     #[test]

@@ -191,28 +191,13 @@ pub fn resolve_constants(
     pass_constants: &[(u8, [f32; 4])],
 ) -> [[f32; 4]; NUM_CONSTS] {
     let mut c = [[0.0f32; 4]; NUM_CONSTS];
-    for &(idx, v) in &program.defs {
-        c[idx as usize] = v;
+    for d in &program.defs {
+        c[d.index as usize] = d.value;
     }
     for &(idx, v) in pass_constants {
         c[idx as usize] = v;
     }
     c
-}
-
-/// Validate that every sampler the program references is bound.
-pub fn validate_bindings(program: &Program, texture_count: usize) -> crate::error::Result<()> {
-    if let Some(max) = program.max_sampler() {
-        if (max as usize) >= texture_count {
-            return Err(crate::error::GpuError::BindingError {
-                message: format!(
-                    "program `{}` samples tex{max} but only {texture_count} texture(s) bound",
-                    program.name
-                ),
-            });
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -381,14 +366,5 @@ mod tests {
         let constants = resolve_constants(&p, &[(0, [9.0, 8.0, 7.0, 6.0])]);
         let out = execute(&p, &FragmentInput::zero(), &constants, &[], None);
         assert_eq!(out.colors[0], [9.0, 8.0, 7.0, 6.0]);
-    }
-
-    #[test]
-    fn binding_validation() {
-        let p = assemble("TEX R0, T0, tex2\nMOV OC, R0").unwrap();
-        assert!(validate_bindings(&p, 2).is_err());
-        assert!(validate_bindings(&p, 3).is_ok());
-        let p = assemble("MOV OC, R0").unwrap();
-        assert!(validate_bindings(&p, 0).is_ok());
     }
 }

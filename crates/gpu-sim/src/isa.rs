@@ -336,7 +336,12 @@ impl Opcode {
 }
 
 /// One decoded instruction.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores [`Instr::line`]: two instructions are the same operation
+/// regardless of where they appeared in source, which keeps
+/// assemble → `to_asm` → assemble round-trips equal even though the texts
+/// have different layouts.
+#[derive(Debug, Clone)]
 pub struct Instr {
     /// Operation.
     pub op: Opcode,
@@ -346,6 +351,37 @@ pub struct Instr {
     pub srcs: Vec<Src>,
     /// Sampler index for [`Opcode::Tex`].
     pub sampler: Option<u8>,
+    /// 1-based source line this instruction was assembled from (0 when the
+    /// instruction was built in code rather than assembled).
+    pub line: usize,
+}
+
+impl PartialEq for Instr {
+    fn eq(&self, other: &Self) -> bool {
+        self.op == other.op
+            && self.dst == other.dst
+            && self.srcs == other.srcs
+            && self.sampler == other.sampler
+    }
+}
+
+/// A constant preloaded by a `DEF` directive.
+///
+/// Equality ignores [`ConstDef::line`], mirroring [`Instr`].
+#[derive(Debug, Clone)]
+pub struct ConstDef {
+    /// Constant register index (`C<index>`).
+    pub index: u8,
+    /// The four-component value.
+    pub value: [f32; 4],
+    /// 1-based source line of the `DEF` (0 when built in code).
+    pub line: usize,
+}
+
+impl PartialEq for ConstDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.value == other.value
+    }
 }
 
 impl fmt::Display for Instr {
@@ -372,8 +408,8 @@ pub struct Program {
     pub name: String,
     /// Instruction sequence.
     pub instrs: Vec<Instr>,
-    /// Constants pre-set by `DEF` directives: `(index, value)`.
-    pub defs: Vec<(u8, [f32; 4])>,
+    /// Constants pre-set by `DEF` directives.
+    pub defs: Vec<ConstDef>,
 }
 
 impl Program {
@@ -389,10 +425,7 @@ impl Program {
 
     /// Number of `TEX` instructions (texel fetches per fragment).
     pub fn tex_count(&self) -> usize {
-        self.instrs
-            .iter()
-            .filter(|i| i.op == Opcode::Tex)
-            .count()
+        self.instrs.iter().filter(|i| i.op == Opcode::Tex).count()
     }
 
     /// Highest sampler index used, if any.
@@ -406,8 +439,12 @@ impl Program {
         if !self.name.is_empty() {
             out.push_str(&format!("!!{}\n", self.name));
         }
-        for &(idx, v) in &self.defs {
-            out.push_str(&format!("DEF C{idx}, {}, {}, {}, {}\n", v[0], v[1], v[2], v[3]));
+        for d in &self.defs {
+            let v = d.value;
+            out.push_str(&format!(
+                "DEF C{}, {}, {}, {}, {}\n",
+                d.index, v[0], v[1], v[2], v[3]
+            ));
         }
         for i in &self.instrs {
             out.push_str(&format!("{i}\n"));
@@ -475,6 +512,7 @@ mod tests {
                 Src::new(Reg::Temp(1)),
             ],
             sampler: None,
+            line: 0,
         };
         assert_eq!(i.to_string(), "MAD R2, R0, C1.x, R1");
         let t = Instr {
@@ -482,6 +520,7 @@ mod tests {
             dst: Dst::new(Reg::Temp(0)),
             srcs: vec![Src::new(Reg::TexCoord(0))],
             sampler: Some(3),
+            line: 0,
         };
         assert_eq!(t.to_string(), "TEX R0, T0, tex3");
     }
@@ -496,15 +535,21 @@ mod tests {
                     dst: Dst::new(Reg::Temp(0)),
                     srcs: vec![Src::new(Reg::TexCoord(0))],
                     sampler: Some(0),
+                    line: 0,
                 },
                 Instr {
                     op: Opcode::Mov,
                     dst: Dst::new(Reg::Output(0)),
                     srcs: vec![Src::new(Reg::Temp(0))],
                     sampler: None,
+                    line: 0,
                 },
             ],
-            defs: vec![(0, [1.0, 2.0, 3.0, 4.0])],
+            defs: vec![ConstDef {
+                index: 0,
+                value: [1.0, 2.0, 3.0, 4.0],
+                line: 0,
+            }],
         };
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());

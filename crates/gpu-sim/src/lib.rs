@@ -42,9 +42,11 @@ pub mod stream;
 pub mod texcache;
 pub mod texture;
 pub mod timing;
+pub mod verify;
 
 pub use counters::PassStats;
 pub use device::{CpuProfile, GpuProfile};
 pub use error::GpuError;
 pub use gpu::{Gpu, TextureId};
 pub use stream::Stream;
+pub use verify::{verify, DiagKind, Diagnostic, PassBindings, Severity};

@@ -196,11 +196,17 @@ pub fn gather(
     output: &Stream,
 ) -> Result<PassStats> {
     let (iw, ih) = (input.width as i64, input.height as i64);
-    gpu.run_closure_pass(&[input.id, indices.id], output.id, 3, None, move |f, x, y| {
-        // Out-of-range indices clamp to the valid element range.
-        let idx = (f.fetch(1, x as i64, y as i64)[0].max(0.0) as i64).min(iw * ih - 1);
-        f.fetch(0, idx % iw, idx / iw)
-    })
+    gpu.run_closure_pass(
+        &[input.id, indices.id],
+        output.id,
+        3,
+        None,
+        move |f, x, y| {
+            // Out-of-range indices clamp to the valid element range.
+            let idx = (f.fetch(1, x as i64, y as i64)[0].max(0.0) as i64).min(iw * ih - 1);
+            f.fetch(0, idx % iw, idx / iw)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -282,7 +288,7 @@ mod tests {
         assert_eq!(sum[2], 7.5);
         assert_eq!(sum[3], 30.0);
         assert!(stats.passes >= 3); // log-step halving
-        // Intermediates were freed.
+                                    // Intermediates were freed.
         assert_eq!(gpu.allocated_bytes(), before);
     }
 
@@ -308,7 +314,10 @@ mod tests {
         let data: Vec<f32> = (0..6).flat_map(|i| [i as f32, 0.0, 0.0, 0.0]).collect();
         let input = Stream::upload(&mut gpu, 3, 2, &data).unwrap();
         // Reverse permutation in index stream.
-        let idx: Vec<f32> = (0..6).rev().flat_map(|i| [i as f32, 0.0, 0.0, 0.0]).collect();
+        let idx: Vec<f32> = (0..6)
+            .rev()
+            .flat_map(|i| [i as f32, 0.0, 0.0, 0.0])
+            .collect();
         let indices = Stream::upload(&mut gpu, 3, 2, &idx).unwrap();
         let output = Stream::create(&mut gpu, 3, 2).unwrap();
         gather(&mut gpu, &input, &indices, &output).unwrap();

@@ -68,8 +68,8 @@ impl TextureCache {
         let by = (y / BLOCK_H) as u64;
         let tag = ((texture as u64) << 40) | (by << 20) | bx;
         // Simple XOR index so adjacent blocks of different textures spread.
-        let set =
-            ((bx ^ by.wrapping_mul(7) ^ (texture as u64).wrapping_mul(13)) as usize) & (self.sets - 1);
+        let set = ((bx ^ by.wrapping_mul(7) ^ (texture as u64).wrapping_mul(13)) as usize)
+            & (self.sets - 1);
         self.clock += 1;
         let base = set * self.ways;
         let lines = &mut self.tags[base..base + self.ways];

@@ -231,13 +231,13 @@ mod tests {
             flops: 10,
             bytes: 20,
         });
-        w.add(&CpuWork {
-            flops: 1,
-            bytes: 2,
-        });
-        assert_eq!(w, CpuWork {
-            flops: 11,
-            bytes: 22
-        });
+        w.add(&CpuWork { flops: 1, bytes: 2 });
+        assert_eq!(
+            w,
+            CpuWork {
+                flops: 11,
+                bytes: 22
+            }
+        );
     }
 }

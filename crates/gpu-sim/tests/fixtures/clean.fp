@@ -1,0 +1,7 @@
+!!FP1.0 fix-clean
+# Epsilon-guarded reciprocal: no verifier output at all.
+DEF C0, 0.00001, 0.0, 0.0, 0.0
+TEX R0, T0, tex0
+MAX R1, R0, C0.xxxx
+RCP R2.x, R1.x
+MOV OC, R2.xxxx

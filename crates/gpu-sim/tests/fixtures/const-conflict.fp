@@ -1,0 +1,6 @@
+!!FP1.0 fix-const-conflict
+# The pass also binds C0, so this DEF value is shadowed at draw time.
+DEF C0, 0.5, 0.5, 0.5, 0.5
+TEX R0, T0, tex0
+MUL R1, R0, C0
+MOV OC, R1

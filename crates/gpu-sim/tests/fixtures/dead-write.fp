@@ -1,0 +1,5 @@
+!!FP1.0 fix-dead-write
+# R1 is written and then never read.
+TEX R0, T0, tex0
+MOV R1, R0
+MOV OC, R0

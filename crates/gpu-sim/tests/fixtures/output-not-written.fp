@@ -1,0 +1,3 @@
+!!FP1.0 fix-output-not-written
+# Fetches a texel but never writes any output register.
+TEX R0, T0, tex0

@@ -1,0 +1,8 @@
+!!FP1.0 fix-tex-chain-too-deep
+# Five dependent texture reads; the FX 5950 allows chains of four.
+TEX R0, T0, tex0
+TEX R1, R0, tex0
+TEX R2, R1, tex0
+TEX R3, R2, tex0
+TEX R4, R3, tex0
+MOV OC, R4

@@ -1,0 +1,7 @@
+!!FP1.0 fix-too-many-instructions
+# Five instructions; the test checks it against a profile that allows four.
+TEX R0, T0, tex0
+MOV R1, R0
+MOV R2, R1
+MOV R3, R2
+MOV OC, R3

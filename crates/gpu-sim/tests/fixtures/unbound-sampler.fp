@@ -1,0 +1,4 @@
+!!FP1.0 fix-unbound-sampler
+# Samples tex3; the pass only binds one texture.
+TEX R0, T0, tex3
+MOV OC, R0

@@ -1,0 +1,4 @@
+!!FP1.0 fix-unbound-texcoord
+# Reads interpolant T2; the pass supplies a single coordinate set.
+TEX R0, T2, tex0
+MOV OC, R0

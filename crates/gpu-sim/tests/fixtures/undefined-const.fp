@@ -1,0 +1,5 @@
+!!FP1.0 fix-undefined-const
+# C7 is neither DEFed here nor bound by the pass.
+TEX R0, T0, tex0
+MUL R1, R0, C7
+MOV OC, R1

@@ -1,0 +1,5 @@
+!!FP1.0 fix-unguarded-math-input
+# RCP of a raw texel: zero texels produce inf downstream.
+TEX R0, T0, tex0
+RCP R1.x, R0.x
+MOV OC, R1.xxxx

@@ -1,0 +1,4 @@
+!!FP1.0 fix-unused-const
+DEF C1, 1.0, 2.0, 3.0, 4.0
+TEX R0, T0, tex0
+MOV OC, R0

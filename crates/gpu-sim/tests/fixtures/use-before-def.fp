@@ -1,0 +1,5 @@
+!!FP1.0 fix-use-before-def
+# R2 is never written; the ADD reads garbage on real hardware.
+TEX R0, T0, tex0
+ADD R1, R0, R2
+MOV OC, R1

@@ -1,0 +1,194 @@
+//! Property tests for the verifier/interpreter contract.
+//!
+//! The load-bearing property: any program [`verify`] accepts for a pass
+//! context must run through [`interp::execute`] without panicking — the
+//! interpreter indexes register files and sampler slots directly, so the
+//! verifier's structural and binding errors are exactly what stands
+//! between a bad program and an out-of-bounds index.
+
+use gpu_sim::interp::{execute, resolve_constants, FragmentInput};
+use gpu_sim::isa::{ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle};
+use gpu_sim::texture::Texture2D;
+use gpu_sim::verify::{has_errors, verify, PassBindings};
+use gpu_sim::GpuProfile;
+use proptest::prelude::*;
+
+const OPS: [Opcode; 21] = [
+    Opcode::Mov,
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Mad,
+    Opcode::Min,
+    Opcode::Max,
+    Opcode::Rcp,
+    Opcode::Rsq,
+    Opcode::Ex2,
+    Opcode::Lg2,
+    Opcode::Frc,
+    Opcode::Flr,
+    Opcode::Abs,
+    Opcode::Slt,
+    Opcode::Sge,
+    Opcode::Cmp,
+    Opcode::Lrp,
+    Opcode::Dp3,
+    Opcode::Dp4,
+    Opcode::Tex,
+];
+
+/// Raw generated form of one instruction; decoded by [`decode_instr`].
+type RawInstr = ((usize, u8, u8), (u16, u16, u16), u32, u8, bool);
+
+/// Source register universe: mixes valid and invalid indices so the
+/// verifier's rejection paths are exercised alongside its accept path.
+fn src_reg(code: u16) -> Reg {
+    let idx = code / 4;
+    match code % 4 {
+        0 => Reg::Temp((idx % 8) as u8),
+        1 => Reg::Const((idx % 4) as u8),
+        2 => Reg::TexCoord((idx % 4) as u8),
+        _ => Reg::Output((idx % 4) as u8),
+    }
+}
+
+fn decode_instr(raw: &RawInstr) -> Instr {
+    let ((op_idx, dst_code, mask), (s0, s1, s2), swz, sampler_code, negate) = *raw;
+    let op = OPS[op_idx % OPS.len()];
+    let dst_reg = if dst_code < 18 {
+        Reg::Temp(dst_code) // 16 and 17 are out of range on purpose
+    } else {
+        Reg::Output(dst_code - 18) // 22..23 map past O3
+    };
+    let srcs = [s0, s1, s2][..op.arity()]
+        .iter()
+        .enumerate()
+        .map(|(si, &code)| Src {
+            reg: src_reg(code),
+            swizzle: Swizzle([
+                ((swz >> (8 * si)) & 3) as u8,
+                ((swz >> (8 * si + 2)) & 3) as u8,
+                ((swz >> (8 * si + 4)) & 3) as u8,
+                ((swz >> (8 * si + 6)) & 3) as u8,
+            ]),
+            negate: negate && si == 0,
+        })
+        .collect();
+    let sampler = if op == Opcode::Tex {
+        // 9 encodes a TEX with no sampler at all (malformed).
+        (sampler_code != 9).then_some(sampler_code)
+    } else {
+        None
+    };
+    Instr {
+        op,
+        dst: Dst {
+            reg: dst_reg,
+            mask: [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0, mask & 8 != 0],
+            saturate: mask == 0,
+        },
+        srcs,
+        sampler,
+        line: 0,
+    }
+}
+
+/// The pass context every generated program is checked and executed under:
+/// two textures, two coordinate sets, `C1` pass-bound, `O0` read back.
+fn pass() -> PassBindings {
+    PassBindings {
+        samplers: 2,
+        texcoord_sets: 2,
+        constants: vec![1],
+        outputs_read: [true, false, false, false],
+    }
+}
+
+fn build_program(body: Vec<Instr>, with_prologue: bool) -> Program {
+    let mut instrs = Vec::new();
+    if with_prologue {
+        // Define R0..R3 and guarantee an output write, so a useful share of
+        // generated programs survives verification.
+        let prologue = "TEX R0, T0, tex0\nMOV R1, T1\nMOV R2, R0\nMOV R3, T0\n";
+        instrs.extend(gpu_sim::asm::assemble(prologue).unwrap().instrs);
+    }
+    instrs.extend(body);
+    if with_prologue {
+        instrs.extend(gpu_sim::asm::assemble("MOV OC, R0\n").unwrap().instrs);
+    }
+    for i in &mut instrs {
+        i.line = 0;
+    }
+    Program {
+        name: "prop".into(),
+        defs: vec![ConstDef {
+            index: 0,
+            value: [0.5, 0.25, 1.0, 2.0],
+            line: 0,
+        }],
+        instrs,
+    }
+}
+
+fn raw_instr_strategy() -> impl Strategy<Value = RawInstr> {
+    (
+        (0usize..OPS.len(), 0u8..24, 0u8..16),
+        (0u16..256, 0u16..256, 0u16..256),
+        0u32..(1 << 24),
+        0u8..10,
+        any::<bool>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn verify_accepted_programs_execute_without_panicking(
+        body in prop::collection::vec(raw_instr_strategy(), 0..10),
+    ) {
+        let program = build_program(body.iter().map(decode_instr).collect(), true);
+        let profile = GpuProfile::fx5950_ultra();
+        let bindings = pass();
+        let diags = verify(&program, &profile, Some(&bindings));
+        if has_errors(&diags) {
+            return Ok(()); // rejected before execution, as run_pass would do
+        }
+        let t0 = Texture2D::from_flat(4, 4, &vec![0.25f32; 64]);
+        let t1 = Texture2D::from_flat(4, 4, &vec![0.0f32; 64]);
+        let constants = resolve_constants(&program, &[(1, [0.75, 0.5, 0.25, 1.0])]);
+        let out = execute(
+            &program,
+            &FragmentInput::zero(),
+            &constants,
+            &[&t0, &t1],
+            None,
+        );
+        prop_assert_eq!(out.instructions, program.len() as u64);
+    }
+
+    #[test]
+    fn verify_never_panics_and_is_deterministic(
+        body in prop::collection::vec(raw_instr_strategy(), 0..12),
+    ) {
+        // No prologue: wild programs, including structurally broken ones.
+        let program = build_program(body.iter().map(decode_instr).collect(), false);
+        for profile in GpuProfile::paper_gpus() {
+            let a = verify(&program, &profile, Some(&pass()));
+            let b = verify(&program, &profile, Some(&pass()));
+            prop_assert_eq!(&a, &b);
+            let lint = verify(&program, &profile, None);
+            let relint = verify(&program, &profile, None);
+            prop_assert_eq!(&lint, &relint);
+        }
+    }
+}
+
+#[test]
+fn generated_accept_rate_is_nonzero() {
+    // Make sure the main property is not vacuous: the fixed prologue alone
+    // (an empty body) must be accepted under the pass context.
+    let program = build_program(Vec::new(), true);
+    let diags = verify(&program, &GpuProfile::fx5950_ultra(), Some(&pass()));
+    assert!(!has_errors(&diags), "{diags:?}");
+}

@@ -180,7 +180,7 @@ impl AmcClassifier {
                 let interim = LinearMixtureModel::new(&spectra(&endmembers))?;
                 let ranked = residual_ranking(&bip, &interim);
                 // Spread reseeds across distinct high-residual sites.
-                let stride = (ranked.len() / (starved.len() * 8)).max(1).min(50);
+                let stride = (ranked.len() / (starved.len() * 8)).clamp(1, 50);
                 for (j, &k) in starved.iter().enumerate() {
                     let (_, x, y) = ranked[(j * stride).min(ranked.len() - 1)];
                     endmembers[k].x = x;

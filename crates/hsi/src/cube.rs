@@ -401,10 +401,7 @@ impl Iterator for ChunkIter<'_> {
         let y_start = self.next_y;
         let body_lines = self.chunking.lines_per_chunk.min(dims.height - y_start);
         let halo_top = self.chunking.halo.min(y_start);
-        let halo_bottom = self
-            .chunking
-            .halo
-            .min(dims.height - (y_start + body_lines));
+        let halo_bottom = self.chunking.halo.min(dims.height - (y_start + body_lines));
         let y0 = y_start - halo_top;
         let h = halo_top + body_lines + halo_bottom;
         let cube = self
@@ -431,10 +428,7 @@ mod tests {
 
     fn ramp_cube(interleave: Interleave) -> Cube {
         let dims = CubeDims::new(4, 3, 5);
-        Cube::from_fn(dims, interleave, |x, y, b| {
-            (x * 100 + y * 10 + b) as f32
-        })
-        .unwrap()
+        Cube::from_fn(dims, interleave, |x, y, b| (x * 100 + y * 10 + b) as f32).unwrap()
     }
 
     #[test]

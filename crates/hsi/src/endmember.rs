@@ -112,11 +112,7 @@ pub fn spectra(endmembers: &[Endmember]) -> Vec<&[f32]> {
 /// the selection never leaves that boundary. Residual-driven selection is
 /// immune — once both ends of a mixing line are in the set, every point on
 /// the line reconstructs exactly and is skipped.
-pub fn select_endmembers_atgp(
-    cube: &Cube,
-    mei: &MeiImage,
-    count: usize,
-) -> Result<Vec<Endmember>> {
+pub fn select_endmembers_atgp(cube: &Cube, mei: &MeiImage, count: usize) -> Result<Vec<Endmember>> {
     use crate::unmix::LinearMixtureModel;
     let dims = cube.dims();
     if count == 0 || count > dims.pixels() {
@@ -129,7 +125,11 @@ pub fn select_endmembers_atgp(
     // Stop threshold: a residual this far below the mean pixel energy means
     // the image is already fully explained (degenerate scenes return fewer
     // endmembers than requested instead of duplicating spectra).
-    let mean_energy: f64 = bip.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+    let mean_energy: f64 = bip
+        .data()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
         / dims.pixels() as f64;
     // Above the ridge-bias floor (λ² ≈ 1e-9 of energy) but far below the
     // sensor-noise floor of any real scene.

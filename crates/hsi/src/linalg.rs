@@ -133,9 +133,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+            *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
         }
         Ok(out)
     }
@@ -249,19 +249,21 @@ impl Cholesky {
         let n = self.n;
         // Forward: L y = b.
         for i in 0..n {
-            let mut s = b[i];
-            for k in 0..i {
-                s -= self.l[i * n + k] * b[k];
-            }
-            b[i] = s / self.l[i * n + i];
+            let dot: f64 = self.l[i * n..i * n + i]
+                .iter()
+                .zip(&*b)
+                .map(|(&l, &x)| l * x)
+                .sum();
+            b[i] = (b[i] - dot) / self.l[i * n + i];
         }
-        // Backward: Lᵀ x = y.
+        // Backward: Lᵀ x = y (column of L read with stride n).
         for i in (0..n).rev() {
-            let mut s = b[i];
-            for k in i + 1..n {
-                s -= self.l[k * n + i] * b[k];
-            }
-            b[i] = s / self.l[i * n + i];
+            let dot: f64 = b[i + 1..]
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| self.l[(i + 1 + j) * n + i] * x)
+                .sum();
+            b[i] = (b[i] - dot) / self.l[i * n + i];
         }
         Ok(())
     }
@@ -441,10 +443,7 @@ mod tests {
         let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 0.0, 1.0, 4.0, -1.0]).unwrap();
         let v = [1.0f32, 2.0, 3.0];
         let got = a.transpose_matvec_f32(&v).unwrap();
-        let expected = a
-            .transpose()
-            .matvec(&[1.0, 2.0, 3.0])
-            .unwrap();
+        let expected = a.transpose().matvec(&[1.0, 2.0, 3.0]).unwrap();
         for (g, e) in got.iter().zip(&expected) {
             assert!((g - e).abs() < TOL);
         }

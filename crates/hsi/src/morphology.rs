@@ -241,7 +241,9 @@ pub fn cumulative_field(
     let mut field = vec![0.0f32; w * h];
     field.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
         for (x, slot) in row.iter_mut().enumerate() {
-            let centre = normalized.pixel_slice(x, y).expect("normalized cube is BIP");
+            let centre = normalized
+                .pixel_slice(x, y)
+                .expect("normalized cube is BIP");
             let mut acc = 0.0f32;
             for &(dx, dy) in &offsets {
                 let nx = clamp_coord(x as i64 + dx as i64, w);
@@ -268,7 +270,12 @@ pub fn erode_dilate(
     distance: SpectralDistance,
 ) -> MorphResult {
     let field = cumulative_field(normalized, se, distance);
-    erode_dilate_from_field(normalized.dims().width, normalized.dims().height, se, &field)
+    erode_dilate_from_field(
+        normalized.dims().width,
+        normalized.dims().height,
+        se,
+        &field,
+    )
 }
 
 /// Erosion/dilation selection given a precomputed cumulative field.
@@ -460,11 +467,7 @@ fn select_image(
 /// Removes bright (spectrally anomalous) details smaller than the SE while
 /// preserving the background — the building block of the derivative
 /// morphological profiles in the paper's reference \[11\].
-pub fn open_image(
-    raw: &Cube,
-    se: &StructuringElement,
-    distance: SpectralDistance,
-) -> Cube {
+pub fn open_image(raw: &Cube, se: &StructuringElement, distance: SpectralDistance) -> Cube {
     let norm = normalize_cube(raw);
     let eroded = erode_image(raw, &norm, se, distance);
     let eroded_norm = normalize_cube(&eroded);
@@ -472,11 +475,7 @@ pub fn open_image(
 }
 
 /// Extended morphological **closing**: dilation followed by erosion.
-pub fn close_image(
-    raw: &Cube,
-    se: &StructuringElement,
-    distance: SpectralDistance,
-) -> Cube {
+pub fn close_image(raw: &Cube, se: &StructuringElement, distance: SpectralDistance) -> Cube {
     let norm = normalize_cube(raw);
     let dilated = dilate_image(raw, &norm, se, distance);
     let dilated_norm = normalize_cube(&dilated);
@@ -678,7 +677,10 @@ mod tests {
         // anomaly accumulates eight.
         let d_neighbour = field[2 * 5 + 1]; // (1,2)
         let d_anomaly = field[2 * 5 + 2];
-        assert!((d_anomaly / d_neighbour - 8.0).abs() < 1e-3, "{d_anomaly} vs {d_neighbour}");
+        assert!(
+            (d_anomaly / d_neighbour - 8.0).abs() < 1e-3,
+            "{d_anomaly} vs {d_neighbour}"
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
     // Extract and sort.
     let mut order: Vec<usize> = (0..n).collect();
     let eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        eig[j]
+            .partial_cmp(&eig[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let values: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {
@@ -225,7 +229,11 @@ impl Pca {
         for px in bip.data().chunks_exact(dims.bands) {
             data.extend(self.project_pixel(px)?);
         }
-        Cube::from_vec(CubeDims::new(dims.width, dims.height, k), Interleave::Bip, data)
+        Cube::from_vec(
+            CubeDims::new(dims.width, dims.height, k),
+            Interleave::Bip,
+            data,
+        )
     }
 }
 
@@ -271,17 +279,16 @@ mod tests {
         // Leading eigenvector is (1,1)/√2 up to sign.
         let (v0, v1) = (vecs[(0, 0)], vecs[(1, 0)]);
         assert!((v0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
-        assert!((v0 - v1).abs() < 1e-9, "components equal for (1,1) direction");
+        assert!(
+            (v0 - v1).abs() < 1e-9,
+            "components equal for (1,1) direction"
+        );
     }
 
     #[test]
     fn jacobi_eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(
-            3,
-            3,
-            &[4.0, 1.0, 0.5, 1.0, 3.0, -0.25, 0.5, -0.25, 2.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(3, 3, &[4.0, 1.0, 0.5, 1.0, 3.0, -0.25, 0.5, -0.25, 2.0]).unwrap();
         let (vals, vecs) = symmetric_eigen(&a).unwrap();
         assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
         // VᵀV = I.
@@ -368,9 +375,7 @@ mod tests {
             reduced.data().iter().map(|v| v - min + 1.0).collect(),
         )
         .unwrap();
-        let amc = crate::classify::AmcClassifier::new(
-            crate::classify::AmcConfig::paper_default(2),
-        );
+        let amc = crate::classify::AmcClassifier::new(crate::classify::AmcConfig::paper_default(2));
         let out = amc.classify(&shifted).unwrap();
         assert_ne!(out.label(0, 3), out.label(9, 3));
     }

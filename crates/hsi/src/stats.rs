@@ -47,7 +47,9 @@ pub fn band_stats(cube: &Cube, band: usize) -> BandStats {
 
 /// Statistics for every band.
 pub fn all_band_stats(cube: &Cube) -> Vec<BandStats> {
-    (0..cube.dims().bands).map(|b| band_stats(cube, b)).collect()
+    (0..cube.dims().bands)
+        .map(|b| band_stats(cube, b))
+        .collect()
 }
 
 /// Estimate per-band SNR (in dB) of `noisy` against the noise-free
@@ -120,8 +122,8 @@ mod tests {
     #[test]
     fn ramp_band_statistics() {
         // Values 0..4 over a 5x1 image: mean 2, var 2.
-        let cube = Cube::from_fn(CubeDims::new(5, 1, 1), Interleave::Bip, |x, _, _| x as f32)
-            .unwrap();
+        let cube =
+            Cube::from_fn(CubeDims::new(5, 1, 1), Interleave::Bip, |x, _, _| x as f32).unwrap();
         let s = band_stats(&cube, 0);
         assert_eq!(s.min, 0.0);
         assert_eq!(s.max, 4.0);

@@ -62,8 +62,7 @@ impl LinearMixtureModel {
         // noise along the Gram matrix's small eigenvalues. A small fixed λ
         // relative to the mean diagonal stabilises abundances; it escalates
         // only if the factorization still fails (exactly duplicate spectra).
-        let mean_diag: f64 =
-            (0..count).map(|i| gram[(i, i)]).sum::<f64>() / count as f64;
+        let mean_diag: f64 = (0..count).map(|i| gram[(i, i)]).sum::<f64>() / count as f64;
         let mut scale = RIDGE_SCALE;
         for i in 0..count {
             gram[(i, i)] += mean_diag * scale;
@@ -307,7 +306,9 @@ mod tests {
     #[test]
     fn pixel_length_checked() {
         let m = simple_model();
-        assert!(m.abundances(&[1.0, 2.0], AbundanceConstraint::None).is_err());
+        assert!(m
+            .abundances(&[1.0, 2.0], AbundanceConstraint::None)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this in-tree shim
+//! provides the exact API subset the workspace uses: `par_chunks` /
+//! `par_chunks_mut` through `rayon::prelude::*`. The "parallel" iterators
+//! returned here are the corresponding **sequential** `std` slice iterators,
+//! so every standard `Iterator` adapter (`enumerate`, `zip`, `for_each`,
+//! `map`, …) works unchanged and results are bit-identical to a parallel
+//! run (all call sites are data-parallel with disjoint outputs).
+//!
+//! Documented deviation: execution is single-threaded. The simulator's
+//! counters use atomics and per-band accumulation, so functional results
+//! and statistics are unaffected — only host wall-clock differs.
+
+/// The rayon prelude: parallel-slice traits over ordinary slices.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        /// Chunked traversal; sequential equivalent of `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Chunked mutable traversal; sequential equivalent of
+        /// `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+
+        /// Comparator sort; sequential equivalent of `par_sort_by`.
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.sort_by(compare);
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential equivalent of `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_behaves_like_chunks_mut() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_reads_in_order() {
+        let v = [1, 2, 3, 4, 5];
+        let sums: Vec<i32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, [3, 7, 5]);
+    }
+
+    #[test]
+    fn zipped_chunk_iterators_stay_aligned() {
+        let mut a = vec![0u32; 6];
+        let mut b = vec![0u32; 6];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca[0] = i as u32;
+                cb[0] = 10 + i as u32;
+            });
+        assert_eq!(a, [0, 0, 1, 0, 2, 0]);
+        assert_eq!(b, [10, 0, 11, 0, 12, 0]);
+    }
+
+    #[test]
+    fn into_par_iter_matches_into_iter() {
+        let total: usize = (0..5usize).into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+}

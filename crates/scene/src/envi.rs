@@ -33,7 +33,10 @@ impl std::fmt::Display for EnviError {
             EnviError::Io(e) => write!(f, "io: {e}"),
             EnviError::BadHeader(m) => write!(f, "bad ENVI header: {m}"),
             EnviError::SizeMismatch { expected, actual } => {
-                write!(f, "raw size mismatch: expected {expected} samples, got {actual}")
+                write!(
+                    f,
+                    "raw size mismatch: expected {expected} samples, got {actual}"
+                )
             }
         }
     }
@@ -112,7 +115,9 @@ pub fn read_cube(path: &Path) -> Result<Cube> {
     let mut raw = Vec::new();
     fs::File::open(path)?.read_to_end(&mut raw)?;
     if raw.len() % 4 != 0 {
-        return Err(EnviError::BadHeader("raw length not a multiple of 4".into()));
+        return Err(EnviError::BadHeader(
+            "raw length not a multiple of 4".into(),
+        ));
     }
     let actual = raw.len() / 4;
     let dims = CubeDims::new(samples, lines, bands);

@@ -50,38 +50,198 @@ pub fn indian_pines_classes() -> Vec<ClassSpec> {
         }
     }
     vec![
-        ClassSpec { name: "BareSoil", paper_accuracy: 98.05, family: Family::Soil { brightness: 0.75 }, seed: 1 },
-        ClassSpec { name: "Buildings", paper_accuracy: 30.43, family: Family::ManMade { albedo: 0.55 }, seed: 2 },
-        ClassSpec { name: "Concrete/Asphalt", paper_accuracy: 96.24, family: Family::ManMade { albedo: 0.80 }, seed: 3 },
-        ClassSpec { name: "Corn", paper_accuracy: 99.37, family: veg(0.30, 0.30), seed: 4 },
-        ClassSpec { name: "Corn?", paper_accuracy: 86.77, family: veg(0.75, 0.35), seed: 5 },
-        ClassSpec { name: "Corn-EW", paper_accuracy: 37.01, family: veg(0.25, 0.42), seed: 6 },
-        ClassSpec { name: "Corn-NS", paper_accuracy: 91.50, family: veg(0.80, 0.46), seed: 7 },
-        ClassSpec { name: "Corn-CleanTill", paper_accuracy: 65.39, family: veg(0.35, 0.52), seed: 8 },
-        ClassSpec { name: "Corn-CleanTill-EW", paper_accuracy: 69.88, family: veg(0.85, 0.55), seed: 9 },
-        ClassSpec { name: "Corn-CleanTill-NS", paper_accuracy: 71.64, family: veg(0.30, 0.60), seed: 10 },
-        ClassSpec { name: "Corn-CleanTill-NS-Irrigated", paper_accuracy: 60.91, family: veg(0.90, 0.63), seed: 11 },
-        ClassSpec { name: "Corn-CleanTilled-NS?", paper_accuracy: 70.27, family: veg(0.40, 0.68), seed: 12 },
-        ClassSpec { name: "Corn-MinTill", paper_accuracy: 79.71, family: veg(0.95, 0.71), seed: 13 },
-        ClassSpec { name: "Corn-MinTill-EW", paper_accuracy: 65.51, family: veg(0.45, 0.76), seed: 14 },
-        ClassSpec { name: "Corn-MinTill-NS", paper_accuracy: 69.57, family: veg(1.00, 0.79), seed: 15 },
-        ClassSpec { name: "Corn-NoTill", paper_accuracy: 87.20, family: veg(0.50, 0.84), seed: 16 },
-        ClassSpec { name: "Corn-NoTill-EW", paper_accuracy: 91.25, family: veg(0.60, 0.88), seed: 17 },
-        ClassSpec { name: "Corn-NoTill-NS", paper_accuracy: 44.64, family: veg(0.20, 0.92), seed: 18 },
-        ClassSpec { name: "Fescue", paper_accuracy: 42.37, family: Family::DryVegetation { brightness: 0.45 }, seed: 19 },
-        ClassSpec { name: "Grass", paper_accuracy: 70.15, family: veg(0.85, 0.97), seed: 20 },
-        ClassSpec { name: "Grass/Trees", paper_accuracy: 51.30, family: veg(0.95, 0.90), seed: 21 },
-        ClassSpec { name: "Grass/Pasture-mowed", paper_accuracy: 79.87, family: veg(0.78, 0.82), seed: 22 },
-        ClassSpec { name: "Grass/Pasture", paper_accuracy: 66.40, family: veg(0.88, 0.74), seed: 23 },
-        ClassSpec { name: "Grass-runway", paper_accuracy: 60.53, family: veg(0.55, 0.66), seed: 24 },
-        ClassSpec { name: "Hay", paper_accuracy: 62.13, family: Family::DryVegetation { brightness: 0.62 }, seed: 25 },
-        ClassSpec { name: "Hay?", paper_accuracy: 61.98, family: Family::DryVegetation { brightness: 0.68 }, seed: 26 },
-        ClassSpec { name: "Hay-Alfalfa", paper_accuracy: 83.35, family: Family::DryVegetation { brightness: 0.55 }, seed: 27 },
-        ClassSpec { name: "Lake", paper_accuracy: 83.41, family: Family::Water, seed: 28 },
-        ClassSpec { name: "NotCropped", paper_accuracy: 99.20, family: Family::Soil { brightness: 0.45 }, seed: 29 },
-        ClassSpec { name: "Oats", paper_accuracy: 78.04, family: veg(0.24, 0.58), seed: 30 },
-        ClassSpec { name: "Road", paper_accuracy: 86.60, family: Family::ManMade { albedo: 0.35 }, seed: 31 },
-        ClassSpec { name: "Woods", paper_accuracy: 88.89, family: veg(1.00, 1.00), seed: 32 },
+        ClassSpec {
+            name: "BareSoil",
+            paper_accuracy: 98.05,
+            family: Family::Soil { brightness: 0.75 },
+            seed: 1,
+        },
+        ClassSpec {
+            name: "Buildings",
+            paper_accuracy: 30.43,
+            family: Family::ManMade { albedo: 0.55 },
+            seed: 2,
+        },
+        ClassSpec {
+            name: "Concrete/Asphalt",
+            paper_accuracy: 96.24,
+            family: Family::ManMade { albedo: 0.80 },
+            seed: 3,
+        },
+        ClassSpec {
+            name: "Corn",
+            paper_accuracy: 99.37,
+            family: veg(0.30, 0.30),
+            seed: 4,
+        },
+        ClassSpec {
+            name: "Corn?",
+            paper_accuracy: 86.77,
+            family: veg(0.75, 0.35),
+            seed: 5,
+        },
+        ClassSpec {
+            name: "Corn-EW",
+            paper_accuracy: 37.01,
+            family: veg(0.25, 0.42),
+            seed: 6,
+        },
+        ClassSpec {
+            name: "Corn-NS",
+            paper_accuracy: 91.50,
+            family: veg(0.80, 0.46),
+            seed: 7,
+        },
+        ClassSpec {
+            name: "Corn-CleanTill",
+            paper_accuracy: 65.39,
+            family: veg(0.35, 0.52),
+            seed: 8,
+        },
+        ClassSpec {
+            name: "Corn-CleanTill-EW",
+            paper_accuracy: 69.88,
+            family: veg(0.85, 0.55),
+            seed: 9,
+        },
+        ClassSpec {
+            name: "Corn-CleanTill-NS",
+            paper_accuracy: 71.64,
+            family: veg(0.30, 0.60),
+            seed: 10,
+        },
+        ClassSpec {
+            name: "Corn-CleanTill-NS-Irrigated",
+            paper_accuracy: 60.91,
+            family: veg(0.90, 0.63),
+            seed: 11,
+        },
+        ClassSpec {
+            name: "Corn-CleanTilled-NS?",
+            paper_accuracy: 70.27,
+            family: veg(0.40, 0.68),
+            seed: 12,
+        },
+        ClassSpec {
+            name: "Corn-MinTill",
+            paper_accuracy: 79.71,
+            family: veg(0.95, 0.71),
+            seed: 13,
+        },
+        ClassSpec {
+            name: "Corn-MinTill-EW",
+            paper_accuracy: 65.51,
+            family: veg(0.45, 0.76),
+            seed: 14,
+        },
+        ClassSpec {
+            name: "Corn-MinTill-NS",
+            paper_accuracy: 69.57,
+            family: veg(1.00, 0.79),
+            seed: 15,
+        },
+        ClassSpec {
+            name: "Corn-NoTill",
+            paper_accuracy: 87.20,
+            family: veg(0.50, 0.84),
+            seed: 16,
+        },
+        ClassSpec {
+            name: "Corn-NoTill-EW",
+            paper_accuracy: 91.25,
+            family: veg(0.60, 0.88),
+            seed: 17,
+        },
+        ClassSpec {
+            name: "Corn-NoTill-NS",
+            paper_accuracy: 44.64,
+            family: veg(0.20, 0.92),
+            seed: 18,
+        },
+        ClassSpec {
+            name: "Fescue",
+            paper_accuracy: 42.37,
+            family: Family::DryVegetation { brightness: 0.45 },
+            seed: 19,
+        },
+        ClassSpec {
+            name: "Grass",
+            paper_accuracy: 70.15,
+            family: veg(0.85, 0.97),
+            seed: 20,
+        },
+        ClassSpec {
+            name: "Grass/Trees",
+            paper_accuracy: 51.30,
+            family: veg(0.95, 0.90),
+            seed: 21,
+        },
+        ClassSpec {
+            name: "Grass/Pasture-mowed",
+            paper_accuracy: 79.87,
+            family: veg(0.78, 0.82),
+            seed: 22,
+        },
+        ClassSpec {
+            name: "Grass/Pasture",
+            paper_accuracy: 66.40,
+            family: veg(0.88, 0.74),
+            seed: 23,
+        },
+        ClassSpec {
+            name: "Grass-runway",
+            paper_accuracy: 60.53,
+            family: veg(0.55, 0.66),
+            seed: 24,
+        },
+        ClassSpec {
+            name: "Hay",
+            paper_accuracy: 62.13,
+            family: Family::DryVegetation { brightness: 0.62 },
+            seed: 25,
+        },
+        ClassSpec {
+            name: "Hay?",
+            paper_accuracy: 61.98,
+            family: Family::DryVegetation { brightness: 0.68 },
+            seed: 26,
+        },
+        ClassSpec {
+            name: "Hay-Alfalfa",
+            paper_accuracy: 83.35,
+            family: Family::DryVegetation { brightness: 0.55 },
+            seed: 27,
+        },
+        ClassSpec {
+            name: "Lake",
+            paper_accuracy: 83.41,
+            family: Family::Water,
+            seed: 28,
+        },
+        ClassSpec {
+            name: "NotCropped",
+            paper_accuracy: 99.20,
+            family: Family::Soil { brightness: 0.45 },
+            seed: 29,
+        },
+        ClassSpec {
+            name: "Oats",
+            paper_accuracy: 78.04,
+            family: veg(0.24, 0.58),
+            seed: 30,
+        },
+        ClassSpec {
+            name: "Road",
+            paper_accuracy: 86.60,
+            family: Family::ManMade { albedo: 0.35 },
+            seed: 31,
+        },
+        ClassSpec {
+            name: "Woods",
+            paper_accuracy: 88.89,
+            family: veg(1.00, 1.00),
+            seed: 32,
+        },
     ]
 }
 

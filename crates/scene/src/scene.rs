@@ -179,10 +179,8 @@ pub fn generate(classes: &[ClassSpec], config: &SceneConfig) -> SyntheticScene {
             // Border pixels mix with the adjacent field's material.
             let lx = x % config.field_width;
             let ly = y % config.field_height;
-            let at_border = lx == 0
-                || ly == 0
-                || lx == config.field_width - 1
-                || ly == config.field_height - 1;
+            let at_border =
+                lx == 0 || ly == 0 || lx == config.field_width - 1 || ly == config.field_height - 1;
             let neighbour_class = if at_border {
                 // Nearest horizontally/vertically adjacent field.
                 let nfx = if lx == 0 && fx > 0 {
@@ -350,12 +348,9 @@ mod tests {
         let labels = model
             .classify_cube(&scene.cube, hsi::unmix::AbundanceConstraint::SumToOneNonNeg)
             .unwrap();
-        let cm = hsi::metrics::ConfusionMatrix::from_labels(
-            &scene.ground_truth,
-            &labels,
-            classes.len(),
-        )
-        .unwrap();
+        let cm =
+            hsi::metrics::ConfusionMatrix::from_labels(&scene.ground_truth, &labels, classes.len())
+                .unwrap();
         let per = cm.per_class_accuracy();
         // High-purity classes beat the heavily mixed ones.
         assert!(per[0] > 80.0, "BareSoil {per:?}");

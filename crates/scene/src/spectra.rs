@@ -119,7 +119,8 @@ impl Family {
         for b in 0..bands {
             let wl = wavelength(b, bands);
             let base = self.reflectance(wl);
-            let bump = a1 * gauss(wl, c1, 0.15) + a2 * gauss(wl, c2, 0.2) + a3 * gauss(wl, c3, 0.18);
+            let bump =
+                a1 * gauss(wl, c1, 0.15) + a2 * gauss(wl, c2, 0.2) + a3 * gauss(wl, c3, 0.18);
             let v = ((base + bump).clamp(0.003, 0.98) * scale as f64) as f32;
             out.push(v.max(1.0));
         }
@@ -146,7 +147,10 @@ mod tests {
 
     #[test]
     fn vegetation_has_red_edge() {
-        let veg = Family::Vegetation { vigor: 0.9, canopy: 1.0 };
+        let veg = Family::Vegetation {
+            vigor: 0.9,
+            canopy: 1.0,
+        };
         // NIR (0.8 µm) reflectance far exceeds red (0.67 µm).
         assert!(veg.reflectance(0.85) > 2.0 * veg.reflectance(0.67));
     }
@@ -170,8 +174,14 @@ mod tests {
     #[test]
     fn reflectance_stays_physical() {
         let families = [
-            Family::Vegetation { vigor: 0.0, canopy: 0.3 },
-            Family::Vegetation { vigor: 1.0, canopy: 1.0 },
+            Family::Vegetation {
+                vigor: 0.0,
+                canopy: 0.3,
+            },
+            Family::Vegetation {
+                vigor: 1.0,
+                canopy: 1.0,
+            },
             Family::Soil { brightness: 1.0 },
             Family::ManMade { albedo: 1.0 },
             Family::Water,
@@ -187,7 +197,10 @@ mod tests {
 
     #[test]
     fn sample_is_deterministic_and_positive() {
-        let veg = Family::Vegetation { vigor: 0.5, canopy: 0.8 };
+        let veg = Family::Vegetation {
+            vigor: 0.5,
+            canopy: 0.8,
+        };
         let a = veg.sample(216, 4000.0, 7);
         let b = veg.sample(216, 4000.0, 7);
         assert_eq!(a, b);
@@ -197,7 +210,10 @@ mod tests {
 
     #[test]
     fn perturbation_separates_same_family_classes() {
-        let veg = Family::Vegetation { vigor: 0.5, canopy: 0.8 };
+        let veg = Family::Vegetation {
+            vigor: 0.5,
+            canopy: 0.8,
+        };
         let a = veg.sample(216, 4000.0, 1);
         let b = veg.sample(216, 4000.0, 2);
         assert!(sid(&a, &b) > 1e-5, "SID = {}", sid(&a, &b));
@@ -207,7 +223,10 @@ mod tests {
     fn families_are_spectrally_distinct() {
         let bands = 216;
         let sigs: Vec<Vec<f32>> = [
-            Family::Vegetation { vigor: 0.8, canopy: 0.9 },
+            Family::Vegetation {
+                vigor: 0.8,
+                canopy: 0.9,
+            },
             Family::Soil { brightness: 0.6 },
             Family::ManMade { albedo: 0.7 },
             Family::Water,

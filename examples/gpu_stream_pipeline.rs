@@ -13,15 +13,15 @@ use hyperspec::prelude::*;
 fn main() {
     // A deterministic pseudo-random cube: 64x48 pixels, 16 bands.
     let dims = CubeDims::new(64, 48, 16);
-    let mut state = 0x1234_5678_9ABC_DEFu64 | 1;
+    let mut state = 0x0123_4567_89AB_CDEF_u64 | 1;
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
         (state >> 40) as f32 / 16_777_216.0
     };
-    let cube = Cube::from_fn(dims, Interleave::Bip, |_, _, _| 40.0 + 200.0 * next())
-        .expect("valid dims");
+    let cube =
+        Cube::from_fn(dims, Interleave::Bip, |_, _, _| 40.0 + 200.0 * next()).expect("valid dims");
 
     let se = StructuringElement::square(3).expect("3x3");
     for profile in [GpuProfile::fx5950_ultra(), GpuProfile::geforce_7800gtx()] {

@@ -42,7 +42,10 @@ fn main() {
     for &(x, y) in &anomalies {
         assert_eq!(opened.pixel(x, y), bg.to_vec(), "anomaly at ({x},{y})");
     }
-    println!("all {} single-pixel anomalies removed by 3x3 opening", anomalies.len());
+    println!(
+        "all {} single-pixel anomalies removed by 3x3 opening",
+        anomalies.len()
+    );
 
     // Closing, by contrast, preserves this scene entirely (no dark holes).
     let closed = morphology::close_image(&cube, &se, SpectralDistance::Sid);

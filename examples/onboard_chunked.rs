@@ -24,8 +24,8 @@ fn main() {
         state ^= state << 17;
         (state >> 40) as f32 / 16_777_216.0
     };
-    let cube = Cube::from_fn(dims, Interleave::Bip, |_, _, _| 30.0 + 150.0 * next())
-        .expect("valid dims");
+    let cube =
+        Cube::from_fn(dims, Interleave::Bip, |_, _, _| 30.0 + 150.0 * next()).expect("valid dims");
     println!(
         "flight line: {}x{} pixels, {} bands ({:.1} MiB as f32 band planes)",
         dims.width,
@@ -38,7 +38,10 @@ fn main() {
     // cannot be resident and chunking must kick in.
     let mut small = GpuProfile::fx5950_ultra();
     small.video_memory_mib = 2;
-    let amc = GpuAmc::new(StructuringElement::square(3).expect("3x3"), KernelMode::Closure);
+    let amc = GpuAmc::new(
+        StructuringElement::square(3).expect("3x3"),
+        KernelMode::Closure,
+    );
     let chunking = amc.plan_chunking(&Gpu::new(small.clone()), &cube);
     println!(
         "planned chunking: {} body lines per chunk, halo {} (2x SE radius)",

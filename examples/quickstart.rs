@@ -15,10 +15,8 @@ fn main() {
         [20.0f32, 20.0, 20.0, 20.0, 70.0, 80.0, 60.0, 40.0],
     ];
     let dims = CubeDims::new(16, 16, 8);
-    let cube = Cube::from_fn(dims, Interleave::Bip, |x, _, b| {
-        materials[x * 3 / 16][b]
-    })
-    .expect("valid dimensions");
+    let cube = Cube::from_fn(dims, Interleave::Bip, |x, _, b| materials[x * 3 / 16][b])
+        .expect("valid dimensions");
     println!(
         "cube: {}x{} pixels, {} bands ({} KiB as 16-bit sensor data)",
         dims.width,
@@ -30,13 +28,8 @@ fn main() {
     // Step 1+2 of AMC: normalization + morphological MEI scores.
     let normalized = hyperspec::hsi::morphology::normalize_cube(&cube);
     let se = StructuringElement::square(3).expect("3x3");
-    let (mei, morph) =
-        hyperspec::hsi::morphology::mei(&normalized, &se, SpectralDistance::Sid);
-    let peak = mei
-        .scores
-        .iter()
-        .cloned()
-        .fold(f32::NEG_INFINITY, f32::max);
+    let (mei, morph) = hyperspec::hsi::morphology::mei(&normalized, &se, SpectralDistance::Sid);
+    let peak = mei.scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     println!("MEI: peak score {peak:.4} (material boundaries light up)");
     println!(
         "erosion/dilation indices range over the SE's {} neighbours (max index seen: {})",

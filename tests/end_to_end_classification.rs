@@ -1,9 +1,9 @@
 //! End-to-end AMC classification on synthetic scenes with ground truth —
 //! the Table 3 experiment at test scale.
 
-use hyperspec::prelude::*;
 use hyperspec::amc::pipeline::{GpuAmc, KernelMode};
 use hyperspec::hsi::metrics::score_unsupervised;
+use hyperspec::prelude::*;
 use hyperspec::scene::library::indian_pines_classes;
 
 /// A fast scene: 8 classes on a small grid.

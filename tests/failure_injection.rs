@@ -19,7 +19,10 @@ fn video_memory_exhaustion_surfaces_as_pipeline_error() {
     let amc = GpuAmc::new(StructuringElement::square(3).unwrap(), KernelMode::Closure);
     // run_chunk bypasses the chunk planner, forcing the allocation failure.
     let err = amc.run_chunk(&mut gpu, &cube).unwrap_err();
-    assert!(matches!(err, AmcError::Gpu(GpuError::OutOfVideoMemory { .. })), "{err}");
+    assert!(
+        matches!(err, AmcError::Gpu(GpuError::OutOfVideoMemory { .. })),
+        "{err}"
+    );
     // The error display carries context.
     assert!(err.to_string().contains("video memory"));
 }
@@ -51,7 +54,10 @@ fn malformed_shaders_report_line_and_reason() {
     ] {
         let err = asm::assemble(src).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains(needle), "`{src}` -> `{msg}` (wanted `{needle}`)");
+        assert!(
+            msg.contains(needle),
+            "`{src}` -> `{msg}` (wanted `{needle}`)"
+        );
     }
 }
 

@@ -40,8 +40,7 @@ fn gpu_mei_matches_cpu_reference_across_shapes() {
             .run(&mut gpu, &cube)
             .unwrap();
         let norm = hyperspec::hsi::morphology::normalize_cube(&cube);
-        let (ref_mei, morph) =
-            hyperspec::hsi::morphology::mei(&norm, &se, SpectralDistance::Sid);
+        let (ref_mei, morph) = hyperspec::hsi::morphology::mei(&norm, &se, SpectralDistance::Sid);
         assert_close(&gpu_out.mei.scores, &ref_mei.scores, 1e-4, "mei");
         assert_eq!(gpu_out.min_index, morph.min_index, "{w}x{h}x{bands}");
         assert_eq!(gpu_out.max_index, morph.max_index);

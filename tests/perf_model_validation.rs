@@ -102,7 +102,10 @@ fn table_shape_headlines_hold() {
     let (t5, _) = perf::predict_gpu_time(sizes[5].1, &se, &GpuProfile::geforce_7800gtx(), &cfg);
     let ratio = t5.kernel_ms() / t0.kernel_ms();
     let size_ratio = sizes[5].1.pixels() as f64 / sizes[0].1.pixels() as f64;
-    assert!((ratio / size_ratio - 1.0).abs() < 0.1, "scaling {ratio} vs {size_ratio}");
+    assert!(
+        (ratio / size_ratio - 1.0).abs() < 0.1,
+        "scaling {ratio} vs {size_ratio}"
+    );
 }
 
 #[test]

@@ -1,9 +1,9 @@
 //! Property-based tests over the core invariants.
 
-use hyperspec::prelude::*;
 use hyperspec::amc::layout;
 use hyperspec::gpu::asm;
 use hyperspec::hsi::{metrics, pixel, spectral};
+use hyperspec::prelude::*;
 use proptest::prelude::*;
 
 fn radiance_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
