@@ -82,8 +82,10 @@ pub fn time_rows(compiler: Compiler) -> Vec<TimeRow> {
         .into_iter()
         .map(|(mb, dims)| {
             let work = cpu::amc_work(dims, se.len());
-            let (fx_t, _) = perf::predict_gpu_time(dims, &se, &fx, &cfg);
-            let (g70_t, _) = perf::predict_gpu_time(dims, &se, &g70, &cfg);
+            let (fx_t, _) =
+                perf::predict_gpu_time(dims, &se, &fx, &cfg).expect("paper sizes are chunkable");
+            let (g70_t, _) =
+                perf::predict_gpu_time(dims, &se, &g70, &cfg).expect("paper sizes are chunkable");
             TimeRow {
                 size_mb: mb,
                 p4_ms: timing::cpu_time_ms(&work, &p4, compiler),
@@ -365,7 +367,8 @@ pub fn format_ablations() -> String {
     s.push_str("SE size sweep (kernel ms; complexity is linear in p_B):\n");
     for side in [3usize, 5, 7] {
         let se = StructuringElement::square(side).expect("odd side");
-        let (t, _) = perf::predict_gpu_time(dims, &se, &g70, &PredictConfig::default());
+        let (t, _) = perf::predict_gpu_time(dims, &se, &g70, &PredictConfig::default())
+            .expect("full scene is chunkable");
         s.push_str(&format!(
             "  {side}x{side} (p_B = {:>2}): {:>8.1} ms\n",
             se.len(),
@@ -386,7 +389,8 @@ pub fn format_ablations() -> String {
             },
         ),
     ] {
-        let (t, _) = perf::predict_gpu_time(dims, &se, &g70, &cfg);
+        let (t, _) =
+            perf::predict_gpu_time(dims, &se, &g70, &cfg).expect("full scene is chunkable");
         s.push_str(&format!(
             "  {name:<32} memory {:>8.1} ms, kernel {:>8.1} ms\n",
             t.memory_s * 1e3,

@@ -25,28 +25,50 @@ pub const fn band_groups(bands: usize) -> usize {
 /// Lane `l` of texel `(x, y)` holds band `group * 4 + l`, or zero beyond the
 /// last band.
 pub fn pack_band_group(cube: &Cube, group: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    pack_band_group_into(cube, group, &mut out);
+    out
+}
+
+/// [`pack_band_group`] into a caller-owned buffer (cleared and refilled),
+/// so streaming executors can reuse one scratch allocation per plane
+/// instead of allocating `groups × chunks` fresh buffers.
+pub fn pack_band_group_into(cube: &Cube, group: usize, out: &mut Vec<f32>) {
     let dims = cube.dims();
     assert!(group < band_groups(dims.bands), "band group out of range");
-    let mut out = vec![0.0f32; dims.width * dims.height * 4];
+    out.clear();
+    out.resize(dims.width * dims.height * 4, 0.0);
     for y in 0..dims.height {
         for x in 0..dims.width {
             let base = (y * dims.width + x) * 4;
             for lane in 0..BANDS_PER_TEXEL {
                 let band = group * BANDS_PER_TEXEL + lane;
-                if band < dims.bands {
-                    out[base + lane] = cube.get(x, y, band);
-                }
+                out[base + lane] = if band < dims.bands {
+                    cube.get(x, y, band)
+                } else {
+                    0.0
+                };
             }
         }
     }
-    out
 }
 
 /// Pack the whole cube into its stack of band-group buffers.
 pub fn pack_cube(cube: &Cube) -> Vec<Vec<f32>> {
-    (0..band_groups(cube.dims().bands))
-        .map(|g| pack_band_group(cube, g))
-        .collect()
+    let mut groups = Vec::new();
+    pack_cube_into(cube, &mut groups);
+    groups
+}
+
+/// [`pack_cube`] into caller-owned buffers (resized and refilled). Buffers
+/// beyond the band-group count are truncated away; existing buffers are
+/// reused without reallocating when capacities already fit.
+pub fn pack_cube_into(cube: &Cube, groups: &mut Vec<Vec<f32>>) {
+    let n = band_groups(cube.dims().bands);
+    groups.resize_with(n, Vec::new);
+    for (g, buf) in groups.iter_mut().enumerate() {
+        pack_band_group_into(cube, g, buf);
+    }
 }
 
 /// Reassemble a cube (BIP) from packed band-group buffers.
@@ -144,6 +166,31 @@ mod tests {
         let full = cube_plane_bytes(2166, 614, 216);
         assert!(full > 256 * 1024 * 1024);
         assert_eq!(full, 54 * 2166 * 614 * 16);
+    }
+
+    #[test]
+    fn pack_into_reuses_buffers_and_scrubs_stale_contents() {
+        let small = Cube::from_fn(CubeDims::new(2, 1, 3), Interleave::Bip, |x, _, b| {
+            (x * 10 + b) as f32
+        })
+        .unwrap();
+        let big = Cube::from_fn(CubeDims::new(3, 2, 6), Interleave::Bip, |x, y, b| {
+            (100 * x + 10 * y + b) as f32
+        })
+        .unwrap();
+        // Pack big, then small into the same buffers: stale lanes (padding)
+        // and stale trailing groups must not leak through.
+        let mut groups = Vec::new();
+        pack_cube_into(&big, &mut groups);
+        assert_eq!(groups.len(), 2);
+        pack_cube_into(&small, &mut groups);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], pack_band_group(&small, 0));
+        assert_eq!(groups[0][3], 0.0, "padding lane re-zeroed");
+        // And a buffer round-trip still reconstructs the cube.
+        pack_cube_into(&big, &mut groups);
+        let back = unpack_cube(&groups, 3, 2, 6).unwrap();
+        assert_eq!(back, big);
     }
 
     #[test]

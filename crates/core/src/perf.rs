@@ -11,6 +11,7 @@
 
 use crate::kernels;
 use crate::layout;
+use crate::pipeline::{GpuAmc, KernelMode};
 use gpu_sim::counters::PassStats;
 use gpu_sim::device::GpuProfile;
 use gpu_sim::timing::{self, GpuTime};
@@ -114,23 +115,26 @@ pub fn predict_stats(
 
 /// Modeled execution of the AMC pipeline for an image on a GPU profile,
 /// with the chunking that profile's memory forces.
+///
+/// Planning goes through [`GpuAmc::plan_chunking_for_budget`] — the same
+/// planner the executor uses — so predicted chunk geometry can never drift
+/// from executed chunk geometry. Fails like the executor would when even a
+/// single line cannot fit the profile's video memory.
 pub fn predict_gpu_time(
     dims: CubeDims,
     se: &StructuringElement,
     profile: &GpuProfile,
     config: &PredictConfig,
-) -> (GpuTime, PassStats) {
-    // Same planning rule as `GpuAmc::plan_chunking`.
-    let halo = 2 * se.radius_y();
-    let budget = profile.video_memory_bytes();
-    let groups = layout::band_groups(dims.bands) + 9;
-    let mut lines = dims.height;
-    while lines > 1 && groups * layout::plane_bytes(dims.width, lines + 2 * halo) > budget {
-        lines /= 2;
-    }
-    let chunking = Chunking::new(lines.max(1), halo);
+) -> crate::pipeline::Result<(GpuTime, PassStats)> {
+    let amc = GpuAmc::new(se.clone(), KernelMode::Closure);
+    let chunking = amc.plan_chunking_for_budget(
+        profile.video_memory_bytes(),
+        dims.width,
+        dims.height,
+        dims.bands,
+    )?;
     let stats = predict_stats(dims, se, chunking, config);
-    (timing::gpu_time(&stats, profile), stats)
+    Ok((timing::gpu_time(&stats, profile), stats))
 }
 
 /// The six cropped-scene sizes of Tables 4–5, as numbers of lines of the
@@ -237,8 +241,9 @@ mod tests {
         let se = StructuringElement::square(3).unwrap();
         let cfg = PredictConfig::default();
         for (_, dims) in paper_image_sizes() {
-            let (fx, _) = predict_gpu_time(dims, &se, &GpuProfile::fx5950_ultra(), &cfg);
-            let (g70, _) = predict_gpu_time(dims, &se, &GpuProfile::geforce_7800gtx(), &cfg);
+            let (fx, _) = predict_gpu_time(dims, &se, &GpuProfile::fx5950_ultra(), &cfg).unwrap();
+            let (g70, _) =
+                predict_gpu_time(dims, &se, &GpuProfile::geforce_7800gtx(), &cfg).unwrap();
             let ratio = fx.kernel_s() / g70.kernel_s();
             assert!(ratio > 3.0 && ratio < 7.0, "ratio {ratio} at {dims:?}");
         }
@@ -265,8 +270,8 @@ mod tests {
         let cfg = PredictConfig::default();
         let sizes = paper_image_sizes();
         let profile = GpuProfile::geforce_7800gtx();
-        let (t1, _) = predict_gpu_time(sizes[0].1, &se, &profile, &cfg);
-        let (t5, _) = predict_gpu_time(sizes[5].1, &se, &profile, &cfg);
+        let (t1, _) = predict_gpu_time(sizes[0].1, &se, &profile, &cfg).unwrap();
+        let (t5, _) = predict_gpu_time(sizes[5].1, &se, &profile, &cfg).unwrap();
         let time_ratio = t5.kernel_s() / t1.kernel_s();
         let size_ratio = sizes[5].1.pixels() as f64 / sizes[0].1.pixels() as f64;
         assert!(

@@ -51,6 +51,18 @@ pub enum AmcError {
     Gpu(gpu_sim::GpuError),
     /// Error from the hyperspectral substrate.
     Hsi(hsi::HsiError),
+    /// No chunking fits the device: even a single image line (with its
+    /// halo) needs more video memory than the budget provides.
+    ChunkingInfeasible {
+        /// Image width in pixels.
+        width: usize,
+        /// Spectral band count.
+        bands: usize,
+        /// Bytes the smallest possible chunk would need.
+        required: usize,
+        /// Video-memory budget the plan had to fit, in bytes.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for AmcError {
@@ -58,6 +70,16 @@ impl fmt::Display for AmcError {
         match self {
             AmcError::Gpu(e) => write!(f, "gpu: {e}"),
             AmcError::Hsi(e) => write!(f, "hsi: {e}"),
+            AmcError::ChunkingInfeasible {
+                width,
+                bands,
+                required,
+                budget,
+            } => write!(
+                f,
+                "chunking infeasible: one line of a {width}x{bands}-band cube \
+                 needs {required} B of video memory, budget is {budget} B"
+            ),
         }
     }
 }
@@ -79,6 +101,56 @@ impl From<hsi::HsiError> for AmcError {
 /// Result alias.
 pub type Result<T> = std::result::Result<T, AmcError>;
 
+/// Work counted per pipeline stage (Fig. 4's six boxes). Stage 2's two
+/// kernels (band sum + normalize) share the `normalize` bucket; the sum of
+/// all six buckets equals [`PipelineOutput::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageStats {
+    /// Stage 1: stream uploading (band planes + offset LUT).
+    pub upload: PassStats,
+    /// Stage 2: band-sum and normalize passes.
+    pub normalize: PassStats,
+    /// Stage 3: cumulative-distance (SID partial) passes.
+    pub distance: PassStats,
+    /// Stage 4: min/max init and update passes.
+    pub minmax: PassStats,
+    /// Stage 5: MEI accumulation passes.
+    pub mei: PassStats,
+    /// Stage 6: stream downloading (MEI + state streams).
+    pub download: PassStats,
+}
+
+impl StageStats {
+    /// Accumulate another breakdown into this one, stage by stage.
+    pub fn add(&mut self, other: &StageStats) {
+        self.upload.add(&other.upload);
+        self.normalize.add(&other.normalize);
+        self.distance.add(&other.distance);
+        self.minmax.add(&other.minmax);
+        self.mei.add(&other.mei);
+        self.download.add(&other.download);
+    }
+
+    /// Sum of all six stages.
+    pub fn total(&self) -> PassStats {
+        let mut t = self.upload;
+        t.add(&self.normalize);
+        t.add(&self.distance);
+        t.add(&self.minmax);
+        t.add(&self.mei);
+        t.add(&self.download);
+        t
+    }
+}
+
+/// Host-side readback buffers reused across chunks (stage 6 lands here
+/// instead of allocating fresh vectors per chunk).
+#[derive(Debug, Default)]
+struct ChunkScratch {
+    mei_flat: Vec<f32>,
+    state_flat: Vec<f32>,
+}
+
 /// Output of one pipeline run over a full image.
 #[derive(Debug, Clone)]
 pub struct PipelineOutput {
@@ -90,6 +162,8 @@ pub struct PipelineOutput {
     pub max_index: Vec<u32>,
     /// Work counted across all passes and chunks.
     pub stats: PassStats,
+    /// The same work broken down by pipeline stage.
+    pub stages: StageStats,
     /// Number of chunks processed.
     pub chunks: usize,
 }
@@ -129,30 +203,120 @@ impl GpuAmc {
         (groups + 1 + 8) * plane + self.se.len() * 16
     }
 
-    /// Pick a chunking that fits the device's free memory.
-    pub fn plan_chunking(&self, gpu: &Gpu, cube: &Cube) -> Chunking {
+    /// Pick a chunking that fits the device's video memory, or report that
+    /// none exists.
+    pub fn plan_chunking(&self, gpu: &Gpu, cube: &Cube) -> Result<Chunking> {
         let dims = cube.dims();
+        self.plan_chunking_for_budget(
+            gpu.profile().video_memory_bytes(),
+            dims.width,
+            dims.height,
+            dims.bands,
+        )
+    }
+
+    /// Pick the largest chunking whose every chunk fits `budget` bytes.
+    ///
+    /// A chunk of `lines` body lines is at most `lines + 2·halo` lines tall
+    /// (edge chunks carry one halo, and no chunk exceeds the image), and
+    /// [`GpuAmc::chunk_bytes`] is monotone in chunk height, so the fit
+    /// predicate is monotone and a binary search finds the exact boundary —
+    /// unlike a halving probe, which can skip feasible sizes and never
+    /// re-checks that its final candidate actually fits.
+    pub fn plan_chunking_for_budget(
+        &self,
+        budget: usize,
+        width: usize,
+        height: usize,
+        bands: usize,
+    ) -> Result<Chunking> {
         let halo = 2 * self.se.radius_y();
-        let budget = gpu.profile().video_memory_bytes();
-        // Find the largest line count whose chunk fits.
-        let mut lines = dims.height;
-        while lines > 1 && self.chunk_bytes(dims.width, lines + 2 * halo, dims.bands) > budget {
-            lines /= 2;
+        let height = height.max(1);
+        let chunk_height = |lines: usize| (lines + 2 * halo).min(height);
+        let fits = |lines: usize| self.chunk_bytes(width, chunk_height(lines), bands) <= budget;
+        if !fits(1) {
+            return Err(AmcError::ChunkingInfeasible {
+                width,
+                bands,
+                required: self.chunk_bytes(width, chunk_height(1), bands),
+                budget,
+            });
         }
-        Chunking::new(lines.max(1), halo)
+        // Largest feasible line count in [1, height].
+        let (mut lo, mut hi) = (1usize, height);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Ok(Chunking::new(lo, halo))
     }
 
     /// Run the full pipeline over a cube, chunking as needed.
     pub fn run(&self, gpu: &mut Gpu, cube: &Cube) -> Result<PipelineOutput> {
+        let chunking = self.plan_chunking(gpu, cube)?;
+        self.run_with_chunking(gpu, cube, chunking)
+    }
+
+    /// Run the full pipeline with an explicit chunking.
+    ///
+    /// The executor splits planning from execution: chunk descriptors are
+    /// laid out first, then each chunk's band groups are packed on a worker
+    /// thread while the previous chunk shades (double-buffered upload
+    /// staging). Device textures come from the pool, so a multi-chunk run
+    /// performs the same number of real allocations as its first chunk.
+    pub fn run_with_chunking(
+        &self,
+        gpu: &mut Gpu,
+        cube: &Cube,
+        chunking: Chunking,
+    ) -> Result<PipelineOutput> {
         let dims = cube.dims();
-        let chunking = self.plan_chunking(gpu, cube);
-        let start_stats = gpu.stats();
+        let chunks: Vec<_> = cube.chunks(chunking).collect();
         let mut mei_scores = vec![0.0f32; dims.pixels()];
         let mut min_index = vec![0u32; dims.pixels()];
         let mut max_index = vec![0u32; dims.pixels()];
-        let mut chunks = 0usize;
-        for chunk in cube.chunks(chunking) {
-            let out = self.run_chunk(gpu, &chunk.cube)?;
+        let mut stages = StageStats::default();
+        let mut scratch = ChunkScratch::default();
+
+        // Double-buffered staging: `packed` holds the current chunk's band
+        // groups; `spare` is the buffer set the packer thread fills for the
+        // next chunk while the device shades this one.
+        let mut packed: Vec<Vec<f32>> = Vec::new();
+        let mut spare: Vec<Vec<f32>> = Vec::new();
+        if let Some(first) = chunks.first() {
+            layout::pack_cube_into(&first.cube, &mut packed);
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next_cube = chunks.get(i + 1).map(|c| &c.cube);
+            let prepack = std::mem::take(&mut spare);
+            let (result, prepacked) = std::thread::scope(|s| {
+                let packer = next_cube.map(|next| {
+                    let mut buf = prepack;
+                    s.spawn(move || {
+                        layout::pack_cube_into(next, &mut buf);
+                        buf
+                    })
+                });
+                let cd = chunk.cube.dims();
+                let result = self.run_chunk_packed(
+                    gpu,
+                    cd.width,
+                    cd.height,
+                    cd.bands,
+                    &packed,
+                    &mut scratch,
+                );
+                let prepacked = packer.map(|h| h.join().expect("packer thread panicked"));
+                (result, prepacked)
+            });
+            let out = result?;
+            if let Some(next) = prepacked {
+                spare = std::mem::replace(&mut packed, next);
+            }
             let cw = chunk.cube.dims().width;
             for local_y in chunk.body_range() {
                 let global_y = chunk.y_start + (local_y - chunk.halo_top);
@@ -162,11 +326,9 @@ impl GpuAmc {
                 min_index[dst..dst + cw].copy_from_slice(&out.min_index[src..src + cw]);
                 max_index[dst..dst + cw].copy_from_slice(&out.max_index[src..src + cw]);
             }
-            chunks += 1;
+            stages.add(&out.stages);
         }
-        let mut total = gpu.stats();
-        // Report only this run's work.
-        total = subtract(total, start_stats);
+        gpu.drain_pool();
         Ok(PipelineOutput {
             mei: MeiImage {
                 width: dims.width,
@@ -175,99 +337,151 @@ impl GpuAmc {
             },
             min_index,
             max_index,
-            stats: total,
-            chunks,
+            stats: stages.total(),
+            stages,
+            chunks: chunks.len(),
         })
     }
 
     /// Run stages 1–6 on one resident chunk (no further splitting).
     pub fn run_chunk(&self, gpu: &mut Gpu, cube: &Cube) -> Result<PipelineOutput> {
         let dims = cube.dims();
-        let (w, h) = (dims.width, dims.height);
-        let groups = layout::band_groups(dims.bands);
+        let mut packed = Vec::new();
+        layout::pack_cube_into(cube, &mut packed);
+        let out = self.run_chunk_packed(
+            gpu,
+            dims.width,
+            dims.height,
+            dims.bands,
+            &packed,
+            &mut ChunkScratch::default(),
+        );
+        gpu.drain_pool();
+        out
+    }
+
+    /// Execute the six stages on pre-packed band groups of a `w x h x bands`
+    /// chunk. Textures are drawn from (and returned to) the device pool;
+    /// readbacks land in `scratch` so repeat chunks allocate nothing on the
+    /// host either.
+    fn run_chunk_packed(
+        &self,
+        gpu: &mut Gpu,
+        w: usize,
+        h: usize,
+        bands: usize,
+        packed: &[Vec<f32>],
+        scratch: &mut ChunkScratch,
+    ) -> Result<PipelineOutput> {
+        let groups = layout::band_groups(bands);
+        debug_assert_eq!(packed.len(), groups, "pre-packed group count");
         let offsets = self.se.offsets();
         let p_b = offsets.len();
-        let start_stats = gpu.stats();
+        let mut stages = StageStats::default();
 
         // -- Stage 1: stream uploading ------------------------------------
+        let before_upload = gpu.stats();
         let mut band_tex: Vec<TextureId> = Vec::with_capacity(groups);
-        for g in 0..groups {
-            let t = gpu.alloc_texture(w, h)?;
-            gpu.upload(t, &layout::pack_band_group(cube, g))?;
+        for plane in packed {
+            let t = gpu.alloc_pooled(w, h)?;
+            gpu.upload(t, plane)?;
             band_tex.push(t);
         }
-        let lut = gpu.alloc_texture(p_b, 1)?;
+        let lut = gpu.alloc_pooled(p_b, 1)?;
         gpu.upload(lut, &kernels::offset_lut(&offsets, w, h))?;
+        stages.upload = gpu.stats();
+        stages.upload.sub(&before_upload);
 
         // -- Stage 2: normalization ---------------------------------------
-        let mut sum_a = gpu.alloc_texture(w, h)?; // zero-initialised
-        let mut sum_b = gpu.alloc_texture(w, h)?;
+        let mut sum_a = gpu.alloc_pooled(w, h)?; // zero-initialised
+        let mut sum_b = gpu.alloc_pooled(w, h)?;
         for &bt in &band_tex {
-            self.pass_band_sum(gpu, bt, sum_a, sum_b)?;
+            stages
+                .normalize
+                .add(&self.pass_band_sum(gpu, bt, sum_a, sum_b)?);
             std::mem::swap(&mut sum_a, &mut sum_b);
         }
         // `sum_a` now holds the total band sum.
         let mut norm_tex: Vec<TextureId> = Vec::with_capacity(groups);
         for &bt in &band_tex {
-            let nt = gpu.alloc_texture(w, h)?;
-            self.pass_normalize(gpu, bt, sum_a, nt)?;
-            gpu.free_texture(bt)?;
+            let nt = gpu.alloc_pooled(w, h)?;
+            stages
+                .normalize
+                .add(&self.pass_normalize(gpu, bt, sum_a, nt)?);
+            gpu.release_pooled(bt)?;
             norm_tex.push(nt);
         }
-        gpu.free_texture(sum_b)?;
+        gpu.release_pooled(sum_b)?;
 
         // -- Stage 3: cumulative distance (the D_B field) ------------------
-        let mut d_a = gpu.alloc_texture(w, h)?;
-        let mut d_b = gpu.alloc_texture(w, h)?;
+        let mut d_a = gpu.alloc_pooled(w, h)?;
+        let mut d_b = gpu.alloc_pooled(w, h)?;
         for &(dx, dy) in offsets.iter().filter(|&&o| o != (0, 0)) {
             for &nt in &norm_tex {
-                self.pass_sid_partial(gpu, nt, d_a, d_b, dx, dy, w, h)?;
+                stages
+                    .distance
+                    .add(&self.pass_sid_partial(gpu, nt, d_a, d_b, dx, dy, w, h)?);
                 std::mem::swap(&mut d_a, &mut d_b);
             }
         }
         // `d_a` holds the field.
 
         // -- Stage 4: maximum and minimum ----------------------------------
-        let mut st_a = gpu.alloc_texture(w, h)?;
-        let mut st_b = gpu.alloc_texture(w, h)?;
-        self.pass_minmax_init(gpu, d_a, st_a, offsets[0], w, h)?;
+        let mut st_a = gpu.alloc_pooled(w, h)?;
+        let mut st_b = gpu.alloc_pooled(w, h)?;
+        stages
+            .minmax
+            .add(&self.pass_minmax_init(gpu, d_a, st_a, offsets[0], w, h)?);
         for (k, &(dx, dy)) in offsets.iter().enumerate().skip(1) {
-            self.pass_minmax_update(gpu, st_a, d_a, st_b, k as f32, (dx, dy), w, h)?;
+            stages.minmax.add(&self.pass_minmax_update(
+                gpu,
+                st_a,
+                d_a,
+                st_b,
+                k as f32,
+                (dx, dy),
+                w,
+                h,
+            )?);
             std::mem::swap(&mut st_a, &mut st_b);
         }
         // `st_a` holds (minval, minidx, maxval, maxidx).
 
         // -- Stage 5: compute SID (MEI accumulation) -----------------------
-        let mut mei_a = gpu.alloc_texture(w, h)?;
-        let mut mei_b = gpu.alloc_texture(w, h)?;
+        let mut mei_a = gpu.alloc_pooled(w, h)?;
+        let mut mei_b = gpu.alloc_pooled(w, h)?;
         for &nt in &norm_tex {
-            self.pass_mei_partial(gpu, nt, st_a, mei_a, lut, mei_b, p_b, &offsets)?;
+            stages
+                .mei
+                .add(&self.pass_mei_partial(gpu, nt, st_a, mei_a, lut, mei_b, p_b, &offsets)?);
             std::mem::swap(&mut mei_a, &mut mei_b);
         }
 
         // -- Stage 6: stream downloading ------------------------------------
-        let mei_flat = gpu.download(mei_a)?;
-        let state_flat = gpu.download(st_a)?;
+        let before_download = gpu.stats();
+        gpu.download_into(mei_a, &mut scratch.mei_flat)?;
+        gpu.download_into(st_a, &mut scratch.state_flat)?;
+        stages.download = gpu.stats();
+        stages.download.sub(&before_download);
         let mut scores = Vec::with_capacity(w * h);
         let mut min_index = Vec::with_capacity(w * h);
         let mut max_index = Vec::with_capacity(w * h);
-        for texel in mei_flat.chunks_exact(4) {
+        for texel in scratch.mei_flat.chunks_exact(4) {
             scores.push(texel[0]);
         }
-        for texel in state_flat.chunks_exact(4) {
+        for texel in scratch.state_flat.chunks_exact(4) {
             min_index.push(texel[1].round() as u32);
             max_index.push(texel[3].round() as u32);
         }
 
-        // Cleanup.
+        // Return every texture to the pool for the next chunk.
         for nt in norm_tex {
-            gpu.free_texture(nt)?;
+            gpu.release_pooled(nt)?;
         }
         for t in [sum_a, d_a, d_b, st_a, st_b, mei_a, mei_b, lut] {
-            gpu.free_texture(t)?;
+            gpu.release_pooled(t)?;
         }
 
-        let stats = subtract(gpu.stats(), start_stats);
         Ok(PipelineOutput {
             mei: MeiImage {
                 width: w,
@@ -276,7 +490,8 @@ impl GpuAmc {
             },
             min_index,
             max_index,
-            stats,
+            stats: stages.total(),
+            stages,
             chunks: 1,
         })
     }
@@ -289,34 +504,30 @@ impl GpuAmc {
         band: TextureId,
         sum_prev: TextureId,
         sum_next: TextureId,
-    ) -> Result<()> {
-        match self.mode {
-            KernelMode::Isa => {
-                gpu.run_pass(
-                    &KERNEL_SET.band_sum,
-                    &[band, sum_prev],
-                    &[],
-                    &[TexCoordSet::identity()],
-                    sum_next,
-                    None,
-                )?;
-            }
-            KernelMode::Closure => {
-                gpu.run_closure_pass(
-                    &[band, sum_prev],
-                    sum_next,
-                    kernels::BAND_SUM_COST,
-                    None,
-                    |f, x, y| {
-                        let t0 = f.fetch(0, x as i64, y as i64);
-                        let t1 = f.fetch(1, x as i64, y as i64);
-                        let d = t0[0] * 1.0 + t0[1] * 1.0 + t0[2] * 1.0 + t0[3] * 1.0;
-                        [d + t1[0], d + t1[1], d + t1[2], d + t1[3]]
-                    },
-                )?;
-            }
-        }
-        Ok(())
+    ) -> Result<PassStats> {
+        let stats = match self.mode {
+            KernelMode::Isa => gpu.run_pass(
+                &KERNEL_SET.band_sum,
+                &[band, sum_prev],
+                &[],
+                &[TexCoordSet::identity()],
+                sum_next,
+                None,
+            )?,
+            KernelMode::Closure => gpu.run_closure_pass(
+                &[band, sum_prev],
+                sum_next,
+                kernels::BAND_SUM_COST,
+                None,
+                |f, x, y| {
+                    let t0 = f.fetch(0, x as i64, y as i64);
+                    let t1 = f.fetch(1, x as i64, y as i64);
+                    let d = t0[0] * 1.0 + t0[1] * 1.0 + t0[2] * 1.0 + t0[3] * 1.0;
+                    [d + t1[0], d + t1[1], d + t1[2], d + t1[3]]
+                },
+            )?,
+        };
+        Ok(stats)
     }
 
     fn pass_normalize(
@@ -325,35 +536,31 @@ impl GpuAmc {
         band: TextureId,
         sum: TextureId,
         out: TextureId,
-    ) -> Result<()> {
-        match self.mode {
-            KernelMode::Isa => {
-                gpu.run_pass(
-                    &KERNEL_SET.normalize,
-                    &[band, sum],
-                    &[],
-                    &[TexCoordSet::identity()],
-                    out,
-                    None,
-                )?;
-            }
-            KernelMode::Closure => {
-                gpu.run_closure_pass(
-                    &[band, sum],
-                    out,
-                    kernels::NORMALIZE_COST,
-                    None,
-                    |f, x, y| {
-                        let t0 = f.fetch(0, x as i64, y as i64);
-                        let t1 = f.fetch(1, x as i64, y as i64);
-                        let s = t1[0].max(1e-30);
-                        let r = 1.0 / s;
-                        [t0[0] * r, t0[1] * r, t0[2] * r, t0[3] * r]
-                    },
-                )?;
-            }
-        }
-        Ok(())
+    ) -> Result<PassStats> {
+        let stats = match self.mode {
+            KernelMode::Isa => gpu.run_pass(
+                &KERNEL_SET.normalize,
+                &[band, sum],
+                &[],
+                &[TexCoordSet::identity()],
+                out,
+                None,
+            )?,
+            KernelMode::Closure => gpu.run_closure_pass(
+                &[band, sum],
+                out,
+                kernels::NORMALIZE_COST,
+                None,
+                |f, x, y| {
+                    let t0 = f.fetch(0, x as i64, y as i64);
+                    let t1 = f.fetch(1, x as i64, y as i64);
+                    let s = t1[0].max(1e-30);
+                    let r = 1.0 / s;
+                    [t0[0] * r, t0[1] * r, t0[2] * r, t0[3] * r]
+                },
+            )?,
+        };
+        Ok(stats)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -367,38 +574,34 @@ impl GpuAmc {
         dy: i32,
         w: usize,
         h: usize,
-    ) -> Result<()> {
-        match self.mode {
-            KernelMode::Isa => {
-                gpu.run_pass(
-                    &KERNEL_SET.sid_partial,
-                    &[norm, d_prev],
-                    &[],
-                    &[
-                        TexCoordSet::identity(),
-                        TexCoordSet::shifted_texels(dx, dy, w, h),
-                    ],
-                    d_next,
-                    None,
-                )?;
-            }
-            KernelMode::Closure => {
-                gpu.run_closure_pass(
-                    &[norm, d_prev],
-                    d_next,
-                    kernels::SID_PARTIAL_COST,
-                    None,
-                    move |f, x, y| {
-                        let p = f.fetch(0, x as i64, y as i64);
-                        let q = f.fetch(0, x as i64 + dx as i64, y as i64 + dy as i64);
-                        let prev = f.fetch(1, x as i64, y as i64);
-                        let acc = kernels::sid_partial_value(p, q);
-                        [prev[0] + acc, prev[1] + acc, prev[2] + acc, prev[3] + acc]
-                    },
-                )?;
-            }
-        }
-        Ok(())
+    ) -> Result<PassStats> {
+        let stats = match self.mode {
+            KernelMode::Isa => gpu.run_pass(
+                &KERNEL_SET.sid_partial,
+                &[norm, d_prev],
+                &[],
+                &[
+                    TexCoordSet::identity(),
+                    TexCoordSet::shifted_texels(dx, dy, w, h),
+                ],
+                d_next,
+                None,
+            )?,
+            KernelMode::Closure => gpu.run_closure_pass(
+                &[norm, d_prev],
+                d_next,
+                kernels::SID_PARTIAL_COST,
+                None,
+                move |f, x, y| {
+                    let p = f.fetch(0, x as i64, y as i64);
+                    let q = f.fetch(0, x as i64 + dx as i64, y as i64 + dy as i64);
+                    let prev = f.fetch(1, x as i64, y as i64);
+                    let acc = kernels::sid_partial_value(p, q);
+                    [prev[0] + acc, prev[1] + acc, prev[2] + acc, prev[3] + acc]
+                },
+            )?,
+        };
+        Ok(stats)
     }
 
     fn pass_minmax_init(
@@ -409,33 +612,29 @@ impl GpuAmc {
         delta0: (i32, i32),
         w: usize,
         h: usize,
-    ) -> Result<()> {
+    ) -> Result<PassStats> {
         let (dx, dy) = delta0;
-        match self.mode {
-            KernelMode::Isa => {
-                gpu.run_pass(
-                    &KERNEL_SET.minmax_init,
-                    &[field],
-                    &[],
-                    &[TexCoordSet::shifted_texels(dx, dy, w, h)],
-                    state,
-                    None,
-                )?;
-            }
-            KernelMode::Closure => {
-                gpu.run_closure_pass(
-                    &[field],
-                    state,
-                    kernels::MINMAX_INIT_COST,
-                    None,
-                    move |f, x, y| {
-                        let d = f.fetch(0, x as i64 + dx as i64, y as i64 + dy as i64);
-                        [d[0], 0.0, d[0], 0.0]
-                    },
-                )?;
-            }
-        }
-        Ok(())
+        let stats = match self.mode {
+            KernelMode::Isa => gpu.run_pass(
+                &KERNEL_SET.minmax_init,
+                &[field],
+                &[],
+                &[TexCoordSet::shifted_texels(dx, dy, w, h)],
+                state,
+                None,
+            )?,
+            KernelMode::Closure => gpu.run_closure_pass(
+                &[field],
+                state,
+                kernels::MINMAX_INIT_COST,
+                None,
+                move |f, x, y| {
+                    let d = f.fetch(0, x as i64 + dx as i64, y as i64 + dy as i64);
+                    [d[0], 0.0, d[0], 0.0]
+                },
+            )?,
+        };
+        Ok(stats)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -449,37 +648,33 @@ impl GpuAmc {
         delta: (i32, i32),
         w: usize,
         h: usize,
-    ) -> Result<()> {
+    ) -> Result<PassStats> {
         let (dx, dy) = delta;
-        match self.mode {
-            KernelMode::Isa => {
-                gpu.run_pass(
-                    &KERNEL_SET.minmax_update,
-                    &[state_prev, field],
-                    &[(0, [k; 4])],
-                    &[
-                        TexCoordSet::identity(),
-                        TexCoordSet::shifted_texels(dx, dy, w, h),
-                    ],
-                    state_next,
-                    None,
-                )?;
-            }
-            KernelMode::Closure => {
-                gpu.run_closure_pass(
-                    &[state_prev, field],
-                    state_next,
-                    kernels::MINMAX_UPDATE_COST,
-                    None,
-                    move |f, x, y| {
-                        let st = f.fetch(0, x as i64, y as i64);
-                        let d = f.fetch(1, x as i64 + dx as i64, y as i64 + dy as i64);
-                        kernels::minmax_update_value(st, d[0], k)
-                    },
-                )?;
-            }
-        }
-        Ok(())
+        let stats = match self.mode {
+            KernelMode::Isa => gpu.run_pass(
+                &KERNEL_SET.minmax_update,
+                &[state_prev, field],
+                &[(0, [k; 4])],
+                &[
+                    TexCoordSet::identity(),
+                    TexCoordSet::shifted_texels(dx, dy, w, h),
+                ],
+                state_next,
+                None,
+            )?,
+            KernelMode::Closure => gpu.run_closure_pass(
+                &[state_prev, field],
+                state_next,
+                kernels::MINMAX_UPDATE_COST,
+                None,
+                move |f, x, y| {
+                    let st = f.fetch(0, x as i64, y as i64);
+                    let d = f.fetch(1, x as i64 + dx as i64, y as i64 + dy as i64);
+                    kernels::minmax_update_value(st, d[0], k)
+                },
+            )?,
+        };
+        Ok(stats)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -493,18 +688,16 @@ impl GpuAmc {
         mei_next: TextureId,
         p_b: usize,
         offsets: &[(i32, i32)],
-    ) -> Result<()> {
-        match self.mode {
-            KernelMode::Isa => {
-                gpu.run_pass(
-                    &KERNEL_SET.mei_partial,
-                    &[norm, state, mei_prev, lut],
-                    &[(2, [1.0 / p_b as f32, 0.5 / p_b as f32, 0.5, 0.0])],
-                    &[TexCoordSet::identity()],
-                    mei_next,
-                    None,
-                )?;
-            }
+    ) -> Result<PassStats> {
+        let stats = match self.mode {
+            KernelMode::Isa => gpu.run_pass(
+                &KERNEL_SET.mei_partial,
+                &[norm, state, mei_prev, lut],
+                &[(2, [1.0 / p_b as f32, 0.5 / p_b as f32, 0.5, 0.0])],
+                &[TexCoordSet::identity()],
+                mei_next,
+                None,
+            )?,
             KernelMode::Closure => {
                 let offsets = offsets.to_vec();
                 gpu.run_closure_pass(
@@ -528,24 +721,10 @@ impl GpuAmc {
                         let acc = kernels::sid_partial_value(pmax, pmin);
                         [prev[0] + acc, prev[1] + acc, prev[2] + acc, prev[3] + acc]
                     },
-                )?;
+                )?
             }
-        }
-        Ok(())
-    }
-}
-
-fn subtract(total: PassStats, start: PassStats) -> PassStats {
-    PassStats {
-        fragments: total.fragments - start.fragments,
-        instructions: total.instructions - start.instructions,
-        texel_fetches: total.texel_fetches - start.texel_fetches,
-        cache_hits: total.cache_hits - start.cache_hits,
-        cache_misses: total.cache_misses - start.cache_misses,
-        bytes_written: total.bytes_written - start.bytes_written,
-        bytes_uploaded: total.bytes_uploaded - start.bytes_uploaded,
-        bytes_downloaded: total.bytes_downloaded - start.bytes_downloaded,
-        passes: total.passes - start.passes,
+        };
+        Ok(stats)
     }
 }
 
@@ -674,6 +853,118 @@ mod tests {
     }
 
     #[test]
+    fn ragged_last_chunk_is_stitched_exactly() {
+        // height 17 with 5-line chunks: 5+5+5+2 — the last chunk is ragged.
+        let cube = test_cube(9, 17, 6, 19);
+        let se = StructuringElement::square(3).unwrap();
+        let amc = GpuAmc::new(se, KernelMode::Closure);
+        let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
+        let whole = amc.run_chunk(&mut gpu, &cube).unwrap();
+        let chunked = amc
+            .run_with_chunking(&mut gpu, &cube, Chunking::new(5, 2 * amc.se().radius_y()))
+            .unwrap();
+        assert_eq!(chunked.chunks, 4);
+        assert_eq!(chunked.mei.scores, whole.mei.scores);
+        assert_eq!(chunked.min_index, whole.min_index);
+        assert_eq!(chunked.max_index, whole.max_index);
+        assert_eq!(gpu.allocated_bytes(), 0);
+        assert_eq!(gpu.pooled_bytes(), 0, "run drains the pool");
+    }
+
+    #[test]
+    fn isa_equals_closure_through_chunking() {
+        let cube = test_cube(8, 10, 6, 29);
+        let se = StructuringElement::square(3).unwrap();
+        let chunking = Chunking::new(4, 2);
+        let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
+        let isa = GpuAmc::new(se.clone(), KernelMode::Isa)
+            .run_with_chunking(&mut gpu, &cube, chunking)
+            .unwrap();
+        let clo = GpuAmc::new(se, KernelMode::Closure)
+            .run_with_chunking(&mut gpu, &cube, chunking)
+            .unwrap();
+        assert!(isa.chunks > 1, "test must actually chunk");
+        assert_eq!(isa.mei.scores, clo.mei.scores, "bit-equal MEI streams");
+        assert_eq!(isa.min_index, clo.min_index);
+        assert_eq!(isa.max_index, clo.max_index);
+        assert_eq!(isa.stats.passes, clo.stats.passes);
+        assert_eq!(isa.stats.instructions, clo.stats.instructions);
+    }
+
+    #[test]
+    fn pooled_chunks_do_not_multiply_allocations() {
+        // height 12, 6-line chunks, halo 2 → two symmetric 8-line chunks:
+        // the second chunk's textures all come from the pool.
+        let cube = test_cube(10, 12, 8, 13);
+        let se = StructuringElement::square(3).unwrap();
+        let amc = GpuAmc::new(se, KernelMode::Closure);
+
+        let mut gpu_one = Gpu::new(GpuProfile::geforce_7800gtx());
+        let one = amc
+            .run_with_chunking(&mut gpu_one, &cube, Chunking::new(12, 2))
+            .unwrap();
+        assert_eq!(one.chunks, 1);
+
+        let mut gpu_two = Gpu::new(GpuProfile::geforce_7800gtx());
+        let two = amc
+            .run_with_chunking(&mut gpu_two, &cube, Chunking::new(6, 2))
+            .unwrap();
+        assert_eq!(two.chunks, 2);
+        assert_eq!(two.mei.scores, one.mei.scores);
+
+        assert!(
+            gpu_two.texture_allocs() <= gpu_one.texture_allocs(),
+            "two-chunk run allocated {} textures, one-chunk {}",
+            gpu_two.texture_allocs(),
+            gpu_one.texture_allocs()
+        );
+        assert!(gpu_two.pool_hits() > 0, "second chunk must reuse the pool");
+    }
+
+    #[test]
+    fn isa_kernels_verify_once_across_chunks() {
+        let cube = test_cube(8, 10, 6, 31);
+        let se = StructuringElement::square(3).unwrap();
+        let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
+        let out = GpuAmc::new(se, KernelMode::Isa)
+            .run_with_chunking(&mut gpu, &cube, Chunking::new(4, 2))
+            .unwrap();
+        assert!(out.chunks > 1);
+        // Six kernels, each dataflow-verified exactly once per device; every
+        // further pass in every chunk hits the verification cache.
+        assert_eq!(gpu.verifications(), 6);
+        assert_eq!(
+            gpu.verify_cache_hits(),
+            out.stats.passes - 6,
+            "all remaining passes must be cache hits"
+        );
+    }
+
+    #[test]
+    fn stage_breakdown_is_consistent_with_totals() {
+        let cube = test_cube(6, 9, 9, 17);
+        let se = StructuringElement::square(3).unwrap();
+        let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
+        let out = GpuAmc::new(se, KernelMode::Closure)
+            .run_with_chunking(&mut gpu, &cube, Chunking::new(4, 2))
+            .unwrap();
+        let st = &out.stages;
+        assert_eq!(st.total(), out.stats, "stage buckets must sum to totals");
+        // Transfers live only in the transfer stages.
+        assert_eq!(st.upload.bytes_uploaded, out.stats.bytes_uploaded);
+        assert_eq!(st.download.bytes_downloaded, out.stats.bytes_downloaded);
+        assert_eq!(st.upload.passes + st.download.passes, 0);
+        // Shading lives only in the kernel stages, in the Fig. 4 structure:
+        // groups=3, p_B=9 per chunk.
+        let chunks = out.chunks as u64;
+        assert_eq!(st.normalize.passes, chunks * (3 + 3));
+        assert_eq!(st.distance.passes, chunks * 8 * 3);
+        assert_eq!(st.minmax.passes, chunks * 9);
+        assert_eq!(st.mei.passes, chunks * 3);
+        assert!(st.normalize.fragments > 0 && st.mei.instructions > 0);
+    }
+
+    #[test]
     fn plan_chunking_fits_video_memory() {
         let se = StructuringElement::square(3).unwrap();
         let amc = GpuAmc::new(se, KernelMode::Closure);
@@ -682,9 +973,95 @@ mod tests {
         let cube_dims_bytes = amc.chunk_bytes(2166, 614, 216);
         assert!(cube_dims_bytes > gpu.profile().video_memory_bytes());
         let cube = test_cube(64, 32, 8, 5);
-        let chunking = amc.plan_chunking(&gpu, &cube);
+        let chunking = amc.plan_chunking(&gpu, &cube).unwrap();
         assert!(chunking.lines_per_chunk >= 1);
         assert_eq!(chunking.halo, 2);
+    }
+
+    #[test]
+    fn plan_chunking_verifies_final_fit_and_reports_infeasible() {
+        let se = StructuringElement::square(3).unwrap();
+        let amc = GpuAmc::new(se.clone(), KernelMode::Closure);
+        // A profile so tiny even one line (plus its 4 halo lines) of a wide
+        // cube cannot fit: structured error, not a bogus chunking. The old
+        // halving probe would have returned lines=1 without re-checking.
+        let mut profile = GpuProfile::fx5950_ultra();
+        profile.video_memory_mib = 1;
+        let gpu = Gpu::new(profile);
+        let cube = test_cube(2048, 8, 64, 3);
+        let err = amc.plan_chunking(&gpu, &cube).unwrap_err();
+        match err {
+            AmcError::ChunkingInfeasible {
+                width,
+                bands,
+                required,
+                budget,
+            } => {
+                assert_eq!(width, 2048);
+                assert_eq!(bands, 64);
+                assert_eq!(budget, 1 << 20);
+                assert!(required > budget);
+            }
+            other => panic!("expected ChunkingInfeasible, got {other}"),
+        }
+        assert!(format!("{err}").contains("chunking infeasible"));
+
+        // A budget that admits only small chunks: the plan must fit exactly,
+        // and planning for a bigger budget never shrinks the chunk.
+        let small = amc
+            .plan_chunking_for_budget(amc.chunk_bytes(64, 9, 8), 64, 32, 8)
+            .unwrap();
+        let h = (small.lines_per_chunk + 2 * small.halo).min(32);
+        assert!(amc.chunk_bytes(64, h, 8) <= amc.chunk_bytes(64, 9, 8));
+        assert!(
+            amc.chunk_bytes(64, h + 1, 8) > amc.chunk_bytes(64, 9, 8),
+            "planned chunk must be the largest that fits"
+        );
+        let big = amc.plan_chunking_for_budget(usize::MAX, 64, 32, 8).unwrap();
+        assert_eq!(big.lines_per_chunk, 32, "ample budget → one chunk");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+        #[test]
+        fn plan_chunking_never_exceeds_budget(
+            width in 1usize..96,
+            height in 1usize..48,
+            bands in 1usize..24,
+            budget_kib in 1usize..512,
+            se_side in 1usize..3,
+        ) {
+            let se = StructuringElement::square(2 * se_side + 1).unwrap();
+            let amc = GpuAmc::new(se, KernelMode::Closure);
+            let budget = budget_kib << 10;
+            match amc.plan_chunking_for_budget(budget, width, height, bands) {
+                Ok(chunking) => {
+                    // Every chunk the plan produces must fit the budget.
+                    let cube = Cube::zeros(
+                        CubeDims::new(width, height, bands),
+                        Interleave::Bip,
+                    ).unwrap();
+                    for chunk in cube.chunks(chunking) {
+                        let ch = chunk.cube.dims().height;
+                        proptest::prop_assert!(
+                            amc.chunk_bytes(width, ch, bands) <= budget,
+                            "chunk of {ch} lines exceeds budget {budget}"
+                        );
+                    }
+                }
+                Err(AmcError::ChunkingInfeasible { required, .. }) => {
+                    // Infeasible must mean even one line cannot fit.
+                    let min_h = (1 + 2 * amc.se().radius_y() * 2).min(height);
+                    proptest::prop_assert!(required > budget);
+                    proptest::prop_assert!(
+                        amc.chunk_bytes(width, min_h, bands) > budget
+                    );
+                }
+                Err(other) => return Err(proptest::test_runner::TestCaseError::Fail(
+                    format!("unexpected error {other}"),
+                )),
+            }
+        }
     }
 
     #[test]

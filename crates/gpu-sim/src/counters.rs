@@ -46,6 +46,21 @@ impl PassStats {
         self.passes += other.passes;
     }
 
+    /// Remove another total from this one, field by field (saturating). The
+    /// exact inverse of [`PassStats::add`] whenever `other` was previously
+    /// added — pipelines use it to report "work since this snapshot" deltas.
+    pub fn sub(&mut self, other: &PassStats) {
+        self.fragments = self.fragments.saturating_sub(other.fragments);
+        self.instructions = self.instructions.saturating_sub(other.instructions);
+        self.texel_fetches = self.texel_fetches.saturating_sub(other.texel_fetches);
+        self.cache_hits = self.cache_hits.saturating_sub(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_sub(other.cache_misses);
+        self.bytes_written = self.bytes_written.saturating_sub(other.bytes_written);
+        self.bytes_uploaded = self.bytes_uploaded.saturating_sub(other.bytes_uploaded);
+        self.bytes_downloaded = self.bytes_downloaded.saturating_sub(other.bytes_downloaded);
+        self.passes = self.passes.saturating_sub(other.passes);
+    }
+
     /// Mean shader instructions per fragment.
     pub fn instructions_per_fragment(&self) -> f64 {
         if self.fragments == 0 {
@@ -109,6 +124,43 @@ mod tests {
         assert_eq!(c.passes, 2);
         let summed: PassStats = vec![a, b].into_iter().sum();
         assert_eq!(summed, c);
+    }
+
+    #[test]
+    fn add_sub_round_trip_is_identity() {
+        let a = PassStats {
+            fragments: 10,
+            instructions: 100,
+            texel_fetches: 20,
+            cache_hits: 15,
+            cache_misses: 5,
+            bytes_written: 160,
+            bytes_uploaded: 1,
+            bytes_downloaded: 2,
+            passes: 1,
+        };
+        let b = PassStats {
+            fragments: 3,
+            instructions: 7,
+            texel_fetches: 11,
+            cache_hits: 2,
+            cache_misses: 9,
+            bytes_written: 31,
+            bytes_uploaded: 4,
+            bytes_downloaded: 8,
+            passes: 2,
+        };
+        let mut t = a;
+        t.add(&b);
+        t.sub(&b);
+        assert_eq!(t, a, "add then sub must round-trip every field");
+        // Subtraction saturates instead of wrapping.
+        let mut z = b;
+        z.sub(&a);
+        assert_eq!(z.fragments, 0);
+        assert_eq!(z.instructions, 0);
+        assert_eq!(z.cache_misses, 4);
+        assert_eq!(z.passes, 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::texture::{AddressMode, Texel, Texture2D};
 use crate::verify;
 use rayon::prelude::*;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Handle to a texture resident in simulated video memory.
@@ -52,11 +52,14 @@ impl<'a> Fetcher<'a> {
         self.fetches.set(self.fetches.get() + 1);
         let tex = self.textures[sampler];
         if let Some(cache) = self.cache {
-            let cx = x.clamp(0, tex.width() as i64 - 1) as usize;
-            let cy = y.clamp(0, tex.height() as i64 - 1) as usize;
-            // SAFETY: the Fetcher lives inside one rayon task; the cache
-            // pointer targets that task's private cache.
-            unsafe { (*cache).access(sampler as u32, cx, cy) };
+            // Tag the cache with the texel the address mode actually routes
+            // the fetch to; a border fetch touches no texel and therefore
+            // generates no cache traffic.
+            if let Some((cx, cy)) = tex.resolve_coords(x, y) {
+                // SAFETY: the Fetcher lives inside one rayon task; the cache
+                // pointer targets that task's private cache.
+                unsafe { (*cache).access(sampler as u32, cx, cy) };
+            }
         }
         tex.fetch(x, y)
     }
@@ -71,6 +74,17 @@ impl<'a> Fetcher<'a> {
     }
 }
 
+/// Key of the device-level verification cache: one entry per distinct
+/// (program text, pass bindings) pair already proven clean on this device.
+/// The profile is not part of the key — each `Gpu` owns its own cache.
+#[derive(PartialEq, Eq, Hash)]
+struct VerifyKey {
+    /// Canonical program text (name, `DEF`s, instructions).
+    program: String,
+    /// The bindings the program was verified against.
+    bindings: verify::PassBindings,
+}
+
 /// The simulated device.
 pub struct Gpu {
     profile: GpuProfile,
@@ -79,6 +93,15 @@ pub struct Gpu {
     allocated_bytes: usize,
     stats: PassStats,
     cache_model: bool,
+    /// Size-classed free lists of released pooled textures, still resident
+    /// in video memory and ready for zero-fill reuse.
+    pool: HashMap<(usize, usize), Vec<Texture2D>>,
+    pool_bytes: usize,
+    texture_allocs: u64,
+    pool_hits: u64,
+    verify_cache: HashSet<VerifyKey>,
+    verify_runs: u64,
+    verify_cache_hits: u64,
 }
 
 impl Gpu {
@@ -91,6 +114,13 @@ impl Gpu {
             allocated_bytes: 0,
             stats: PassStats::default(),
             cache_model: true,
+            pool: HashMap::new(),
+            pool_bytes: 0,
+            texture_allocs: 0,
+            pool_hits: 0,
+            verify_cache: HashSet::new(),
+            verify_runs: 0,
+            verify_cache_hits: 0,
         }
     }
 
@@ -105,14 +135,41 @@ impl Gpu {
         self.cache_model = enabled;
     }
 
-    /// Bytes of video memory still free.
+    /// Bytes of video memory still free (pooled textures count as occupied
+    /// until evicted or drained).
     pub fn free_bytes(&self) -> usize {
-        self.profile.video_memory_bytes() - self.allocated_bytes
+        self.profile.video_memory_bytes() - self.allocated_bytes - self.pool_bytes
     }
 
-    /// Bytes of video memory in use.
+    /// Bytes of video memory in use by live textures.
     pub fn allocated_bytes(&self) -> usize {
         self.allocated_bytes
+    }
+
+    /// Bytes of video memory held by released pooled textures.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool_bytes
+    }
+
+    /// Number of real texture allocations performed (pool hits excluded).
+    pub fn texture_allocs(&self) -> u64 {
+        self.texture_allocs
+    }
+
+    /// Number of [`Gpu::alloc_pooled`] requests served from the free lists.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Number of full dataflow verifications executed on this device
+    /// (verification-cache misses).
+    pub fn verifications(&self) -> u64 {
+        self.verify_runs
+    }
+
+    /// Number of passes whose verification was satisfied from the cache.
+    pub fn verify_cache_hits(&self) -> u64 {
+        self.verify_cache_hits
     }
 
     /// Cumulative counters since the last [`Gpu::reset_stats`].
@@ -125,7 +182,26 @@ impl Gpu {
         self.stats = PassStats::default();
     }
 
-    /// Allocate a `w x h` RGBA32F texture.
+    /// Evict released pooled textures until at least `bytes` are free (or
+    /// the pool is empty). Largest size classes go first.
+    fn evict_pool_for(&mut self, bytes: usize) {
+        while self.free_bytes() < bytes && self.pool_bytes > 0 {
+            let largest = self
+                .pool
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .max_by_key(|(&(w, h), _)| w * h)
+                .map(|(&k, _)| k);
+            let Some(key) = largest else { break };
+            if let Some(tex) = self.pool.get_mut(&key).and_then(Vec::pop) {
+                self.pool_bytes -= tex.bytes();
+            }
+            self.pool.retain(|_, v| !v.is_empty());
+        }
+    }
+
+    /// Allocate a `w x h` RGBA32F texture. Released pooled textures are
+    /// evicted as needed before the allocation is refused.
     pub fn alloc_texture(&mut self, width: usize, height: usize) -> Result<TextureId> {
         if width == 0
             || height == 0
@@ -139,6 +215,7 @@ impl Gpu {
             });
         }
         let bytes = width * height * 16;
+        self.evict_pool_for(bytes);
         if bytes > self.free_bytes() {
             return Err(GpuError::OutOfVideoMemory {
                 requested: bytes,
@@ -149,7 +226,60 @@ impl Gpu {
         self.next_id += 1;
         self.textures.insert(id, Texture2D::new(width, height));
         self.allocated_bytes += bytes;
+        self.texture_allocs += 1;
         Ok(TextureId(id))
+    }
+
+    /// Allocate a `w x h` texture, preferring a released pooled texture of
+    /// the same size class. Reused textures are explicitly zero-filled and
+    /// reset to the default address mode, so a pooled allocation is
+    /// indistinguishable from a fresh one (pipelines may rely on
+    /// zero-initialised accumulators).
+    pub fn alloc_pooled(&mut self, width: usize, height: usize) -> Result<TextureId> {
+        let recycled = self.pool.get_mut(&(width, height)).and_then(Vec::pop);
+        match recycled {
+            Some(mut tex) => {
+                self.pool.retain(|_, v| !v.is_empty());
+                self.pool_bytes -= tex.bytes();
+                for t in tex.texels_mut() {
+                    *t = [0.0; 4];
+                }
+                tex.set_address_mode(AddressMode::ClampToEdge);
+                self.allocated_bytes += tex.bytes();
+                let id = self.next_id;
+                self.next_id += 1;
+                self.textures.insert(id, tex);
+                self.pool_hits += 1;
+                Ok(TextureId(id))
+            }
+            None => self.alloc_texture(width, height),
+        }
+    }
+
+    /// Release a texture into the pool for later [`Gpu::alloc_pooled`]
+    /// reuse. The texture stays resident in video memory until reused,
+    /// evicted by an allocation under pressure, or [`Gpu::drain_pool`]ed.
+    pub fn release_pooled(&mut self, id: TextureId) -> Result<()> {
+        match self.textures.remove(&id.0) {
+            Some(tex) => {
+                self.allocated_bytes -= tex.bytes();
+                self.pool_bytes += tex.bytes();
+                self.pool
+                    .entry((tex.width(), tex.height()))
+                    .or_default()
+                    .push(tex);
+                Ok(())
+            }
+            None => Err(GpuError::InvalidTexture { id: id.0 }),
+        }
+    }
+
+    /// Drop every released pooled texture, returning the bytes freed.
+    pub fn drain_pool(&mut self) -> usize {
+        let freed = self.pool_bytes;
+        self.pool.clear();
+        self.pool_bytes = 0;
+        freed
     }
 
     /// Free a texture.
@@ -210,6 +340,23 @@ impl Gpu {
         Ok(data)
     }
 
+    /// Download into a caller-owned buffer (cleared and refilled), avoiding
+    /// a fresh allocation per readback. Counts the same bus bytes as
+    /// [`Gpu::download`].
+    pub fn download_into(&mut self, id: TextureId, out: &mut Vec<f32>) -> Result<()> {
+        let tex = self
+            .textures
+            .get(&id.0)
+            .ok_or(GpuError::InvalidTexture { id: id.0 })?;
+        out.clear();
+        out.reserve(tex.width() * tex.height() * 4);
+        for t in tex.texels() {
+            out.extend_from_slice(t);
+        }
+        self.stats.bytes_downloaded += (out.len() * 4) as u64;
+        Ok(())
+    }
+
     fn gather_inputs(&self, inputs: &[TextureId], target: TextureId) -> Result<Vec<&Texture2D>> {
         if inputs.contains(&target) {
             return Err(GpuError::InvalidPass {
@@ -244,12 +391,27 @@ impl Gpu {
             // run_pass resolves only O0 to the target texture.
             outputs_read: [true, false, false, false],
         };
-        let diagnostics = verify::verify(program, &self.profile, Some(&bindings));
-        if verify::has_errors(&diagnostics) {
-            return Err(GpuError::VerifyError {
-                program: program.name.clone(),
-                diagnostics,
-            });
+        // Dataflow verification depends only on the program text and the
+        // bindings, so a (program, bindings) pair proven clean once on this
+        // device stays clean; repeat passes skip straight to shading.
+        // Failures are never cached — the error path re-verifies so the
+        // diagnostics stay fresh.
+        let key = VerifyKey {
+            program: program.to_asm(),
+            bindings,
+        };
+        if self.verify_cache.contains(&key) {
+            self.verify_cache_hits += 1;
+        } else {
+            self.verify_runs += 1;
+            let diagnostics = verify::verify(program, &self.profile, Some(&key.bindings));
+            if verify::has_errors(&diagnostics) {
+                return Err(GpuError::VerifyError {
+                    program: program.name.clone(),
+                    diagnostics,
+                });
+            }
+            self.verify_cache.insert(key);
         }
         let input_refs = self.gather_inputs(inputs, target)?;
         let tgt = self.texture(target)?;
@@ -634,6 +796,146 @@ mod tests {
             .run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
             .unwrap();
         assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn pooled_allocation_recycles_and_zero_fills() {
+        let mut gpu = small_gpu();
+        let t = gpu.alloc_pooled(4, 4).unwrap();
+        assert_eq!(gpu.texture_allocs(), 1);
+        assert_eq!(gpu.pool_hits(), 0);
+        let junk: Vec<f32> = (0..4 * 4 * 4).map(|i| i as f32 + 1.0).collect();
+        gpu.upload(t, &junk).unwrap();
+        gpu.set_address_mode(t, AddressMode::Repeat).unwrap();
+        gpu.release_pooled(t).unwrap();
+        assert_eq!(gpu.allocated_bytes(), 0);
+        assert_eq!(gpu.pooled_bytes(), 4 * 4 * 16);
+        assert!(gpu.texture(t).is_err(), "released handle must be dead");
+
+        // Same size class: served from the pool, scrubbed back to defaults.
+        let t2 = gpu.alloc_pooled(4, 4).unwrap();
+        assert_eq!(gpu.texture_allocs(), 1, "no new allocation");
+        assert_eq!(gpu.pool_hits(), 1);
+        assert_eq!(gpu.pooled_bytes(), 0);
+        let tex = gpu.texture(t2).unwrap();
+        assert!(tex.texels().iter().all(|t| *t == [0.0; 4]));
+        assert_eq!(tex.fetch(-5, 0), tex.fetch(0, 0), "mode reset to clamp");
+
+        // Different size class: a genuine allocation.
+        let t3 = gpu.alloc_pooled(8, 8).unwrap();
+        assert_eq!(gpu.texture_allocs(), 2);
+        assert_eq!(gpu.pool_hits(), 1);
+        gpu.release_pooled(t2).unwrap();
+        gpu.release_pooled(t3).unwrap();
+        assert_eq!(gpu.drain_pool(), (4 * 4 + 8 * 8) * 16);
+        assert_eq!(gpu.pooled_bytes(), 0);
+        assert_eq!(gpu.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_evicts_under_memory_pressure() {
+        // 256 MiB budget: pool a 4096x4096 (256 MiB) texture, then ask for a
+        // different size class — the pooled texture must be evicted rather
+        // than the allocation refused.
+        let mut gpu = small_gpu();
+        let big = gpu.alloc_pooled(4096, 4096).unwrap();
+        gpu.release_pooled(big).unwrap();
+        assert_eq!(gpu.free_bytes(), 0, "pooled bytes still occupy memory");
+        let t = gpu.alloc_texture(2048, 2048).unwrap();
+        assert_eq!(gpu.pooled_bytes(), 0, "pool evicted to make room");
+        gpu.free_texture(t).unwrap();
+    }
+
+    #[test]
+    fn verification_cache_skips_repeat_verifications() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(4, 4).unwrap();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        for _ in 0..3 {
+            gpu.run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
+                .unwrap();
+        }
+        assert_eq!(gpu.verifications(), 1, "one verification per program");
+        assert_eq!(gpu.verify_cache_hits(), 2);
+
+        // Different bindings are a different cache entry.
+        let prog2 = assemble("DEF C0, 1, 1, 1, 1\nMOV OC, C0").unwrap();
+        gpu.run_pass(&prog2, &[], &[], &[], dst, None).unwrap();
+        gpu.run_pass(&prog2, &[], &[], &[], dst, None).unwrap();
+        assert_eq!(gpu.verifications(), 2);
+        assert_eq!(gpu.verify_cache_hits(), 3);
+    }
+
+    #[test]
+    fn verification_failures_are_not_cached() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(2, 2).unwrap();
+        let bad = assemble("MOV OC, R3").unwrap();
+        for _ in 0..2 {
+            let err = gpu.run_pass(&bad, &[], &[], &[], dst, None).unwrap_err();
+            assert!(matches!(err, GpuError::VerifyError { .. }));
+        }
+        assert_eq!(gpu.verifications(), 2, "errors re-verify every time");
+        assert_eq!(gpu.verify_cache_hits(), 0);
+    }
+
+    #[test]
+    fn border_fetches_generate_no_cache_traffic() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(4, 4).unwrap();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        gpu.set_address_mode(src, AddressMode::ClampToBorder([0.0; 4]))
+            .unwrap();
+        // Every fetch lands outside the texture: the border colour is
+        // returned without touching any texel, so the cache sees nothing.
+        let stats = gpu
+            .run_closure_pass(&[src], dst, 1, None, |f, x, y| {
+                f.fetch(0, x as i64 + 100, y as i64)
+            })
+            .unwrap();
+        assert_eq!(stats.texel_fetches, 16);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn repeat_mode_wraps_cache_tags_to_the_same_texel() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(4, 4).unwrap();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        gpu.set_address_mode(src, AddressMode::Repeat).unwrap();
+        let in_range = gpu
+            .run_closure_pass(&[src], dst, 1, None, |f, x, y| {
+                f.fetch(0, x as i64, y as i64)
+            })
+            .unwrap();
+        let wrapped = gpu
+            .run_closure_pass(&[src], dst, 1, None, |f, x, y| {
+                f.fetch(0, x as i64 + 4, y as i64 + 4)
+            })
+            .unwrap();
+        // A whole-period shift resolves to identical texels, so the cache
+        // behaviour must match the in-range pass exactly.
+        assert_eq!(wrapped.cache_hits, in_range.cache_hits);
+        assert_eq!(wrapped.cache_misses, in_range.cache_misses);
+        assert_eq!(wrapped.cache_hits + wrapped.cache_misses, 16);
+    }
+
+    #[test]
+    fn download_into_reuses_buffer_and_counts_bytes() {
+        let mut gpu = small_gpu();
+        let t = gpu.alloc_texture(2, 2).unwrap();
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        gpu.upload(t, &data).unwrap();
+        let mut buf = vec![99.0; 3];
+        gpu.download_into(t, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(gpu.stats().bytes_downloaded, 64);
+        // Reuse: previous contents replaced, bytes counted again.
+        gpu.download_into(t, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(gpu.stats().bytes_downloaded, 128);
+        assert!(gpu.download_into(TextureId(999), &mut buf).is_err());
     }
 
     #[test]

@@ -149,13 +149,14 @@ pub fn execute(
                 let tex = textures[sampler];
                 texel_fetches += 1;
                 if let Some(cache) = cache.as_deref_mut() {
-                    // Mirror the sampler's coordinate resolution for the
-                    // cache tag (clamped — good enough for locality).
-                    let x = ((coord[0] * tex.width() as f32).floor() as i64)
-                        .clamp(0, tex.width() as i64 - 1) as usize;
-                    let y = ((coord[1] * tex.height() as f32).floor() as i64)
-                        .clamp(0, tex.height() as i64 - 1) as usize;
-                    cache.access(sampler as u32, x, y);
+                    // Tag the cache with the texel the sampler actually
+                    // touches under its address mode; a border fetch that
+                    // resolves to no texel generates no cache traffic.
+                    let x = (coord[0] * tex.width() as f32).floor() as i64;
+                    let y = (coord[1] * tex.height() as f32).floor() as i64;
+                    if let Some((cx, cy)) = tex.resolve_coords(x, y) {
+                        cache.access(sampler as u32, cx, cy);
+                    }
                 }
                 tex.sample(coord[0], coord[1])
             }

@@ -150,13 +150,21 @@ impl Texture2D {
         self.fetch(x, y)
     }
 
+    /// Resolve integer coordinates through the address mode to the texel a
+    /// fetch would actually touch, or `None` when a `ClampToBorder` fetch
+    /// falls outside the texture and touches no texel at all. Cache models
+    /// must tag accesses with *these* coordinates, not naively clamped ones.
+    pub fn resolve_coords(&self, x: i64, y: i64) -> Option<(usize, usize)> {
+        let rx = Self::resolve(x, self.width, &self.address_mode)?;
+        let ry = Self::resolve(y, self.height, &self.address_mode)?;
+        Some((rx, ry))
+    }
+
     /// Integer fetch honouring the address mode.
     pub fn fetch(&self, x: i64, y: i64) -> Texel {
-        let rx = Self::resolve(x, self.width, &self.address_mode);
-        let ry = Self::resolve(y, self.height, &self.address_mode);
-        match (rx, ry) {
-            (Some(x), Some(y)) => self.texel(x, y),
-            _ => match self.address_mode {
+        match self.resolve_coords(x, y) {
+            Some((x, y)) => self.texel(x, y),
+            None => match self.address_mode {
                 AddressMode::ClampToBorder(border) => border,
                 _ => unreachable!("non-border modes always resolve"),
             },
@@ -253,5 +261,21 @@ mod tests {
     fn default_mode_is_clamp_to_edge() {
         let t = Texture2D::new(1, 1);
         assert_eq!(t.address_mode(), AddressMode::ClampToEdge);
+    }
+
+    #[test]
+    fn resolve_coords_follows_address_mode() {
+        let mut t = gradient(); // 4x3
+        assert_eq!(t.resolve_coords(-5, 1), Some((0, 1)));
+        assert_eq!(t.resolve_coords(10, 2), Some((3, 2)));
+        t.set_address_mode(AddressMode::Repeat);
+        assert_eq!(t.resolve_coords(4, 0), Some((0, 0)));
+        assert_eq!(t.resolve_coords(-1, 3), Some((3, 0)));
+        t.set_address_mode(AddressMode::MirroredRepeat);
+        assert_eq!(t.resolve_coords(4, 0), Some((3, 0)));
+        t.set_address_mode(AddressMode::ClampToBorder([0.0; 4]));
+        assert_eq!(t.resolve_coords(-1, 0), None);
+        assert_eq!(t.resolve_coords(0, 3), None);
+        assert_eq!(t.resolve_coords(1, 2), Some((1, 2)));
     }
 }

@@ -22,6 +22,23 @@ use crate::texcache::BLOCK_BYTES;
 /// model constant (block is 16 texels; ~4 pipes touch each block).
 pub const L2_SHARING: f64 = 4.0;
 
+/// How host transfers relate to kernel execution in the modeled total.
+///
+/// The paper's measured pipeline serializes transfers with shading; a
+/// double-buffered uploader (pack and upload chunk N+1 while chunk N shades)
+/// hides upload latency behind kernel time, leaving only the epilogue
+/// download serial. The chunk executor in `amc-core` implements exactly that
+/// overlap, so experiments can report both totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// Upload → shade → download in sequence (the paper's setup).
+    #[default]
+    Serial,
+    /// Uploads overlap shading (double-buffered streaming); downloads stay
+    /// serial — results only exist once the last pass retires.
+    Overlapped,
+}
+
 /// Breakdown of one modeled GPU execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuTime {
@@ -56,6 +73,26 @@ impl GpuTime {
     /// End-to-end time in milliseconds.
     pub fn total_ms(&self) -> f64 {
         self.total_s() * 1e3
+    }
+
+    /// End-to-end time under the given transfer model, seconds. With
+    /// [`TransferMode::Overlapped`], upload hides behind kernel work (the
+    /// slower of the two bounds throughput) and only the download serializes.
+    pub fn total_s_mode(&self, mode: TransferMode) -> f64 {
+        match mode {
+            TransferMode::Serial => self.total_s(),
+            TransferMode::Overlapped => self.kernel_s().max(self.upload_s) + self.download_s,
+        }
+    }
+
+    /// End-to-end time under the given transfer model, milliseconds.
+    pub fn total_ms_mode(&self, mode: TransferMode) -> f64 {
+        self.total_s_mode(mode) * 1e3
+    }
+
+    /// Seconds saved by overlapping uploads with kernel execution.
+    pub fn overlap_saving_s(&self) -> f64 {
+        self.total_s() - self.total_s_mode(TransferMode::Overlapped)
     }
 }
 
@@ -146,6 +183,28 @@ mod tests {
         assert_eq!(t.total_s(), 3.75);
         assert_eq!(t.kernel_ms(), 3000.0);
         assert_eq!(t.total_ms(), 3750.0);
+    }
+
+    #[test]
+    fn overlapped_mode_hides_uploads_behind_kernel_time() {
+        let t = GpuTime {
+            compute_s: 3.0,
+            texture_s: 1.0,
+            memory_s: 2.0,
+            upload_s: 0.5,
+            download_s: 0.25,
+        };
+        // Kernel (3.0) dominates upload (0.5): the upload disappears.
+        assert_eq!(t.total_s_mode(TransferMode::Serial), 3.75);
+        assert_eq!(t.total_s_mode(TransferMode::Overlapped), 3.25);
+        assert_eq!(t.overlap_saving_s(), 0.5);
+        assert_eq!(t.total_ms_mode(TransferMode::Overlapped), 3250.0);
+        // Upload-bound case: the upload becomes the bottleneck instead.
+        let slow_bus = GpuTime { upload_s: 5.0, ..t };
+        assert_eq!(slow_bus.total_s_mode(TransferMode::Overlapped), 5.25);
+        // Overlap never loses to serial.
+        assert!(slow_bus.total_s_mode(TransferMode::Overlapped) <= slow_bus.total_s());
+        assert_eq!(TransferMode::default(), TransferMode::Serial);
     }
 
     #[test]

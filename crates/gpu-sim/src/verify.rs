@@ -128,7 +128,13 @@ impl fmt::Display for Diagnostic {
 }
 
 /// What a render pass supplies to the program.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Hashable/comparable so the device can key its verification cache on
+/// (program, bindings): the same program bound differently must re-verify,
+/// while repeated identical passes (the chunked-pipeline common case) hit
+/// the cache. Note that bound constant *values* are deliberately absent —
+/// verification only depends on which registers are supplied.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PassBindings {
     /// Number of textures bound (`tex0..texN-1`).
     pub samplers: usize,

@@ -40,6 +40,26 @@ fn chunk_planner_makes_the_same_cube_fit() {
     let out = amc.run(&mut gpu, &cube).expect("chunked run fits");
     assert!(out.chunks > 1, "planner should have split the image");
     assert_eq!(gpu.allocated_bytes(), 0, "all textures freed");
+    assert_eq!(gpu.pooled_bytes(), 0, "pool drained after the run");
+}
+
+#[test]
+fn infeasible_chunking_is_a_structured_error() {
+    // So wide that a single line with halo cannot fit 1 MiB: the planner
+    // must refuse up front with the dedicated error, not fail mid-run with
+    // an allocation error.
+    let mut profile = GpuProfile::fx5950_ultra();
+    profile.video_memory_mib = 1;
+    let mut gpu = Gpu::new(profile);
+    let cube = Cube::from_fn(CubeDims::new(4096, 16, 32), Interleave::Bip, |x, y, b| {
+        (x + y + b) as f32 + 1.0
+    })
+    .unwrap();
+    let amc = GpuAmc::new(StructuringElement::square(3).unwrap(), KernelMode::Closure);
+    let err = amc.run(&mut gpu, &cube).unwrap_err();
+    assert!(matches!(err, AmcError::ChunkingInfeasible { .. }), "{err}");
+    assert!(err.to_string().contains("chunking infeasible"));
+    assert_eq!(gpu.stats().passes, 0, "nothing may have executed");
 }
 
 #[test]

@@ -79,8 +79,10 @@ fn table_shape_headlines_hold() {
     for (_, dims) in &sizes {
         let work = hyperspec::amc::cpu::amc_work(*dims, se.len());
         let cpu_ms = timing::cpu_time_ms(&work, &p4, Compiler::Gcc);
-        let (fx, _) = perf::predict_gpu_time(*dims, &se, &GpuProfile::fx5950_ultra(), &cfg);
-        let (g70, _) = perf::predict_gpu_time(*dims, &se, &GpuProfile::geforce_7800gtx(), &cfg);
+        let (fx, _) =
+            perf::predict_gpu_time(*dims, &se, &GpuProfile::fx5950_ultra(), &cfg).unwrap();
+        let (g70, _) =
+            perf::predict_gpu_time(*dims, &se, &GpuProfile::geforce_7800gtx(), &cfg).unwrap();
         speedups.push(cpu_ms / g70.kernel_ms());
         gains.push(fx.kernel_ms() / g70.kernel_ms());
     }
@@ -98,8 +100,10 @@ fn table_shape_headlines_hold() {
         assert!(*g > 3.5 && *g < 5.5, "generation gain {g}");
     }
     // 4. Linear scaling in image size.
-    let (t0, _) = perf::predict_gpu_time(sizes[0].1, &se, &GpuProfile::geforce_7800gtx(), &cfg);
-    let (t5, _) = perf::predict_gpu_time(sizes[5].1, &se, &GpuProfile::geforce_7800gtx(), &cfg);
+    let (t0, _) =
+        perf::predict_gpu_time(sizes[0].1, &se, &GpuProfile::geforce_7800gtx(), &cfg).unwrap();
+    let (t5, _) =
+        perf::predict_gpu_time(sizes[5].1, &se, &GpuProfile::geforce_7800gtx(), &cfg).unwrap();
     let ratio = t5.kernel_ms() / t0.kernel_ms();
     let size_ratio = sizes[5].1.pixels() as f64 / sizes[0].1.pixels() as f64;
     assert!(
