@@ -26,6 +26,11 @@ fn main() {
             format_time_table(Compiler::Icc, &time_rows(Compiler::Icc))
         ),
         "fig5" => run_fig5(args.get(1).map(String::as_str).unwrap_or("out")),
+        "bench" => run_bench(
+            args.get(1)
+                .map(String::as_str)
+                .unwrap_or("BENCH_results.json"),
+        ),
         "fig6" => print!("{}", format_fig6(&time_rows(Compiler::Gcc))),
         "ablations" => print!("{}", format_ablations()),
         "all" => {
@@ -52,10 +57,28 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|all]");
+            eprintln!(
+                "usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|bench|all]"
+            );
             std::process::exit(2);
         }
     }
+}
+
+fn run_bench(path: &str) {
+    eprintln!(
+        "[bench] timing the end-to-end AMC run ({} worker threads)...",
+        rayon::max_threads()
+    );
+    let run = results::run_benchmark(2026);
+    let json = results::to_json(&run);
+    std::fs::write(path, &json).expect("write benchmark results");
+    eprintln!(
+        "[bench] AMC wall {:.2}s (gpu pipeline {:.2}s + cpu tail {:.2}s) -> {path}",
+        run.amc_wall_s(),
+        run.gpu_pipeline_s,
+        run.cpu_tail_s
+    );
 }
 
 fn run_table3() {

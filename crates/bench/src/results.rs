@@ -1,0 +1,193 @@
+//! Machine-readable benchmark results (`BENCH_results.json`).
+//!
+//! `tables -- bench [path]` runs the AMC pipeline end to end on the reduced
+//! synthetic Indian Pines scene, wall-clocks each phase, and writes a JSON
+//! record: host wall-clock seconds for scene generation, the GPU stream
+//! pipeline and the CPU classification tail, plus the six-stage counter and
+//! modeled-time breakdown the simulator produced. The JSON is hand-rolled
+//! (the workspace carries no serde); keys are stable so successive baselines
+//! diff cleanly.
+
+use amc_core::pipeline::{GpuAmc, KernelMode, StageStats};
+use gpu_sim::counters::PassStats;
+use gpu_sim::device::GpuProfile;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::timing;
+use hsi::classify::{AmcClassifier, AmcConfig};
+use hsi::morphology::MeiImage;
+use hsi_scene::library::indian_pines_classes;
+use hsi_scene::scene::{generate, SceneConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Scene seed.
+    pub seed: u64,
+    /// Worker threads the executor used ([`rayon::max_threads`]).
+    pub threads: usize,
+    /// Scene dimensions `(width, height, bands)`.
+    pub dims: (usize, usize, usize),
+    /// Wall-clock seconds generating the synthetic scene.
+    pub scene_s: f64,
+    /// Wall-clock seconds for the GPU stream pipeline (MEI computation).
+    pub gpu_pipeline_s: f64,
+    /// Wall-clock seconds for the CPU tail (endmembers + classification).
+    pub cpu_tail_s: f64,
+    /// Chunks the pipeline split the scene into.
+    pub chunks: usize,
+    /// Endmembers extracted.
+    pub endmembers: usize,
+    /// Per-stage simulator counters.
+    pub stages: StageStats,
+}
+
+impl BenchRun {
+    /// End-to-end wall-clock (scene generation excluded — it is input
+    /// preparation, not AMC).
+    pub fn amc_wall_s(&self) -> f64 {
+        self.gpu_pipeline_s + self.cpu_tail_s
+    }
+}
+
+/// Execute the end-to-end benchmark once.
+pub fn run_benchmark(seed: u64) -> BenchRun {
+    let classes = indian_pines_classes();
+    let t = Instant::now();
+    let scene = generate(&classes, &SceneConfig::reduced_indian_pines(seed));
+    let scene_s = t.elapsed().as_secs_f64();
+    let dims = scene.cube.dims();
+
+    let config = AmcConfig::paper_default(classes.len());
+    let amc = GpuAmc::new(config.se.clone(), KernelMode::Closure);
+    let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
+    let t = Instant::now();
+    let out = amc.run(&mut gpu, &scene.cube).expect("GPU AMC pipeline");
+    let gpu_pipeline_s = t.elapsed().as_secs_f64();
+
+    let classifier = AmcClassifier::new(config);
+    let mei: MeiImage = out.mei.clone();
+    let t = Instant::now();
+    let classified = classifier
+        .classify_with_mei(&scene.cube, mei)
+        .expect("CPU tail");
+    let cpu_tail_s = t.elapsed().as_secs_f64();
+
+    BenchRun {
+        seed,
+        threads: rayon::max_threads(),
+        dims: (dims.width, dims.height, dims.bands),
+        scene_s,
+        gpu_pipeline_s,
+        cpu_tail_s,
+        chunks: out.chunks,
+        endmembers: classified.class_count(),
+        stages: out.stages,
+    }
+}
+
+fn stage_json(name: &str, s: &PassStats, profile: &GpuProfile) -> String {
+    let modeled = timing::gpu_time(s, profile);
+    format!(
+        "    {{\"stage\": \"{name}\", \"passes\": {}, \"fragments\": {}, \
+         \"instructions\": {}, \"texel_fetches\": {}, \"tiles\": {}, \
+         \"bytes_uploaded\": {}, \"bytes_downloaded\": {}, \
+         \"modeled_ms\": {:.6}}}",
+        s.passes,
+        s.fragments,
+        s.instructions,
+        s.texel_fetches,
+        s.tiles,
+        s.bytes_uploaded,
+        s.bytes_downloaded,
+        modeled.total_ms()
+    )
+}
+
+/// Render a [`BenchRun`] as the `BENCH_results.json` document.
+pub fn to_json(run: &BenchRun) -> String {
+    let profile = GpuProfile::geforce_7800gtx();
+    let total = run.stages.total();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"amc_end_to_end\",");
+    let _ = writeln!(s, "  \"seed\": {},", run.seed);
+    let _ = writeln!(s, "  \"threads\": {},", run.threads);
+    let _ = writeln!(
+        s,
+        "  \"scene\": {{\"width\": {}, \"height\": {}, \"bands\": {}}},",
+        run.dims.0, run.dims.1, run.dims.2
+    );
+    let _ = writeln!(s, "  \"scene_generation_s\": {:.6},", run.scene_s);
+    let _ = writeln!(s, "  \"gpu_pipeline_wall_s\": {:.6},", run.gpu_pipeline_s);
+    let _ = writeln!(s, "  \"cpu_tail_wall_s\": {:.6},", run.cpu_tail_s);
+    let _ = writeln!(s, "  \"amc_wall_s\": {:.6},", run.amc_wall_s());
+    let _ = writeln!(s, "  \"chunks\": {},", run.chunks);
+    let _ = writeln!(s, "  \"endmembers\": {},", run.endmembers);
+    let _ = writeln!(
+        s,
+        "  \"modeled_kernel_ms_7800gtx\": {:.6},",
+        timing::gpu_time(&total, &profile).kernel_ms()
+    );
+    s.push_str("  \"stages\": [\n");
+    let stages: [(&str, &PassStats); 6] = [
+        ("upload", &run.stages.upload),
+        ("normalize", &run.stages.normalize),
+        ("distance", &run.stages.distance),
+        ("minmax", &run.stages.minmax),
+        ("mei", &run.stages.mei),
+        ("download", &run.stages.download),
+    ];
+    for (i, (name, stats)) in stages.iter().enumerate() {
+        s.push_str(&stage_json(name, stats, &profile));
+        s.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_is_well_formed_and_complete() {
+        // A synthetic run: no need to execute the pipeline to test the
+        // serializer.
+        let mut stages = StageStats::default();
+        stages.normalize.passes = 4;
+        stages.normalize.fragments = 1024;
+        stages.normalize.instructions = 9000;
+        stages.normalize.tiles = 8;
+        stages.upload.bytes_uploaded = 1 << 20;
+        let run = BenchRun {
+            seed: 7,
+            threads: 4,
+            dims: (145, 145, 32),
+            scene_s: 0.5,
+            gpu_pipeline_s: 1.25,
+            cpu_tail_s: 0.75,
+            chunks: 3,
+            endmembers: 30,
+            stages,
+        };
+        let json = to_json(&run);
+        // Balanced braces/brackets and the stable key set.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"benchmark\"",
+            "\"threads\": 4",
+            "\"amc_wall_s\": 2.000000",
+            "\"gpu_pipeline_wall_s\": 1.250000",
+            "\"stages\": [",
+            "\"stage\": \"upload\"",
+            "\"stage\": \"download\"",
+            "\"tiles\": 8",
+            "\"modeled_kernel_ms_7800gtx\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches("\"stage\": ").count(), 6);
+    }
+}

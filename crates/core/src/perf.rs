@@ -80,6 +80,10 @@ pub fn predict_chunk_stats(
     };
 
     let cache_misses = ((texel_fetches as f64) * (1.0 - config.cache_hit_rate)).round() as u64;
+    // Tile geometry is deterministic: every pass covers the chunk with the
+    // executor's TILE_W x TILE_ROWS shading grid.
+    let tiles_per_pass = (width.div_ceil(gpu_sim::raster::TILE_W)
+        * height.div_ceil(gpu_sim::raster::TILE_ROWS)) as u64;
     PassStats {
         fragments: frag * passes,
         instructions,
@@ -90,6 +94,7 @@ pub fn predict_chunk_stats(
         bytes_uploaded,
         bytes_downloaded,
         passes,
+        tiles: passes * tiles_per_pass,
     }
 }
 
@@ -193,6 +198,7 @@ mod tests {
         assert_eq!(pred.bytes_written, out.stats.bytes_written);
         assert_eq!(pred.bytes_uploaded, out.stats.bytes_uploaded);
         assert_eq!(pred.bytes_downloaded, out.stats.bytes_downloaded);
+        assert_eq!(pred.tiles, out.stats.tiles);
     }
 
     #[test]

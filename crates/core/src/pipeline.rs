@@ -301,6 +301,10 @@ impl GpuAmc {
                         buf
                     })
                 });
+                // The packer owns a core while it runs, so shade this chunk
+                // with one fewer pool worker — the pipeline never runs more
+                // threads than the host advertises.
+                let _packer_core = packer.as_ref().map(|_| rayon::reserve_thread());
                 let cd = chunk.cube.dims();
                 let result = self.run_chunk_packed(
                     gpu,

@@ -25,6 +25,9 @@ pub struct PassStats {
     pub bytes_downloaded: u64,
     /// Render passes summed into this value.
     pub passes: u64,
+    /// Shading tiles dispatched (the executor's unit of fragment-pipe
+    /// parallelism; see `raster::TILE_W`/`TILE_ROWS`).
+    pub tiles: u64,
 }
 
 impl PassStats {
@@ -44,6 +47,7 @@ impl PassStats {
         self.bytes_uploaded += other.bytes_uploaded;
         self.bytes_downloaded += other.bytes_downloaded;
         self.passes += other.passes;
+        self.tiles += other.tiles;
     }
 
     /// Remove another total from this one, field by field (saturating). The
@@ -59,6 +63,7 @@ impl PassStats {
         self.bytes_uploaded = self.bytes_uploaded.saturating_sub(other.bytes_uploaded);
         self.bytes_downloaded = self.bytes_downloaded.saturating_sub(other.bytes_downloaded);
         self.passes = self.passes.saturating_sub(other.passes);
+        self.tiles = self.tiles.saturating_sub(other.tiles);
     }
 
     /// Mean shader instructions per fragment.
@@ -116,12 +121,14 @@ mod tests {
             bytes_uploaded: 1,
             bytes_downloaded: 2,
             passes: 1,
+            tiles: 4,
         };
         let b = a;
         let c = a + b;
         assert_eq!(c.fragments, 20);
         assert_eq!(c.instructions, 200);
         assert_eq!(c.passes, 2);
+        assert_eq!(c.tiles, 8);
         let summed: PassStats = vec![a, b].into_iter().sum();
         assert_eq!(summed, c);
     }
@@ -138,6 +145,7 @@ mod tests {
             bytes_uploaded: 1,
             bytes_downloaded: 2,
             passes: 1,
+            tiles: 4,
         };
         let b = PassStats {
             fragments: 3,
@@ -149,6 +157,7 @@ mod tests {
             bytes_uploaded: 4,
             bytes_downloaded: 8,
             passes: 2,
+            tiles: 6,
         };
         let mut t = a;
         t.add(&b);

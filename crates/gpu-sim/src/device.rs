@@ -73,6 +73,20 @@ impl GpuProfile {
         self.texture_fill_mtexels * 1e6
     }
 
+    /// Fraction of this profile's fragment pipes kept busy when
+    /// `tiles_per_pass` equal-cost shading tiles are dispatched round-robin
+    /// across the pipes: full waves run all pipes, the final partial wave
+    /// leaves some idle. 1.0 when no tiles were counted (hand-built stats
+    /// from older call sites predate the tile counter).
+    pub fn pipe_occupancy(&self, tiles_per_pass: f64) -> f64 {
+        if tiles_per_pass <= 0.0 {
+            return 1.0;
+        }
+        let pipes = self.fragment_pipes as f64;
+        let waves = (tiles_per_pass / pipes).ceil();
+        (tiles_per_pass / (waves * pipes)).min(1.0)
+    }
+
     /// GeForce FX5950 Ultra (NV38, 2003) — the paper's "three-years-old"
     /// platform.
     pub fn fx5950_ultra() -> Self {
@@ -282,6 +296,21 @@ mod tests {
         let pr = CpuProfile::pentium4_prescott();
         let r = pr.sustained_flops(Compiler::Icc) / pr.sustained_flops(Compiler::Gcc);
         assert!(r > 1.6 && r < 2.0, "prescott icc ratio = {r}");
+    }
+
+    #[test]
+    fn pipe_occupancy_quantizes_to_waves() {
+        let fx = GpuProfile::fx5950_ultra();
+        assert_eq!(fx.pipe_occupancy(0.0), 1.0, "no tile counts: neutral");
+        assert_eq!(fx.pipe_occupancy(4.0), 1.0, "one full wave");
+        assert_eq!(fx.pipe_occupancy(8.0), 1.0, "two full waves");
+        assert_eq!(fx.pipe_occupancy(5.0), 5.0 / 8.0, "partial second wave");
+        let g70 = GpuProfile::geforce_7800gtx();
+        assert_eq!(g70.pipe_occupancy(7.0), 7.0 / 24.0);
+        assert_eq!(g70.pipe_occupancy(24.0), 1.0);
+        // Plenty of tiles: occupancy approaches 1 on both generations.
+        assert!(g70.pipe_occupancy(1054.0) > 0.95);
+        assert!(fx.pipe_occupancy(1054.0) > 0.95);
     }
 
     #[test]

@@ -11,20 +11,30 @@
 //! * **Closure passes** ([`Gpu::run_closure_pass`]) run a Rust closure per
 //!   fragment with a caller-declared instruction cost — the fast path for
 //!   large experiments, validated against the ISA path in tests.
+//!
+//! Both forms shade the render target as independent
+//! [`TILE_W`](crate::raster::TILE_W)`x`[`TILE_ROWS`](crate::raster::TILE_ROWS)
+//! tiles dispatched on the host worker pool (one simulated fragment pipe per
+//! tile, each with its own texture-cache model). Per-tile counters are
+//! merged in tile order, so aggregate statistics and output texels are
+//! bit-identical at every thread count. ISA passes execute through a
+//! [`LoweredProgram`](crate::interp::LoweredProgram) — operands decoded and
+//! constants folded once per (program, constants) bind, cached on the device
+//! next to the verification cache.
 
 use crate::counters::PassStats;
 use crate::device::GpuProfile;
 use crate::error::{GpuError, Result};
-use crate::interp::{self, FragmentInput};
+use crate::interp::{self, FragmentInput, LoweredProgram};
 use crate::isa::Program;
-use crate::raster::{fragment_input, Quad, TexCoordSet};
+use crate::raster::{self, fragment_input, Quad, TexCoordSet};
 use crate::texcache::TextureCache;
 use crate::texture::{AddressMode, Texel, Texture2D};
 use crate::verify;
 use rayon::prelude::*;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Handle to a texture resident in simulated video memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +95,78 @@ struct VerifyKey {
     bindings: verify::PassBindings,
 }
 
+/// Key of the device-level lowering cache, keyed like the verification
+/// cache on canonical program text, plus the pass-constant values the
+/// lowering folded into immediates (as exact bit patterns, so the key is
+/// hashable and two bindings differing only in a constant value get
+/// distinct lowerings).
+#[derive(PartialEq, Eq, Hash)]
+struct LowerKey {
+    /// Canonical program text (name, `DEF`s, instructions).
+    program: String,
+    /// Pass constants as `(index, value-bit-pattern)` in binding order.
+    constants: Vec<(u8, [u32; 4])>,
+}
+
+/// Counters one shading tile produced, merged in tile order after the
+/// parallel dispatch so aggregates are independent of scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+struct TileCounts {
+    instructions: u64,
+    texel_fetches: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Shade `out` (the scratch buffer for `quad`) as independent tiles on the
+/// worker pool. `shade_tile` is called once per tile with the tile's origin
+/// in target coordinates, its rows (as mutable row segments of `out`), and
+/// a private texture-cache model; it returns the (instructions, fetches) it
+/// executed. Returns per-tile counters in tile order.
+fn shade_tiled<F>(
+    out: &mut [Texel],
+    quad: &Quad,
+    cache_model: bool,
+    shade_tile: F,
+) -> Vec<TileCounts>
+where
+    F: Fn(usize, usize, Vec<&mut [Texel]>, Option<&mut TextureCache>) -> (u64, u64) + Sync,
+{
+    let cols = quad.tile_cols();
+    let tiles = quad.tile_count();
+    // A tile's rows are disjoint contiguous segments of the row-major
+    // scratch buffer, so the split needs no unsafe: chunk into rows, chunk
+    // each row into tile-width segments, group segments by tile.
+    let mut tile_rows: Vec<Vec<&mut [Texel]>> = Vec::with_capacity(tiles);
+    tile_rows.resize_with(tiles, Vec::new);
+    for (y, row) in out.chunks_mut(quad.width).enumerate() {
+        let band = y / raster::TILE_ROWS;
+        for (col, seg) in row.chunks_mut(raster::TILE_W).enumerate() {
+            tile_rows[band * cols + col].push(seg);
+        }
+    }
+    let mut counts = vec![TileCounts::default(); tiles];
+    let work: Vec<(usize, Vec<&mut [Texel]>, &mut TileCounts)> = tile_rows
+        .into_iter()
+        .zip(counts.iter_mut())
+        .enumerate()
+        .map(|(tile, (rows, slot))| (tile, rows, slot))
+        .collect();
+    work.into_par_iter().for_each(|(tile, rows, slot)| {
+        let mut cache = cache_model.then(TextureCache::per_pipe_default);
+        let x0 = quad.x0 + (tile % cols) * raster::TILE_W;
+        let y0 = quad.y0 + (tile / cols) * raster::TILE_ROWS;
+        let (instructions, texel_fetches) = shade_tile(x0, y0, rows, cache.as_mut());
+        *slot = TileCounts {
+            instructions,
+            texel_fetches,
+            cache_hits: cache.as_ref().map_or(0, TextureCache::hits),
+            cache_misses: cache.as_ref().map_or(0, TextureCache::misses),
+        };
+    });
+    counts
+}
+
 /// The simulated device.
 pub struct Gpu {
     profile: GpuProfile,
@@ -102,6 +184,9 @@ pub struct Gpu {
     verify_cache: HashSet<VerifyKey>,
     verify_runs: u64,
     verify_cache_hits: u64,
+    lowered_cache: HashMap<LowerKey, Arc<LoweredProgram>>,
+    lower_runs: u64,
+    lower_cache_hits: u64,
 }
 
 impl Gpu {
@@ -121,6 +206,9 @@ impl Gpu {
             verify_cache: HashSet::new(),
             verify_runs: 0,
             verify_cache_hits: 0,
+            lowered_cache: HashMap::new(),
+            lower_runs: 0,
+            lower_cache_hits: 0,
         }
     }
 
@@ -170,6 +258,43 @@ impl Gpu {
     /// Number of passes whose verification was satisfied from the cache.
     pub fn verify_cache_hits(&self) -> u64 {
         self.verify_cache_hits
+    }
+
+    /// Number of program lowerings executed on this device (lowering-cache
+    /// misses).
+    pub fn lowerings(&self) -> u64 {
+        self.lower_runs
+    }
+
+    /// Number of ISA passes whose lowering was satisfied from the cache.
+    pub fn lower_cache_hits(&self) -> u64 {
+        self.lower_cache_hits
+    }
+
+    /// Fetch or build the lowered form of `(program, constants)`. The
+    /// canonical program text is shared with the verification-cache key.
+    fn lowered_for(
+        &mut self,
+        asm: &str,
+        program: &Program,
+        constants: &[(u8, [f32; 4])],
+    ) -> Arc<LoweredProgram> {
+        let key = LowerKey {
+            program: asm.to_owned(),
+            constants: constants
+                .iter()
+                .map(|&(idx, v)| (idx, v.map(f32::to_bits)))
+                .collect(),
+        };
+        if let Some(lowered) = self.lowered_cache.get(&key) {
+            self.lower_cache_hits += 1;
+            return Arc::clone(lowered);
+        }
+        self.lower_runs += 1;
+        let resolved = interp::resolve_constants(program, constants);
+        let lowered = Arc::new(interp::lower(program, &resolved));
+        self.lowered_cache.insert(key, Arc::clone(&lowered));
+        lowered
     }
 
     /// Cumulative counters since the last [`Gpu::reset_stats`].
@@ -396,8 +521,9 @@ impl Gpu {
         // device stays clean; repeat passes skip straight to shading.
         // Failures are never cached — the error path re-verifies so the
         // diagnostics stay fresh.
+        let asm = program.to_asm();
         let key = VerifyKey {
-            program: program.to_asm(),
+            program: asm.clone(),
             bindings,
         };
         if self.verify_cache.contains(&key) {
@@ -413,6 +539,9 @@ impl Gpu {
             }
             self.verify_cache.insert(key);
         }
+        // Lower once per (program, constants) bind; repeat passes shade
+        // straight from the cached pre-decoded form.
+        let lowered = self.lowered_for(&asm, program, constants);
         let input_refs = self.gather_inputs(inputs, target)?;
         let tgt = self.texture(target)?;
         let (tw, th) = (tgt.width(), tgt.height());
@@ -425,39 +554,33 @@ impl Gpu {
                 ),
             });
         }
-        let resolved = interp::resolve_constants(program, constants);
-        let instr_counter = AtomicU64::new(0);
-        let fetch_counter = AtomicU64::new(0);
-        let hit_counter = AtomicU64::new(0);
-        let miss_counter = AtomicU64::new(0);
-        let cache_model = self.cache_model;
-
-        // Shade the quad into a scratch buffer. Parallel pipes work on
-        // block-height row bands so the per-pipe cache model sees the same
-        // vertical block reuse the hardware's rasterisation order provides.
+        // Shade the quad into a scratch buffer as independent tiles, one
+        // simulated fragment pipe (with its own cache model) per tile.
         let mut out = vec![[0.0f32; 4]; quad.fragments()];
-        let band_rows = crate::texcache::BLOCK_H;
-        out.par_chunks_mut(quad.width * band_rows)
-            .enumerate()
-            .for_each(|(band, out_band)| {
-                let mut cache = cache_model.then(TextureCache::per_pipe_default);
+        let tile_counts = shade_tiled(
+            &mut out,
+            &quad,
+            self.cache_model,
+            |x0, y0, mut rows, mut cache| {
                 let (mut instr, mut fetches) = (0u64, 0u64);
-                for (i, slot) in out_band.iter_mut().enumerate() {
-                    let x = quad.x0 + i % quad.width;
-                    let y = quad.y0 + band * band_rows + i / quad.width;
-                    let fin: FragmentInput = fragment_input(texcoords, x, y, tw, th);
-                    let r = interp::execute(program, &fin, &resolved, &input_refs, cache.as_mut());
-                    instr += r.instructions;
-                    fetches += r.texel_fetches;
-                    *slot = r.colors[0];
+                for (ri, seg) in rows.iter_mut().enumerate() {
+                    let y = y0 + ri;
+                    for (ci, slot) in seg.iter_mut().enumerate() {
+                        let fin: FragmentInput = fragment_input(texcoords, x0 + ci, y, tw, th);
+                        let r = interp::execute_lowered(
+                            &lowered,
+                            &fin,
+                            &input_refs,
+                            cache.as_deref_mut(),
+                        );
+                        instr += r.instructions;
+                        fetches += r.texel_fetches;
+                        *slot = r.colors[0];
+                    }
                 }
-                instr_counter.fetch_add(instr, Ordering::Relaxed);
-                fetch_counter.fetch_add(fetches, Ordering::Relaxed);
-                if let Some(c) = cache {
-                    hit_counter.fetch_add(c.hits(), Ordering::Relaxed);
-                    miss_counter.fetch_add(c.misses(), Ordering::Relaxed);
-                }
-            });
+                (instr, fetches)
+            },
+        );
 
         // Resolve to the framebuffer.
         let tgt = self
@@ -470,17 +593,21 @@ impl Gpu {
             }
         }
 
-        let pass = PassStats {
+        let mut pass = PassStats {
             fragments: quad.fragments() as u64,
-            instructions: instr_counter.into_inner(),
-            texel_fetches: fetch_counter.into_inner(),
-            cache_hits: hit_counter.into_inner(),
-            cache_misses: miss_counter.into_inner(),
             bytes_written: (quad.fragments() * 16) as u64,
-            bytes_uploaded: 0,
-            bytes_downloaded: 0,
             passes: 1,
+            tiles: quad.tile_count() as u64,
+            ..PassStats::default()
         };
+        // Deterministic merge: per-tile counters sum in tile order, never
+        // in scheduling order.
+        for c in &tile_counts {
+            pass.instructions += c.instructions;
+            pass.texel_fetches += c.texel_fetches;
+            pass.cache_hits += c.cache_hits;
+            pass.cache_misses += c.cache_misses;
+        }
         self.stats.add(&pass);
         Ok(pass)
     }
@@ -527,29 +654,22 @@ impl Gpu {
                 message: "quad exceeds target".into(),
             });
         }
-        let fetch_counter = AtomicU64::new(0);
-        let hit_counter = AtomicU64::new(0);
-        let miss_counter = AtomicU64::new(0);
-        let cache_model = self.cache_model;
-
         let mut out = vec![[0.0f32; 4]; quad.fragments()];
-        let band_rows = crate::texcache::BLOCK_H;
-        out.par_chunks_mut(quad.width * band_rows)
-            .enumerate()
-            .for_each(|(band, out_band)| {
-                let mut cache = cache_model.then(TextureCache::per_pipe_default);
-                let fetcher = Fetcher::new(&input_refs, cache.as_mut());
-                for (i, slot) in out_band.iter_mut().enumerate() {
-                    let x = quad.x0 + i % quad.width;
-                    let y = quad.y0 + band * band_rows + i / quad.width;
-                    *slot = kernel(&fetcher, x, y);
+        let tile_counts = shade_tiled(
+            &mut out,
+            &quad,
+            self.cache_model,
+            |x0, y0, mut rows, cache| {
+                let fetcher = Fetcher::new(&input_refs, cache);
+                for (ri, seg) in rows.iter_mut().enumerate() {
+                    let y = y0 + ri;
+                    for (ci, slot) in seg.iter_mut().enumerate() {
+                        *slot = kernel(&fetcher, x0 + ci, y);
+                    }
                 }
-                fetch_counter.fetch_add(fetcher.take_count(), Ordering::Relaxed);
-                if let Some(c) = cache {
-                    hit_counter.fetch_add(c.hits(), Ordering::Relaxed);
-                    miss_counter.fetch_add(c.misses(), Ordering::Relaxed);
-                }
-            });
+                (0, fetcher.take_count())
+            },
+        );
 
         let tgt = self
             .textures
@@ -561,17 +681,20 @@ impl Gpu {
             }
         }
 
-        let pass = PassStats {
+        let mut pass = PassStats {
             fragments: quad.fragments() as u64,
+            // The declared equivalent-program cost, not a measured count.
             instructions: quad.fragments() as u64 * instr_per_fragment,
-            texel_fetches: fetch_counter.into_inner(),
-            cache_hits: hit_counter.into_inner(),
-            cache_misses: miss_counter.into_inner(),
             bytes_written: (quad.fragments() * 16) as u64,
-            bytes_uploaded: 0,
-            bytes_downloaded: 0,
             passes: 1,
+            tiles: quad.tile_count() as u64,
+            ..PassStats::default()
         };
+        for c in &tile_counts {
+            pass.texel_fetches += c.texel_fetches;
+            pass.cache_hits += c.cache_hits;
+            pass.cache_misses += c.cache_misses;
+        }
         self.stats.add(&pass);
         Ok(pass)
     }
@@ -865,6 +988,55 @@ mod tests {
         gpu.run_pass(&prog2, &[], &[], &[], dst, None).unwrap();
         assert_eq!(gpu.verifications(), 2);
         assert_eq!(gpu.verify_cache_hits(), 3);
+    }
+
+    #[test]
+    fn lowering_cache_reuses_programs_and_keys_on_constant_values() {
+        let mut gpu = small_gpu();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        let prog = assemble("MOV OC, C0").unwrap();
+        for _ in 0..3 {
+            gpu.run_pass(&prog, &[], &[(0, [1.0; 4])], &[], dst, None)
+                .unwrap();
+        }
+        assert_eq!(gpu.lowerings(), 1, "one lowering per bind");
+        assert_eq!(gpu.lower_cache_hits(), 2);
+        // Same program text, different constant value: constants are folded
+        // into the lowered form, so this is a distinct cache entry …
+        gpu.run_pass(&prog, &[], &[(0, [2.0; 4])], &[], dst, None)
+            .unwrap();
+        assert_eq!(gpu.lowerings(), 2);
+        // … that is itself reused.
+        gpu.run_pass(&prog, &[], &[(0, [2.0; 4])], &[], dst, None)
+            .unwrap();
+        assert_eq!(gpu.lowerings(), 2);
+        assert_eq!(gpu.lower_cache_hits(), 3);
+        assert_eq!(gpu.texture(dst).unwrap().texel(0, 0), [2.0; 4]);
+    }
+
+    #[test]
+    fn pass_stats_count_shading_tiles() {
+        use crate::raster::{TILE_ROWS, TILE_W};
+        let mut gpu = small_gpu();
+        let small = gpu.alloc_texture(4, 4).unwrap();
+        let prog = assemble("DEF C0, 1, 1, 1, 1\nMOV OC, C0").unwrap();
+        let stats = gpu.run_pass(&prog, &[], &[], &[], small, None).unwrap();
+        assert_eq!(stats.tiles, 1, "a 4x4 target is one tile");
+
+        let wide = gpu
+            .alloc_texture(2 * TILE_W + 1, 2 * TILE_ROWS + 1)
+            .unwrap();
+        let stats = gpu
+            .run_closure_pass(&[], wide, 1, None, |_, x, y| [x as f32, y as f32, 0.0, 0.0])
+            .unwrap();
+        assert_eq!(stats.tiles, 9, "3 tile columns x 3 tile bands");
+        assert_eq!(gpu.stats().tiles, 10, "tiles accumulate across passes");
+        // The tiled write pattern must still cover every fragment.
+        let tex = gpu.texture(wide).unwrap();
+        assert_eq!(
+            tex.texel(2 * TILE_W, 2 * TILE_ROWS),
+            [(2 * TILE_W) as f32, (2 * TILE_ROWS) as f32, 0.0, 0.0]
+        );
     }
 
     #[test]

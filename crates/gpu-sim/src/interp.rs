@@ -6,7 +6,9 @@
 //! samplers. Work counts (instructions, texel fetches, cache hits/misses)
 //! are returned with the result so passes can be costed.
 
-use crate::isa::{Opcode, Program, Reg, NUM_CONSTS, NUM_OUTPUTS, NUM_TEMPS, NUM_TEXCOORDS};
+use crate::isa::{
+    Opcode, Program, Reg, Swizzle, NUM_CONSTS, NUM_OUTPUTS, NUM_TEMPS, NUM_TEXCOORDS,
+};
 use crate::texcache::TextureCache;
 use crate::texture::Texture2D;
 
@@ -56,6 +58,107 @@ fn lanewise2(op: impl Fn(f32, f32) -> f32, a: [f32; 4], b: [f32; 4]) -> [f32; 4]
     ]
 }
 
+/// The arithmetic core shared by [`execute`] and [`execute_lowered`]: both
+/// executors funnel every non-`TEX` opcode through this one match so their
+/// float operations are the same code and results stay bit-identical.
+#[inline(always)]
+fn alu(op: Opcode, s: impl Fn(usize) -> [f32; 4]) -> [f32; 4] {
+    match op {
+        Opcode::Mov => s(0),
+        Opcode::Add => lanewise2(|a, b| a + b, s(0), s(1)),
+        Opcode::Sub => lanewise2(|a, b| a - b, s(0), s(1)),
+        Opcode::Mul => lanewise2(|a, b| a * b, s(0), s(1)),
+        Opcode::Mad => {
+            let (a, b, c) = (s(0), s(1), s(2));
+            [
+                a[0] * b[0] + c[0],
+                a[1] * b[1] + c[1],
+                a[2] * b[2] + c[2],
+                a[3] * b[3] + c[3],
+            ]
+        }
+        Opcode::Min => lanewise2(f32::min, s(0), s(1)),
+        Opcode::Max => lanewise2(f32::max, s(0), s(1)),
+        Opcode::Rcp => lanewise1(|a| 1.0 / a, s(0)),
+        Opcode::Rsq => lanewise1(|a| 1.0 / a.sqrt(), s(0)),
+        Opcode::Ex2 => lanewise1(f32::exp2, s(0)),
+        Opcode::Lg2 => lanewise1(|a| a.max(LG2_TINY).log2(), s(0)),
+        Opcode::Frc => lanewise1(|a| a - a.floor(), s(0)),
+        Opcode::Flr => lanewise1(f32::floor, s(0)),
+        Opcode::Abs => lanewise1(f32::abs, s(0)),
+        Opcode::Slt => lanewise2(|a, b| if a < b { 1.0 } else { 0.0 }, s(0), s(1)),
+        Opcode::Sge => lanewise2(|a, b| if a >= b { 1.0 } else { 0.0 }, s(0), s(1)),
+        Opcode::Cmp => {
+            let (c, a, b) = (s(0), s(1), s(2));
+            [
+                if c[0] < 0.0 { a[0] } else { b[0] },
+                if c[1] < 0.0 { a[1] } else { b[1] },
+                if c[2] < 0.0 { a[2] } else { b[2] },
+                if c[3] < 0.0 { a[3] } else { b[3] },
+            ]
+        }
+        Opcode::Lrp => {
+            let (t, a, b) = (s(0), s(1), s(2));
+            [
+                t[0] * a[0] + (1.0 - t[0]) * b[0],
+                t[1] * a[1] + (1.0 - t[1]) * b[1],
+                t[2] * a[2] + (1.0 - t[2]) * b[2],
+                t[3] * a[3] + (1.0 - t[3]) * b[3],
+            ]
+        }
+        Opcode::Dp3 => {
+            let (a, b) = (s(0), s(1));
+            let d = a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+            [d; 4]
+        }
+        Opcode::Dp4 => {
+            let (a, b) = (s(0), s(1));
+            let d = a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+            [d; 4]
+        }
+        Opcode::Tex => unreachable!("TEX handled by the executors"),
+    }
+}
+
+/// The texture path shared by both executors: counts the fetch, tags the
+/// cache with the texel the sampler actually touches, and samples.
+#[inline(always)]
+fn tex_fetch(
+    tex: &Texture2D,
+    sampler: usize,
+    coord: [f32; 4],
+    cache: &mut Option<&mut TextureCache>,
+    texel_fetches: &mut u64,
+) -> [f32; 4] {
+    *texel_fetches += 1;
+    if let Some(cache) = cache.as_deref_mut() {
+        // Tag the cache with the texel the sampler actually touches under
+        // its address mode; a border fetch that resolves to no texel
+        // generates no cache traffic.
+        let x = (coord[0] * tex.width() as f32).floor() as i64;
+        let y = (coord[1] * tex.height() as f32).floor() as i64;
+        if let Some((cx, cy)) = tex.resolve_coords(x, y) {
+            cache.access(sampler as u32, cx, cy);
+        }
+    }
+    tex.sample(coord[0], coord[1])
+}
+
+/// Masked, optionally saturating write-back shared by both executors.
+#[inline(always)]
+fn write_back(target: &mut [f32; 4], value: [f32; 4], mask_bits: u8, saturate: bool) {
+    let value = if saturate {
+        lanewise1(|a| a.clamp(0.0, 1.0), value)
+    } else {
+        value
+    };
+    for lane in 0..4 {
+        if mask_bits & (1 << lane) != 0 {
+            target[lane] = value[lane];
+        }
+    }
+}
+
 /// Execute `program` for one fragment.
 ///
 /// `constants` are the pass-level constant registers (with `DEF`s already
@@ -90,98 +193,198 @@ pub fn execute(
             v
         };
 
-        let value: [f32; 4] = match instr.op {
-            Opcode::Mov => s(0),
-            Opcode::Add => lanewise2(|a, b| a + b, s(0), s(1)),
-            Opcode::Sub => lanewise2(|a, b| a - b, s(0), s(1)),
-            Opcode::Mul => lanewise2(|a, b| a * b, s(0), s(1)),
-            Opcode::Mad => {
-                let (a, b, c) = (s(0), s(1), s(2));
-                [
-                    a[0] * b[0] + c[0],
-                    a[1] * b[1] + c[1],
-                    a[2] * b[2] + c[2],
-                    a[3] * b[3] + c[3],
-                ]
-            }
-            Opcode::Min => lanewise2(f32::min, s(0), s(1)),
-            Opcode::Max => lanewise2(f32::max, s(0), s(1)),
-            Opcode::Rcp => lanewise1(|a| 1.0 / a, s(0)),
-            Opcode::Rsq => lanewise1(|a| 1.0 / a.sqrt(), s(0)),
-            Opcode::Ex2 => lanewise1(f32::exp2, s(0)),
-            Opcode::Lg2 => lanewise1(|a| a.max(LG2_TINY).log2(), s(0)),
-            Opcode::Frc => lanewise1(|a| a - a.floor(), s(0)),
-            Opcode::Flr => lanewise1(f32::floor, s(0)),
-            Opcode::Abs => lanewise1(f32::abs, s(0)),
-            Opcode::Slt => lanewise2(|a, b| if a < b { 1.0 } else { 0.0 }, s(0), s(1)),
-            Opcode::Sge => lanewise2(|a, b| if a >= b { 1.0 } else { 0.0 }, s(0), s(1)),
-            Opcode::Cmp => {
-                let (c, a, b) = (s(0), s(1), s(2));
-                [
-                    if c[0] < 0.0 { a[0] } else { b[0] },
-                    if c[1] < 0.0 { a[1] } else { b[1] },
-                    if c[2] < 0.0 { a[2] } else { b[2] },
-                    if c[3] < 0.0 { a[3] } else { b[3] },
-                ]
-            }
-            Opcode::Lrp => {
-                let (t, a, b) = (s(0), s(1), s(2));
-                [
-                    t[0] * a[0] + (1.0 - t[0]) * b[0],
-                    t[1] * a[1] + (1.0 - t[1]) * b[1],
-                    t[2] * a[2] + (1.0 - t[2]) * b[2],
-                    t[3] * a[3] + (1.0 - t[3]) * b[3],
-                ]
-            }
-            Opcode::Dp3 => {
-                let (a, b) = (s(0), s(1));
-                let d = a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
-                [d; 4]
-            }
-            Opcode::Dp4 => {
-                let (a, b) = (s(0), s(1));
-                let d = a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
-                [d; 4]
-            }
-            Opcode::Tex => {
-                let coord = s(0);
-                let sampler = instr.sampler.expect("TEX carries a sampler") as usize;
-                let tex = textures[sampler];
-                texel_fetches += 1;
-                if let Some(cache) = cache.as_deref_mut() {
-                    // Tag the cache with the texel the sampler actually
-                    // touches under its address mode; a border fetch that
-                    // resolves to no texel generates no cache traffic.
-                    let x = (coord[0] * tex.width() as f32).floor() as i64;
-                    let y = (coord[1] * tex.height() as f32).floor() as i64;
-                    if let Some((cx, cy)) = tex.resolve_coords(x, y) {
-                        cache.access(sampler as u32, cx, cy);
-                    }
-                }
-                tex.sample(coord[0], coord[1])
-            }
+        let value: [f32; 4] = if instr.op == Opcode::Tex {
+            let sampler = instr.sampler.expect("TEX carries a sampler") as usize;
+            tex_fetch(
+                textures[sampler],
+                sampler,
+                s(0),
+                &mut cache,
+                &mut texel_fetches,
+            )
+        } else {
+            alu(instr.op, s)
         };
 
-        let value = if instr.dst.saturate {
-            lanewise1(|a| a.clamp(0.0, 1.0), value)
-        } else {
-            value
-        };
         let target: &mut [f32; 4] = match instr.dst.reg {
             Reg::Temp(r) => &mut temps[r as usize],
             Reg::Output(o) => &mut outputs[o as usize],
             _ => unreachable!("assembler rejects non-writable destinations"),
         };
-        for lane in 0..4 {
-            if instr.dst.mask[lane] {
-                target[lane] = value[lane];
-            }
-        }
+        write_back(target, value, instr.dst.mask_bits(), instr.dst.saturate);
     }
 
     FragmentOutput {
         colors: outputs,
         instructions,
+        texel_fetches,
+    }
+}
+
+/// A source operand pre-resolved at lower time: constants are folded to
+/// immediates (swizzle and negation already applied), everything else keeps
+/// its register index plus decoded swizzle/negate.
+#[derive(Debug, Clone, Copy)]
+enum LoweredSrc {
+    /// Folded constant operand.
+    Imm([f32; 4]),
+    /// Temporary register read.
+    Temp(u8, Swizzle, bool),
+    /// Interpolated texture coordinate read.
+    Coord(u8, Swizzle, bool),
+    /// Output register read.
+    Out(u8, Swizzle, bool),
+}
+
+#[inline(always)]
+fn swizzle_negate(sw: Swizzle, negate: bool, raw: [f32; 4]) -> [f32; 4] {
+    let v = sw.apply(raw);
+    if negate {
+        [-v[0], -v[1], -v[2], -v[3]]
+    } else {
+        v
+    }
+}
+
+impl LoweredSrc {
+    #[inline(always)]
+    fn read(
+        &self,
+        temps: &[[f32; 4]; NUM_TEMPS],
+        outputs: &[[f32; 4]; NUM_OUTPUTS],
+        texcoords: &[[f32; 4]; NUM_TEXCOORDS],
+    ) -> [f32; 4] {
+        match *self {
+            LoweredSrc::Imm(v) => v,
+            LoweredSrc::Temp(r, sw, neg) => swizzle_negate(sw, neg, temps[r as usize]),
+            LoweredSrc::Coord(t, sw, neg) => swizzle_negate(sw, neg, texcoords[t as usize]),
+            LoweredSrc::Out(o, sw, neg) => swizzle_negate(sw, neg, outputs[o as usize]),
+        }
+    }
+}
+
+/// Pre-decoded destination: which register file, which index.
+#[derive(Debug, Clone, Copy)]
+enum LoweredDst {
+    /// Temporary register.
+    Temp(u8),
+    /// Output register.
+    Out(u8),
+}
+
+/// One pre-decoded instruction of a [`LoweredProgram`].
+#[derive(Debug, Clone, Copy)]
+struct LoweredInstr {
+    op: Opcode,
+    /// `op.arity()` live operands; the rest are zero immediates.
+    srcs: [LoweredSrc; 3],
+    dst: LoweredDst,
+    mask_bits: u8,
+    saturate: bool,
+    sampler: u8,
+}
+
+/// A fragment program lowered for repeated execution: operand registers,
+/// swizzles, and write masks are decoded once, and constant operands are
+/// folded to immediates against a resolved constant block. Produced by
+/// [`lower`], executed by [`execute_lowered`], and cached per
+/// (program, constants) on `Gpu`.
+#[derive(Debug, Clone)]
+pub struct LoweredProgram {
+    instrs: Vec<LoweredInstr>,
+    tex_count: u64,
+}
+
+impl LoweredProgram {
+    /// Instructions executed per fragment.
+    pub fn instruction_count(&self) -> u64 {
+        self.instrs.len() as u64
+    }
+
+    /// Texel fetches issued per fragment.
+    pub fn tex_count(&self) -> u64 {
+        self.tex_count
+    }
+}
+
+/// Lower `program` against a resolved constant block (see
+/// [`resolve_constants`]). Constant folding applies the same
+/// swizzle-then-negate float ops the interpreter would, so lowered
+/// execution is bit-identical to [`execute`].
+pub fn lower(program: &Program, constants: &[[f32; 4]; NUM_CONSTS]) -> LoweredProgram {
+    let mut instrs = Vec::with_capacity(program.instrs.len());
+    let mut tex_count = 0u64;
+    for instr in &program.instrs {
+        let mut srcs = [LoweredSrc::Imm([0.0; 4]); 3];
+        for (slot, src) in srcs.iter_mut().zip(&instr.srcs) {
+            *slot = match src.reg {
+                Reg::Const(c) => LoweredSrc::Imm(swizzle_negate(
+                    src.swizzle,
+                    src.negate,
+                    constants[c as usize],
+                )),
+                Reg::Temp(r) => LoweredSrc::Temp(r, src.swizzle, src.negate),
+                Reg::TexCoord(t) => LoweredSrc::Coord(t, src.swizzle, src.negate),
+                Reg::Output(o) => LoweredSrc::Out(o, src.swizzle, src.negate),
+            };
+        }
+        if instr.op == Opcode::Tex {
+            tex_count += 1;
+        }
+        instrs.push(LoweredInstr {
+            op: instr.op,
+            srcs,
+            dst: match instr.dst.reg {
+                Reg::Temp(r) => LoweredDst::Temp(r),
+                Reg::Output(o) => LoweredDst::Out(o),
+                _ => unreachable!("assembler rejects non-writable destinations"),
+            },
+            mask_bits: instr.dst.mask_bits(),
+            saturate: instr.dst.saturate,
+            sampler: instr.sampler.unwrap_or(0),
+        });
+    }
+    LoweredProgram { instrs, tex_count }
+}
+
+/// Execute a [`LoweredProgram`] for one fragment. Constants were folded at
+/// lower time, so only textures and the optional cache model are needed.
+/// Results (colors and work counts) are bit-identical to [`execute`] on the
+/// same program, constants, and fragment input.
+pub fn execute_lowered(
+    program: &LoweredProgram,
+    input: &FragmentInput,
+    textures: &[&Texture2D],
+    mut cache: Option<&mut TextureCache>,
+) -> FragmentOutput {
+    let mut temps = [[0.0f32; 4]; NUM_TEMPS];
+    let mut outputs = [[0.0f32; 4]; NUM_OUTPUTS];
+    let mut texel_fetches = 0u64;
+
+    for instr in &program.instrs {
+        let s = |i: usize| instr.srcs[i].read(&temps, &outputs, &input.texcoords);
+        let value: [f32; 4] = if instr.op == Opcode::Tex {
+            let sampler = instr.sampler as usize;
+            tex_fetch(
+                textures[sampler],
+                sampler,
+                s(0),
+                &mut cache,
+                &mut texel_fetches,
+            )
+        } else {
+            alu(instr.op, s)
+        };
+        let target: &mut [f32; 4] = match instr.dst {
+            LoweredDst::Temp(r) => &mut temps[r as usize],
+            LoweredDst::Out(o) => &mut outputs[o as usize],
+        };
+        write_back(target, value, instr.mask_bits, instr.saturate);
+    }
+
+    FragmentOutput {
+        colors: outputs,
+        instructions: program.instrs.len() as u64,
         texel_fetches,
     }
 }
@@ -359,6 +562,42 @@ mod tests {
         execute(&p, &input, &constants, &[&tex], Some(&mut cache));
         assert_eq!(cache.hits() + cache.misses(), 2);
         assert_eq!(cache.hits(), 1); // second fetch hits the same block
+    }
+
+    #[test]
+    fn lowered_execution_matches_interpreter() {
+        let mut tex = Texture2D::new(2, 2);
+        tex.set_texel(0, 0, [0.25, 0.5, 0.75, 1.0]);
+        tex.set_texel(1, 1, [0.1, 0.2, 0.3, 0.4]);
+        let p = assemble(
+            "DEF C0, 1.5, -2, 0.25, 4\n\
+             TEX R0, T0, tex0\nMAD R1.xz, R0, C0.wzyx, -C0\nLRP R2, C0.x, R0, R1\n\
+             RSQ R3, C0.w\nMOV_SAT OC, R2\nDP4 O1, R1, C0\nMOV O2, R3",
+        )
+        .unwrap();
+        let constants = resolve_constants(&p, &[(1, [0.5, 0.5, 0.0, 1.0])]);
+        let lowered = lower(&p, &constants);
+        assert_eq!(lowered.instruction_count(), p.len() as u64);
+        assert_eq!(lowered.tex_count(), p.tex_count() as u64);
+        let mut input = FragmentInput::zero();
+        input.texcoords[0] = [0.6, 0.7, 0.0, 1.0];
+        let a = execute(&p, &input, &constants, &[&tex], None);
+        let b = execute_lowered(&lowered, &input, &[&tex], None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lowered_cache_traffic_matches_interpreter() {
+        let tex = Texture2D::new(4, 4);
+        let p = assemble("TEX R0, T0, tex0\nTEX R1, T0, tex0\nMOV OC, R0").unwrap();
+        let constants = resolve_constants(&p, &[]);
+        let lowered = lower(&p, &constants);
+        let input = FragmentInput::zero();
+        let mut ca = TextureCache::new(16, 2);
+        let mut cb = TextureCache::new(16, 2);
+        execute(&p, &input, &constants, &[&tex], Some(&mut ca));
+        execute_lowered(&lowered, &input, &[&tex], Some(&mut cb));
+        assert_eq!((ca.hits(), ca.misses()), (cb.hits(), cb.misses()));
     }
 
     #[test]

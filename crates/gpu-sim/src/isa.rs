@@ -163,6 +163,15 @@ impl Dst {
     pub fn full(&self) -> bool {
         self.mask.iter().all(|&m| m)
     }
+
+    /// The write mask packed into the low four bits (bit `i` = lane `i`),
+    /// the form the lowered executor tests per lane.
+    pub fn mask_bits(&self) -> u8 {
+        self.mask
+            .iter()
+            .enumerate()
+            .fold(0u8, |bits, (lane, &on)| bits | ((on as u8) << lane))
+    }
 }
 
 impl fmt::Display for Dst {

@@ -63,6 +63,17 @@ pub struct Quad {
     pub height: usize,
 }
 
+/// Width of one shading tile in fragments. Narrow enough that realistic
+/// chunk widths split into many more tiles than any profile has fragment
+/// pipes (so occupancy stays high), wide enough that the per-tile texture
+/// cache still sees the horizontal block reuse of the raster scan.
+pub const TILE_W: usize = 64;
+
+/// Height of one shading tile: the texture-cache block height, so a tile
+/// covers whole cache blocks vertically and the per-pipe cache model sees
+/// the same vertical reuse the hardware's rasterisation order provides.
+pub const TILE_ROWS: usize = crate::texcache::BLOCK_H;
+
 impl Quad {
     /// A quad covering an entire `w x h` target.
     pub const fn full(w: usize, h: usize) -> Self {
@@ -77,6 +88,17 @@ impl Quad {
     /// Number of fragments the quad generates.
     pub const fn fragments(&self) -> usize {
         self.width * self.height
+    }
+
+    /// Number of tile columns ([`TILE_W`] wide) covering the quad.
+    pub const fn tile_cols(&self) -> usize {
+        self.width.div_ceil(TILE_W)
+    }
+
+    /// Number of [`TILE_W`]`x`[`TILE_ROWS`] shading tiles covering the quad
+    /// — the unit of work the executor dispatches to fragment pipes.
+    pub const fn tile_count(&self) -> usize {
+        self.tile_cols() * self.height.div_ceil(TILE_ROWS)
     }
 }
 
@@ -168,6 +190,19 @@ mod tests {
             height: 2,
         };
         assert_eq!(sub.fragments(), 6);
+    }
+
+    #[test]
+    fn tile_counts_cover_the_quad() {
+        // Smaller than one tile: exactly one.
+        assert_eq!(Quad::full(10, 3).tile_count(), 1);
+        // Exact multiples.
+        assert_eq!(Quad::full(TILE_W, TILE_ROWS).tile_count(), 1);
+        assert_eq!(Quad::full(2 * TILE_W, 3 * TILE_ROWS).tile_count(), 6);
+        // Ragged edges round up.
+        let q = Quad::full(TILE_W + 1, TILE_ROWS + 1);
+        assert_eq!(q.tile_cols(), 2);
+        assert_eq!(q.tile_count(), 4);
     }
 
     #[test]

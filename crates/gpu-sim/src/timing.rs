@@ -96,13 +96,31 @@ impl GpuTime {
     }
 }
 
+/// Mean shading tiles dispatched per pass — the parallelism the executor
+/// actually exposed to the profile's fragment pipes. 0 when the stats
+/// carry no tile counts (hand-built stats from older call sites).
+fn tiles_per_pass(stats: &PassStats) -> f64 {
+    if stats.passes == 0 {
+        stats.tiles as f64
+    } else {
+        stats.tiles as f64 / stats.passes as f64
+    }
+}
+
 /// Model the execution of counted work on a GPU profile.
+///
+/// Per-pipe rates (shader issue, texture fill) are derated by
+/// [`GpuProfile::pipe_occupancy`] of the executor's mean tiles per pass: a
+/// pass that splits into fewer tiles than the device has fragment pipes
+/// cannot use them all, which is exactly why narrow chunks favour the
+/// 4-pipe FX5950 and wide scenes favour the 24-pipe 7800GTX.
 pub fn gpu_time(stats: &PassStats, profile: &GpuProfile) -> GpuTime {
+    let occupancy = profile.pipe_occupancy(tiles_per_pass(stats));
     // TEX instructions retire on the texture units (charged to texture_s),
     // so only arithmetic instructions occupy the shader ALUs.
     let alu_instr = stats.instructions.saturating_sub(stats.texel_fetches);
-    let compute_s = alu_instr as f64 / profile.sustained_instr_per_s();
-    let texture_s = stats.texel_fetches as f64 / profile.peak_texels_per_s();
+    let compute_s = alu_instr as f64 / (profile.sustained_instr_per_s() * occupancy);
+    let texture_s = stats.texel_fetches as f64 / (profile.peak_texels_per_s() * occupancy);
     // Memory side: texture-cache misses pull whole blocks; framebuffer
     // writes always hit DRAM. When the cache model was disabled, fall back
     // to charging every texel fetch.
@@ -167,6 +185,9 @@ mod tests {
             bytes_uploaded: 64 << 20,
             bytes_downloaded: 4 << 20,
             passes: 10,
+            // 256 tiles per pass: whole waves on 4 pipes, a ~97 % partial
+            // last wave on 24.
+            tiles: 2560,
         }
     }
 
@@ -251,6 +272,44 @@ mod tests {
         with_cache.cache_hits = 3_000_000;
         let a = gpu_time(&with_cache, &p);
         assert!(a.memory_s > b.memory_s);
+    }
+
+    #[test]
+    fn occupancy_derates_per_pipe_resources() {
+        let full = sample_stats();
+        let mut sparse = full;
+        sparse.tiles = sparse.passes; // one tile per pass
+        let p = GpuProfile::geforce_7800gtx();
+        let t_full = gpu_time(&full, &p);
+        let t_sparse = gpu_time(&sparse, &p);
+        // 1 busy pipe of 24: per-pipe resources slow by the occupancy ratio.
+        let occ_full = p.pipe_occupancy(256.0);
+        let expect = occ_full / p.pipe_occupancy(1.0);
+        assert!((t_sparse.compute_s / t_full.compute_s - expect).abs() < 1e-9);
+        assert!((t_sparse.texture_s / t_full.texture_s - expect).abs() < 1e-9);
+        // Memory and transfer sides are device-wide, not per-pipe.
+        assert_eq!(t_sparse.memory_s, t_full.memory_s);
+        assert_eq!(t_sparse.upload_s, t_full.upload_s);
+        // Legacy stats without tile counts are not derated.
+        let mut untiled = full;
+        untiled.tiles = 0;
+        assert!(gpu_time(&untiled, &p).compute_s <= t_full.compute_s);
+    }
+
+    #[test]
+    fn single_tile_pass_cannot_use_a_wide_gpu() {
+        // One tile per pass keeps 23 of the 7800GTX's 24 pipes idle; the
+        // 4-pipe FX5950 wastes only 3, so the newer GPU loses its edge.
+        let mut stats = sample_stats();
+        stats.tiles = stats.passes;
+        let fx = gpu_time(&stats, &GpuProfile::fx5950_ultra());
+        let g70 = gpu_time(&stats, &GpuProfile::geforce_7800gtx());
+        assert!(
+            g70.compute_s > fx.compute_s,
+            "g70 {} vs fx {}",
+            g70.compute_s,
+            fx.compute_s
+        );
     }
 
     #[test]

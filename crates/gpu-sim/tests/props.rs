@@ -6,7 +6,7 @@
 //! verifier's structural and binding errors are exactly what stands
 //! between a bad program and an out-of-bounds index.
 
-use gpu_sim::interp::{execute, resolve_constants, FragmentInput};
+use gpu_sim::interp::{execute, execute_lowered, lower, resolve_constants, FragmentInput};
 use gpu_sim::isa::{ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle};
 use gpu_sim::texture::Texture2D;
 use gpu_sim::verify::{has_errors, verify, PassBindings};
@@ -165,6 +165,40 @@ proptest! {
             None,
         );
         prop_assert_eq!(out.instructions, program.len() as u64);
+    }
+
+    #[test]
+    fn lowering_is_bit_identical_to_interpretation(
+        body in prop::collection::vec(raw_instr_strategy(), 0..10),
+        uv in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0), 4),
+    ) {
+        // The pre-lowered form (folded constants, resolved swizzle tables,
+        // lane masks) must reproduce the decode-per-fragment interpreter
+        // bit for bit on every program the verifier accepts.
+        let program = build_program(body.iter().map(decode_instr).collect(), true);
+        let bindings = pass();
+        if has_errors(&verify(&program, &GpuProfile::fx5950_ultra(), Some(&bindings))) {
+            return Ok(());
+        }
+        let t0_data: Vec<f32> = (0..64).map(|i| i as f32 * 0.125 - 2.0).collect();
+        let t1_data: Vec<f32> = (0..64).map(|i| (i * 7 % 13) as f32 * 0.5).collect();
+        let t0 = Texture2D::from_flat(4, 4, &t0_data);
+        let t1 = Texture2D::from_flat(4, 4, &t1_data);
+        let constants = resolve_constants(&program, &[(1, [0.75, -0.5, 0.25, 3.0])]);
+        let lowered = lower(&program, &constants);
+        for &(u, v) in &uv {
+            let mut input = FragmentInput::zero();
+            input.texcoords[0] = [u, v, 0.0, 1.0];
+            input.texcoords[1] = [v, u, 0.0, 1.0];
+            let a = execute(&program, &input, &constants, &[&t0, &t1], None);
+            let b = execute_lowered(&lowered, &input, &[&t0, &t1], None);
+            prop_assert_eq!(a.instructions, b.instructions);
+            prop_assert_eq!(a.texel_fetches, b.texel_fetches);
+            for (ca, cb) in a.colors.iter().zip(b.colors.iter()) {
+                // Bit equality, so NaN payloads and signed zeros count too.
+                prop_assert_eq!(ca.map(f32::to_bits), cb.map(f32::to_bits));
+            }
+        }
     }
 
     #[test]

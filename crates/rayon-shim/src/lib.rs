@@ -2,70 +2,373 @@
 //!
 //! The build environment has no registry access, so this in-tree shim
 //! provides the exact API subset the workspace uses: `par_chunks` /
-//! `par_chunks_mut` through `rayon::prelude::*`. The "parallel" iterators
-//! returned here are the corresponding **sequential** `std` slice iterators,
-//! so every standard `Iterator` adapter (`enumerate`, `zip`, `for_each`,
-//! `map`, …) works unchanged and results are bit-identical to a parallel
-//! run (all call sites are data-parallel with disjoint outputs).
+//! `par_chunks_mut` / `par_sort_by` / `into_par_iter` through
+//! `rayon::prelude::*`, with the usual `enumerate` / `zip` / `map` /
+//! `for_each` / `collect` / `sum` adapters.
 //!
-//! Documented deviation: execution is single-threaded. The simulator's
-//! counters use atomics and per-band accumulation, so functional results
-//! and statistics are unaffected — only host wall-clock differs.
+//! Unlike earlier revisions of this shim, execution is **multi-threaded**:
+//! work items are drained from a shared queue by scoped `std::thread`
+//! workers (the calling thread participates, so a pool of size 1 is exactly
+//! the old sequential path). All call sites are data-parallel with disjoint
+//! outputs, so results are bit-identical at every thread count.
+//!
+//! Thread-count resolution, in priority order:
+//! 1. a scoped programmatic override installed with [`with_threads`]
+//!    (thread-local, used by determinism tests),
+//! 2. the `GPU_SIM_THREADS` environment variable (read once per process;
+//!    `GPU_SIM_THREADS=1` forces the sequential debug path),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Callers that spawn coordination threads of their own (e.g. the chunk
+//! executor's double-buffered packing thread) can take a
+//! [`ThreadReservation`] so the pool and those threads together never
+//! oversubscribe the host.
 
-/// The rayon prelude: parallel-slice traits over ordinary slices.
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 means "unset".
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Worker slots claimed by live [`ThreadReservation`] guards.
+    static RESERVED: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("GPU_SIM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Number of worker threads a parallel call issued from this thread may use
+/// (override > `GPU_SIM_THREADS` > `available_parallelism`, minus any live
+/// [`ThreadReservation`]s; never less than 1).
+pub fn max_threads() -> usize {
+    let base = match OVERRIDE.with(Cell::get) {
+        0 => env_threads()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    };
+    base.saturating_sub(RESERVED.with(Cell::get)).max(1)
+}
+
+/// Run `f` with the pool width forced to `n` for parallel calls issued from
+/// the current thread. Restores the previous setting on exit (including on
+/// panic). `n = 1` forces the sequential execution order.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(n.max(1))));
+    f()
+}
+
+/// Guard that reserves one worker slot for a thread managed outside the
+/// pool, so pool + external threads stay within `available_parallelism`.
+/// The slot is released when the guard drops.
+#[must_use = "the reservation is released when this guard is dropped"]
+pub struct ThreadReservation(());
+
+/// Reserve one worker slot on the current thread (see [`ThreadReservation`]).
+pub fn reserve_thread() -> ThreadReservation {
+    RESERVED.with(|c| c.set(c.get() + 1));
+    ThreadReservation(())
+}
+
+impl Drop for ThreadReservation {
+    fn drop(&mut self) {
+        RESERVED.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Drain `items` through `f` on a scoped worker pool. The calling thread is
+/// one of the workers; with an effective width of 1 this is a plain
+/// in-order loop.
+fn run_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    let work = || loop {
+        let item = queue.lock().unwrap().next();
+        match item {
+            Some(item) => f(item),
+            None => return,
+        }
+    };
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(work);
+        }
+        work();
+    });
+}
+
+/// Parallel map preserving input order: each worker writes its result into
+/// the slot belonging to its item, so the output is identical to a
+/// sequential map regardless of scheduling.
+fn run_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let slots: Vec<(&mut Option<R>, T)> = out.iter_mut().zip(items).collect();
+    run_each(slots, |(slot, item)| *slot = Some(f(item)));
+    out.into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
+}
+
+/// The subset of `rayon::iter::ParallelIterator` the workspace uses.
+///
+/// Adapters materialise their work list via [`into_items`]; the terminal
+/// operations (`for_each`, `collect`, `sum`) dispatch that list onto the
+/// worker pool.
+///
+/// [`into_items`]: ParallelIterator::into_items
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialise the items this iterator will dispatch. For composed
+    /// adapters (e.g. `map`) this is where the parallel work happens.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Apply `f` to every item on the worker pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_each(self.into_items(), f);
+    }
+
+    /// Lazily map every item through `f` (runs on the pool at the terminal
+    /// operation).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pair items with another parallel iterator, truncating to the shorter.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Collect all items in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Sum all items. The reduction itself is sequential (and thus
+    /// deterministic for floats); any mapped work has already run on the
+    /// pool inside [`into_items`](ParallelIterator::into_items).
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_items().into_iter().sum()
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn into_items(self) -> Vec<R> {
+        run_map(self.base.into_items(), self.f)
+    }
+
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        run_each(self.base.into_items(), |item| g(f(item)));
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.base.into_items().into_iter().enumerate().collect()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.a
+            .into_items()
+            .into_iter()
+            .zip(self.b.into_items())
+            .collect()
+    }
+}
+
+/// Borrowed chunks of a shared slice (see `par_chunks`).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn into_items(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.size).collect()
+    }
+}
+
+/// Borrowed chunks of a mutable slice (see `par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn into_items(self) -> Vec<&'a mut [T]> {
+        self.slice.chunks_mut(self.size).collect()
+    }
+}
+
+/// Owned items lifted into the pool (see `into_par_iter`).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The rayon prelude: parallel-slice traits plus the iterator adapters.
 pub mod prelude {
-    /// Sequential stand-in for `rayon::slice::ParallelSlice`.
-    pub trait ParallelSlice<T> {
-        /// Chunked traversal; sequential equivalent of `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    pub use super::{Enumerate, Map, ParIter, ParallelIterator, Zip};
+
+    /// Pool-backed stand-in for `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T: Sync> {
+        /// Chunked traversal dispatched on the worker pool.
+        fn par_chunks(&self, chunk_size: usize) -> super::ParChunks<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> super::ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            super::ParChunks {
+                slice: self,
+                size: chunk_size,
+            }
         }
     }
 
-    /// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
-    pub trait ParallelSliceMut<T> {
-        /// Chunked mutable traversal; sequential equivalent of
-        /// `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Pool-backed stand-in for `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Chunked mutable traversal dispatched on the worker pool.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> super::ParChunksMut<'_, T>;
 
-        /// Comparator sort; sequential equivalent of `par_sort_by`.
+        /// Stable comparator sort: chunks are sorted on the pool, then a
+        /// final (adaptive, run-merging) stable sort combines them.
         fn par_sort_by<F>(&mut self, compare: F)
         where
-            F: FnMut(&T, &T) -> std::cmp::Ordering;
+            F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> super::ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            super::ParChunksMut {
+                slice: self,
+                size: chunk_size,
+            }
         }
 
         fn par_sort_by<F>(&mut self, compare: F)
         where
-            F: FnMut(&T, &T) -> std::cmp::Ordering,
+            F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
         {
-            self.sort_by(compare);
+            let threads = super::max_threads();
+            if threads > 1 && self.len() >= 2 * threads {
+                let chunk = self.len().div_ceil(threads);
+                let parts: Vec<&mut [T]> = self.chunks_mut(chunk).collect();
+                super::run_each(parts, |part| part.sort_by(&compare));
+                // The std stable sort detects the pre-sorted runs, so this
+                // final pass is effectively the merge step.
+            }
+            self.sort_by(&compare);
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    /// Pool-backed stand-in for `rayon::iter::IntoParallelIterator`.
     pub trait IntoParallelIterator {
         /// The element type.
-        type Item;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Sequential equivalent of `into_par_iter`.
+        type Item: Send;
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Lift an ordinary collection or range onto the worker pool.
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        type Iter = super::ParIter<I::Item>;
+        fn into_par_iter(self) -> super::ParIter<I::Item> {
+            super::ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 }
@@ -111,5 +414,82 @@ mod tests {
     fn into_par_iter_matches_into_iter() {
         let total: usize = (0..5usize).into_par_iter().sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let gold: Vec<u64> = super::with_threads(1, || {
+            (0u64..997).into_par_iter().map(|x| x * x + 1).collect()
+        });
+        for threads in [2, 3, 8] {
+            let out: Vec<u64> = super::with_threads(threads, || {
+                (0u64..997).into_par_iter().map(|x| x * x + 1).collect()
+            });
+            assert_eq!(out, gold, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        super::with_threads(4, || {
+            (0..64).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        // The calling thread participates; with 4 workers and sleeping
+        // items at least one extra thread must have picked up work.
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn with_threads_scopes_and_restores() {
+        let outer = super::max_threads();
+        super::with_threads(3, || {
+            assert_eq!(super::max_threads(), 3);
+            super::with_threads(1, || assert_eq!(super::max_threads(), 1));
+            assert_eq!(super::max_threads(), 3);
+        });
+        assert_eq!(super::max_threads(), outer);
+    }
+
+    #[test]
+    fn reservation_shrinks_the_pool_and_releases_on_drop() {
+        super::with_threads(4, || {
+            let guard = super::reserve_thread();
+            assert_eq!(super::max_threads(), 3);
+            let second = super::reserve_thread();
+            assert_eq!(super::max_threads(), 2);
+            drop(second);
+            drop(guard);
+            assert_eq!(super::max_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn par_sort_by_is_stable_and_sorted() {
+        // Keys collide often so stability is observable via the payload.
+        let mut v: Vec<(u32, usize)> = (0..1000).map(|i| (((i * 7919) % 10) as u32, i)).collect();
+        let mut expect = v.clone();
+        expect.sort_by_key(|e| e.0);
+        super::with_threads(4, || {
+            v.par_sort_by(|a, b| a.0.cmp(&b.0));
+        });
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn map_for_each_composes_on_the_pool() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let acc = AtomicU64::new(0);
+        super::with_threads(4, || {
+            (1u64..=100).into_par_iter().map(|x| x * 2).for_each(|x| {
+                acc.fetch_add(x, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10100);
     }
 }

@@ -199,6 +199,7 @@ proptest! {
             bytes_uploaded: 1 << 20,
             bytes_downloaded: 1 << 16,
             passes: 5,
+            tiles: 40,
         };
         let mut more = base;
         more.instructions += extra;
