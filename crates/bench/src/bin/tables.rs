@@ -79,6 +79,11 @@ fn run_bench(path: &str) {
         run.gpu_pipeline_s,
         run.cpu_tail_s
     );
+    eprintln!(
+        "[bench] tail stages: selection {:.2}s, unmix {:.2}s (cpu), \
+         classify {:.2}s, argmax {:.2}s (cpu)",
+        run.tail.selection_s, run.tail.unmix_s, run.tail.classify_s, run.tail.argmax_s
+    );
 }
 
 fn run_table3() {

@@ -13,8 +13,7 @@ use gpu_sim::counters::PassStats;
 use gpu_sim::device::GpuProfile;
 use gpu_sim::gpu::Gpu;
 use gpu_sim::timing;
-use hsi::classify::{AmcClassifier, AmcConfig};
-use hsi::morphology::MeiImage;
+use hsi::classify::{AmcClassifier, AmcConfig, TailBreakdown};
 use hsi_scene::library::indian_pines_classes;
 use hsi_scene::scene::{generate, SceneConfig};
 use std::fmt::Write as _;
@@ -35,6 +34,8 @@ pub struct BenchRun {
     pub gpu_pipeline_s: f64,
     /// Wall-clock seconds for the CPU tail (endmembers + classification).
     pub cpu_tail_s: f64,
+    /// Stage breakdown of the CPU tail (selection/unmix/classify/argmax).
+    pub tail: TailBreakdown,
     /// Chunks the pipeline split the scene into.
     pub chunks: usize,
     /// Endmembers extracted.
@@ -62,28 +63,22 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
     let config = AmcConfig::paper_default(classes.len());
     let amc = GpuAmc::new(config.se.clone(), KernelMode::Closure);
     let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
-    let t = Instant::now();
-    let out = amc.run(&mut gpu, &scene.cube).expect("GPU AMC pipeline");
-    let gpu_pipeline_s = t.elapsed().as_secs_f64();
-
     let classifier = AmcClassifier::new(config);
-    let mei: MeiImage = out.mei.clone();
-    let t = Instant::now();
-    let classified = classifier
-        .classify_with_mei(&scene.cube, mei)
-        .expect("CPU tail");
-    let cpu_tail_s = t.elapsed().as_secs_f64();
+    let hybrid = amc
+        .run_and_classify(&mut gpu, &scene.cube, &classifier)
+        .expect("hybrid AMC run");
 
     BenchRun {
         seed,
         threads: rayon::max_threads(),
         dims: (dims.width, dims.height, dims.bands),
         scene_s,
-        gpu_pipeline_s,
-        cpu_tail_s,
-        chunks: out.chunks,
-        endmembers: classified.class_count(),
-        stages: out.stages,
+        gpu_pipeline_s: hybrid.gpu_wall_s,
+        cpu_tail_s: hybrid.tail_wall_s,
+        tail: hybrid.tail,
+        chunks: hybrid.pipeline.chunks,
+        endmembers: hybrid.classification.class_count(),
+        stages: hybrid.pipeline.stages,
     }
 }
 
@@ -121,6 +116,15 @@ pub fn to_json(run: &BenchRun) -> String {
     let _ = writeln!(s, "  \"scene_generation_s\": {:.6},", run.scene_s);
     let _ = writeln!(s, "  \"gpu_pipeline_wall_s\": {:.6},", run.gpu_pipeline_s);
     let _ = writeln!(s, "  \"cpu_tail_wall_s\": {:.6},", run.cpu_tail_s);
+    // Tail stage breakdown mirroring the GPU `stages` array. selection_s and
+    // classify_s are wall clock; unmix_s and argmax_s are worker-summed CPU
+    // seconds from the batched kernels (equal to wall at threads=1).
+    let _ = writeln!(
+        s,
+        "  \"cpu_tail_stages\": {{\"selection_s\": {:.6}, \"unmix_s\": {:.6}, \
+         \"classify_s\": {:.6}, \"argmax_s\": {:.6}}},",
+        run.tail.selection_s, run.tail.unmix_s, run.tail.classify_s, run.tail.argmax_s
+    );
     let _ = writeln!(s, "  \"amc_wall_s\": {:.6},", run.amc_wall_s());
     let _ = writeln!(s, "  \"chunks\": {},", run.chunks);
     let _ = writeln!(s, "  \"endmembers\": {},", run.endmembers);
@@ -167,6 +171,12 @@ mod tests {
             scene_s: 0.5,
             gpu_pipeline_s: 1.25,
             cpu_tail_s: 0.75,
+            tail: TailBreakdown {
+                selection_s: 0.4,
+                unmix_s: 0.25,
+                classify_s: 0.3,
+                argmax_s: 0.05,
+            },
             chunks: 3,
             endmembers: 30,
             stages,
@@ -180,6 +190,10 @@ mod tests {
             "\"threads\": 4",
             "\"amc_wall_s\": 2.000000",
             "\"gpu_pipeline_wall_s\": 1.250000",
+            "\"cpu_tail_stages\": {\"selection_s\": 0.400000",
+            "\"unmix_s\": 0.250000",
+            "\"classify_s\": 0.300000",
+            "\"argmax_s\": 0.050000",
             "\"stages\": [",
             "\"stage\": \"upload\"",
             "\"stage\": \"download\"",

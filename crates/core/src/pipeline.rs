@@ -168,6 +168,22 @@ pub struct PipelineOutput {
     pub chunks: usize,
 }
 
+/// Output of a full hybrid AMC run: the GPU stream pipeline (steps 1–2)
+/// followed by the batched CPU classification tail (steps 3–4).
+#[derive(Debug, Clone)]
+pub struct HybridOutput {
+    /// GPU pipeline output (MEI image, counters, chunk count).
+    pub pipeline: PipelineOutput,
+    /// CPU-tail classification result.
+    pub classification: hsi::classify::AmcOutput,
+    /// Stage breakdown of the CPU tail (selection/unmix/classify/argmax).
+    pub tail: hsi::classify::TailBreakdown,
+    /// Host wall-clock seconds of the GPU pipeline phase.
+    pub gpu_wall_s: f64,
+    /// Host wall-clock seconds of the CPU tail phase.
+    pub tail_wall_s: f64,
+}
+
 /// The GPU AMC pipeline driver.
 #[derive(Debug, Clone)]
 pub struct GpuAmc {
@@ -259,6 +275,34 @@ impl GpuAmc {
     pub fn run(&self, gpu: &mut Gpu, cube: &Cube) -> Result<PipelineOutput> {
         let chunking = self.plan_chunking(gpu, cube)?;
         self.run_with_chunking(gpu, cube, chunking)
+    }
+
+    /// The paper's hybrid partitioning end to end: the chunked GPU stream
+    /// pipeline produces the MEI image (steps 1–2), then the classifier's
+    /// batched CPU tail selects endmembers, unmixes and labels (steps 3–4).
+    ///
+    /// The classifier's structuring element and the driver's should agree for
+    /// the run to be meaningful; the MEI handoff itself is shape-checked.
+    pub fn run_and_classify(
+        &self,
+        gpu: &mut Gpu,
+        cube: &Cube,
+        classifier: &hsi::classify::AmcClassifier,
+    ) -> Result<HybridOutput> {
+        let t = std::time::Instant::now();
+        let pipeline = self.run(gpu, cube)?;
+        let gpu_wall_s = t.elapsed().as_secs_f64();
+        let t = std::time::Instant::now();
+        let (classification, tail) =
+            classifier.classify_with_mei_timed(cube, pipeline.mei.clone())?;
+        let tail_wall_s = t.elapsed().as_secs_f64();
+        Ok(HybridOutput {
+            pipeline,
+            classification,
+            tail,
+            gpu_wall_s,
+            tail_wall_s,
+        })
     }
 
     /// Run the full pipeline with an explicit chunking.
@@ -787,6 +831,29 @@ mod tests {
             gpu.allocated_bytes() == 0,
             "pipeline must free its textures"
         );
+    }
+
+    #[test]
+    fn run_and_classify_matches_separate_phases() {
+        let cube = test_cube(12, 9, 8, 23);
+        let se = StructuringElement::square(3).unwrap();
+        let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
+        let amc = GpuAmc::new(se, KernelMode::Closure);
+        let classifier =
+            hsi::classify::AmcClassifier::new(hsi::classify::AmcConfig::paper_default(3));
+        let hybrid = amc.run_and_classify(&mut gpu, &cube, &classifier).unwrap();
+        // Same labels as handing the MEI over manually.
+        let manual = classifier
+            .classify_with_mei(&cube, hybrid.pipeline.mei.clone())
+            .unwrap();
+        assert_eq!(hybrid.classification.labels, manual.labels);
+        assert_eq!(hybrid.classification.labels.len(), cube.dims().pixels());
+        // Wall clocks and the tail breakdown are populated and plausible.
+        assert!(hybrid.gpu_wall_s >= 0.0 && hybrid.tail_wall_s >= 0.0);
+        let t = hybrid.tail;
+        assert!(t.selection_s >= 0.0 && t.unmix_s >= 0.0);
+        assert!(t.classify_s >= 0.0 && t.argmax_s >= 0.0);
+        assert!(t.selection_s + t.classify_s <= hybrid.tail_wall_s + 1.0);
     }
 
     #[test]

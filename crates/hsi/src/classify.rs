@@ -106,6 +106,27 @@ impl AmcOutput {
     }
 }
 
+/// Timing breakdown of the CPU tail (steps 3–4), as reported by
+/// [`AmcClassifier::classify_with_mei_timed`].
+///
+/// `selection_s` and `classify_s` are wall-clock seconds. `unmix_s` and
+/// `argmax_s` come from the batched kernels' per-worker timers
+/// ([`crate::unmix::BatchTimings`]) and are summed across worker threads: at
+/// one worker `unmix_s + argmax_s ≈ classify_s`, at `n` workers the sum can
+/// exceed the wall figure because it counts total CPU work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailBreakdown {
+    /// Endmember selection, refinement bookkeeping and reseeding (wall).
+    pub selection_s: f64,
+    /// Model fitting plus the abundance GEMM + constraint fix-up (CPU, summed
+    /// across workers).
+    pub unmix_s: f64,
+    /// The batched classification calls end to end (wall).
+    pub classify_s: f64,
+    /// Per-pixel argmax label assignment (CPU, summed across workers).
+    pub argmax_s: f64,
+}
+
 /// The reference AMC classifier.
 #[derive(Debug, Clone)]
 pub struct AmcClassifier {
@@ -133,6 +154,21 @@ impl AmcClassifier {
     /// Run steps 3–4 given a precomputed MEI image (e.g. produced by the GPU
     /// pipeline). This is the CPU tail of the hybrid CPU/GPU partitioning.
     pub fn classify_with_mei(&self, cube: &Cube, mei_img: MeiImage) -> Result<AmcOutput> {
+        self.classify_with_mei_timed(cube, mei_img)
+            .map(|(out, _)| out)
+    }
+
+    /// [`AmcClassifier::classify_with_mei`] plus a [`TailBreakdown`] of where
+    /// the tail time went.
+    pub fn classify_with_mei_timed(
+        &self,
+        cube: &Cube,
+        mei_img: MeiImage,
+    ) -> Result<(AmcOutput, TailBreakdown)> {
+        use std::time::Instant;
+        let mut tail = TailBreakdown::default();
+
+        let t = Instant::now();
         let mut endmembers = match self.config.selection {
             SelectionMethod::MeiGreedy => select_endmembers(
                 cube,
@@ -146,15 +182,25 @@ impl AmcClassifier {
                 select_endmembers_atgp(cube, &mei_img, self.config.classes)?
             }
         };
+        tail.selection_s += t.elapsed().as_secs_f64();
+
         let dims = cube.dims();
         let bip = cube.to_interleave(Interleave::Bip);
+        let t = Instant::now();
         let mut model = LinearMixtureModel::new(&spectra(&endmembers))?;
-        let mut labels = model.classify_cube(&bip, self.config.constraint)?;
+        tail.unmix_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let (mut labels, timings) =
+            model.classify_cube_batched_timed(&bip, self.config.constraint)?;
+        tail.classify_s += t.elapsed().as_secs_f64();
+        tail.unmix_s += timings.unmix_s;
+        tail.argmax_s += timings.argmax_s;
 
         // Endmember refinement: replace each populated cluster's endmember
         // with its class-mean spectrum (averaging out per-pixel mixing and
         // noise); reseed starved clusters at the least-explained pixels.
         for _ in 0..self.config.refine_iterations {
+            let t = Instant::now();
             let c = endmembers.len();
             let mut sums = vec![vec![0.0f64; dims.bands]; c];
             let mut counts = vec![0u64; c];
@@ -189,17 +235,27 @@ impl AmcClassifier {
                     endmembers[k].spectrum = cube.pixel(x, y);
                 }
             }
+            tail.selection_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
             model = LinearMixtureModel::new(&spectra(&endmembers))?;
-            labels = model.classify_cube(&bip, self.config.constraint)?;
+            tail.unmix_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let (new_labels, timings) =
+                model.classify_cube_batched_timed(&bip, self.config.constraint)?;
+            tail.classify_s += t.elapsed().as_secs_f64();
+            tail.unmix_s += timings.unmix_s;
+            tail.argmax_s += timings.argmax_s;
+            labels = new_labels;
         }
 
-        Ok(AmcOutput {
+        let out = AmcOutput {
             width: dims.width,
             height: dims.height,
             labels,
             mei: mei_img,
             endmembers,
-        })
+        };
+        Ok((out, tail))
     }
 }
 

@@ -263,9 +263,14 @@ impl Cube {
     }
 
     /// Re-encode the cube into a different interleave.
-    pub fn to_interleave(&self, target: Interleave) -> Cube {
+    ///
+    /// Returns `Cow::Borrowed(self)` when the cube is already stored in the
+    /// target interleave, so callers that normalize to BIP before a hot loop
+    /// pay nothing when the data is already pixel-major. Call `.into_owned()`
+    /// when an owned `Cube` is required.
+    pub fn to_interleave(&self, target: Interleave) -> std::borrow::Cow<'_, Cube> {
         if target == self.interleave {
-            return self.clone();
+            return std::borrow::Cow::Borrowed(self);
         }
         let dims = self.dims;
         let mut data = vec![0.0f32; dims.samples()];
@@ -277,11 +282,11 @@ impl Cube {
                 }
             }
         }
-        Cube {
+        std::borrow::Cow::Owned(Cube {
             dims,
             interleave: target,
             data,
-        }
+        })
     }
 
     /// Extract the spatial window `[x0, x0+w) x [y0, y0+h)` (all bands).
@@ -497,7 +502,7 @@ mod tests {
     fn interleave_conversion_preserves_samples() {
         let bip = ramp_cube(Interleave::Bip);
         for target in Interleave::ALL {
-            let conv = bip.to_interleave(target);
+            let conv = bip.to_interleave(target).into_owned();
             assert_eq!(conv.interleave(), target);
             for x in 0..4 {
                 for y in 0..3 {
@@ -508,7 +513,27 @@ mod tests {
             }
             // And back.
             let back = conv.to_interleave(Interleave::Bip);
-            assert_eq!(back, bip);
+            assert_eq!(*back, bip);
+        }
+    }
+
+    #[test]
+    fn to_interleave_borrows_when_already_in_target_layout() {
+        use std::borrow::Cow;
+        for il in Interleave::ALL {
+            let cube = ramp_cube(il);
+            let same = cube.to_interleave(il);
+            // No copy: the returned view aliases the original buffer.
+            assert!(matches!(same, Cow::Borrowed(_)));
+            assert!(std::ptr::eq(same.data().as_ptr(), cube.data().as_ptr()));
+            // A genuine conversion still produces an owned re-encoding.
+            let other = match il {
+                Interleave::Bip => Interleave::Bsq,
+                _ => Interleave::Bip,
+            };
+            let conv = cube.to_interleave(other);
+            assert!(matches!(conv, Cow::Owned(_)));
+            assert!(!std::ptr::eq(conv.data().as_ptr(), cube.data().as_ptr()));
         }
     }
 

@@ -103,8 +103,8 @@ pub fn spectra(endmembers: &[Endmember]) -> Vec<&[f32]> {
 
 /// Residual-driven endmember selection (ATGP, after Chang — the paper's
 /// reference \[2\]): seed with the highest-MEI pixel, then repeatedly add the
-/// pixel **worst explained** (largest least-squares reconstruction residual)
-/// by the endmembers selected so far.
+/// pixel **worst explained** (largest orthogonal-projection residual) by the
+/// endmembers selected so far.
 ///
 /// Greedy MEI + pairwise-SID dedup ([`select_endmembers`]) fails on scenes
 /// where one strong material boundary produces a *continuum* of mixed
@@ -112,8 +112,15 @@ pub fn spectra(endmembers: &[Endmember]) -> Vec<&[f32]> {
 /// the selection never leaves that boundary. Residual-driven selection is
 /// immune — once both ends of a mixing line are in the set, every point on
 /// the line reconstructs exactly and is skipped.
+///
+/// The projection residuals are maintained *incrementally*: an orthonormal
+/// basis of the selected spectra is grown by Gram-Schmidt, and adding one
+/// endmember subtracts a single squared dot product per pixel
+/// (`r ← r − (q·p)²`) instead of refitting a mixture model and sweeping the
+/// image through it. Selecting `c` endmembers therefore costs `O(c·N·bands)`
+/// total rather than `O(c²·N·bands)`, with no per-pixel allocation.
 pub fn select_endmembers_atgp(cube: &Cube, mei: &MeiImage, count: usize) -> Result<Vec<Endmember>> {
-    use crate::unmix::LinearMixtureModel;
+    use rayon::prelude::*;
     let dims = cube.dims();
     if count == 0 || count > dims.pixels() {
         return Err(HsiError::InvalidClassCount {
@@ -122,18 +129,55 @@ pub fn select_endmembers_atgp(cube: &Cube, mei: &MeiImage, count: usize) -> Resu
         });
     }
     let bip = cube.to_interleave(crate::cube::Interleave::Bip);
+    let data = bip.data();
+    let bands = dims.bands;
+    // r_i starts at ‖p_i‖² (the residual against an empty basis).
+    let mut residuals: Vec<f64> = data
+        .par_chunks(bands)
+        .map(|px| px.iter().map(|&v| (v as f64) * (v as f64)).sum())
+        .collect();
     // Stop threshold: a residual this far below the mean pixel energy means
     // the image is already fully explained (degenerate scenes return fewer
     // endmembers than requested instead of duplicating spectra).
-    let mean_energy: f64 = bip
-        .data()
-        .iter()
-        .map(|&v| (v as f64) * (v as f64))
-        .sum::<f64>()
-        / dims.pixels() as f64;
-    // Above the ridge-bias floor (λ² ≈ 1e-9 of energy) but far below the
-    // sensor-noise floor of any real scene.
+    let mean_energy: f64 = residuals.iter().sum::<f64>() / dims.pixels() as f64;
     let stop = mean_energy * 1e-8;
+
+    // Orthonormalize `spectrum` against `basis` and fold it into the pixel
+    // residuals. Returns false (leaving both untouched) when the spectrum is
+    // linearly dependent on the basis and cannot extend it.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(count);
+    let extend = |basis: &mut Vec<Vec<f64>>, residuals: &mut [f64], spectrum: &[f32]| {
+        let mut v: Vec<f64> = spectrum.iter().map(|&x| x as f64).collect();
+        let orig2: f64 = v.iter().map(|x| x * x).sum();
+        for q in basis.iter() {
+            let proj = crate::linalg::dot_f64(q, &v);
+            for (vi, qi) in v.iter_mut().zip(q) {
+                *vi -= proj * qi;
+            }
+        }
+        let norm2: f64 = v.iter().map(|x| x * x).sum();
+        if norm2 <= orig2 * 1e-24 {
+            return false;
+        }
+        let inv = 1.0 / norm2.sqrt();
+        for vi in v.iter_mut() {
+            *vi *= inv;
+        }
+        residuals
+            .par_chunks_mut(crate::unmix::BATCH_TILE_PIXELS)
+            .zip(data.par_chunks(crate::unmix::BATCH_TILE_PIXELS * bands))
+            .for_each(|(rt, pt)| {
+                for (r, px) in rt.iter_mut().zip(pt.chunks_exact(bands)) {
+                    let d = crate::linalg::dot_f32(&v, px);
+                    // Clamp: the subtraction can dip below zero by rounding
+                    // once a pixel is fully explained.
+                    *r = (*r - d * d).max(0.0);
+                }
+            });
+        basis.push(v);
+        true
+    };
+
     let seed = mei.top_k(1)[0];
     let mut selected = vec![Endmember {
         x: seed.0,
@@ -141,18 +185,27 @@ pub fn select_endmembers_atgp(cube: &Cube, mei: &MeiImage, count: usize) -> Resu
         score: mei.get(seed.0, seed.1),
         spectrum: cube.pixel(seed.0, seed.1),
     }];
+    extend(&mut basis, &mut residuals, &selected[0].spectrum);
     while selected.len() < count {
-        let model = LinearMixtureModel::new(&spectra(&selected))?;
-        let ranked = residual_ranking(&bip, &model);
-        let &(residual, x, y) = ranked.first().expect("non-empty image");
+        // First index wins ties, matching the stable descending ranking the
+        // model-based sweep used.
+        let (best, residual) = residuals.iter().copied().enumerate().fold(
+            (0usize, f64::NEG_INFINITY),
+            |acc, (i, r)| if r > acc.1 { (i, r) } else { acc },
+        );
         if residual <= stop {
+            break;
+        }
+        let (x, y) = (best % dims.width, best / dims.width);
+        let spectrum = cube.pixel(x, y);
+        if !extend(&mut basis, &mut residuals, &spectrum) {
             break;
         }
         selected.push(Endmember {
             x,
             y,
             score: mei.get(x, y),
-            spectrum: cube.pixel(x, y),
+            spectrum,
         });
     }
     Ok(selected)
@@ -161,20 +214,26 @@ pub fn select_endmembers_atgp(cube: &Cube, mei: &MeiImage, count: usize) -> Resu
 /// Rank every pixel by unconstrained-LS reconstruction residual under
 /// `model`, descending. Used by ATGP selection and by the classifier's
 /// starved-cluster reseeding.
+///
+/// Residuals come from the batched operator kernel
+/// ([`crate::unmix::LinearMixtureModel::residuals_batch`]), which runs one
+/// tile at a time on per-worker scratch buffers — the former per-pixel
+/// `abundances`/`reconstruct` allocations in the parallel map are gone.
 pub fn residual_ranking(
-    bip: &Cube,
+    cube: &Cube,
     model: &crate::unmix::LinearMixtureModel,
 ) -> Vec<(f64, usize, usize)> {
     use rayon::prelude::*;
-    let dims = bip.dims();
-    let data = bip.data();
-    let mut ranked: Vec<(f64, usize, usize)> = data
-        .par_chunks(dims.bands)
+    let dims = cube.dims();
+    let bip = cube.to_interleave(crate::cube::Interleave::Bip);
+    let mut residuals = vec![0.0f64; dims.pixels()];
+    model
+        .residuals_batch(bip.data(), &mut residuals)
+        .expect("cube bands match the fitted model");
+    let mut ranked: Vec<(f64, usize, usize)> = residuals
+        .iter()
         .enumerate()
-        .map(|(i, px)| {
-            let r = model.residual_norm2(px).unwrap_or(0.0);
-            (r, i % dims.width, i / dims.width)
-        })
+        .map(|(i, &r)| (r, i % dims.width, i / dims.width))
         .collect();
     ranked.par_sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     ranked

@@ -90,6 +90,12 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
+    /// Borrow row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
@@ -180,6 +186,166 @@ impl Matrix {
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
     }
+
+    /// Cache-blocked matrix product `self * rhs`.
+    ///
+    /// Same contract as [`Matrix::matmul`], but the loops are tiled so that
+    /// a `block × block` panel of `self` and the matching rows of `rhs` stay
+    /// resident while an output panel accumulates. The summation order is
+    /// fixed by the blocking (independent of any threading), so repeated
+    /// calls are bit-identical.
+    pub fn matmul_block(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(HsiError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        const BLOCK: usize = 64;
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kb in (0..k).step_by(BLOCK) {
+            let kend = (kb + BLOCK).min(k);
+            for ib in (0..m).step_by(BLOCK) {
+                let iend = (ib + BLOCK).min(m);
+                for i in ib..iend {
+                    for kk in kb..kend {
+                        let a = self.data[i * k + kk];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let row = &rhs.data[kk * n..(kk + 1) * n];
+                        let orow = &mut out.data[i * n..(i + 1) * n];
+                        for (o, &r) in orow.iter_mut().zip(row) {
+                            *o += a * r;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copy the square sub-block `[r0, r0+rows) × [c0, c0+cols)` into a new
+    /// matrix (used to extract the abundance block of a bordered-system
+    /// inverse).
+    pub fn sub_block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Result<Matrix> {
+        if r0 + rows > self.rows || c0 + cols > self.cols {
+            return Err(HsiError::ShapeMismatch {
+                left: self.shape(),
+                right: (r0 + rows, c0 + cols),
+            });
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                out[(i, j)] = self[(r0 + i, c0 + j)];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Dot product of an `f64` row with an `f32` vector, accumulating in `f64`.
+///
+/// Four interleaved partial sums break the dependency chain of a naive
+/// sequential reduction (the per-pixel latency bottleneck of the batched
+/// unmixing GEMM) while keeping the summation order fixed, so results are
+/// bit-reproducible at every thread count.
+#[inline]
+pub fn dot_f32(row: &[f64], v: &[f32]) -> f64 {
+    debug_assert_eq!(row.len(), v.len());
+    let mut acc = [0.0f64; 4];
+    let mut rc = row.chunks_exact(4);
+    let mut vc = v.chunks_exact(4);
+    for (r, p) in (&mut rc).zip(&mut vc) {
+        acc[0] += r[0] * p[0] as f64;
+        acc[1] += r[1] * p[1] as f64;
+        acc[2] += r[2] * p[2] as f64;
+        acc[3] += r[3] * p[3] as f64;
+    }
+    let mut tail = 0.0;
+    for (r, p) in rc.remainder().iter().zip(vc.remainder()) {
+        tail += r * *p as f64;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Dot product of two `f64` slices with the same fixed 4-way accumulation
+/// order as [`dot_f32`].
+#[inline]
+pub fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (x, y) in (&mut ac).zip(&mut bc) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Batched operator application over a BIP pixel block: for every pixel `p`
+/// and operator row `j`, `out[p·m + j] = Σ_b op[(j, b)] · pixels[p·k + b]`,
+/// where `op` is `m × k` and `pixels` holds `n` contiguous `k`-band `f32`
+/// pixel vectors. Inputs widen to `f64` before accumulation.
+///
+/// This is the inner GEMM of the batched unmixing tail: `op` (a few KiB)
+/// stays cache-resident while the pixel block streams through, and no
+/// intermediate buffers are allocated.
+pub fn apply_operator_f32(op: &Matrix, pixels: &[f32], out: &mut [f64]) -> Result<()> {
+    let (m, k) = op.shape();
+    if k == 0 || !pixels.len().is_multiple_of(k) {
+        return Err(HsiError::DimensionMismatch {
+            expected: k,
+            actual: pixels.len(),
+        });
+    }
+    let n = pixels.len() / k;
+    if out.len() != n * m {
+        return Err(HsiError::DimensionMismatch {
+            expected: n * m,
+            actual: out.len(),
+        });
+    }
+    for (px, orow) in pixels.chunks_exact(k).zip(out.chunks_exact_mut(m)) {
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot_f32(&op.data[j * k..(j + 1) * k], px);
+        }
+    }
+    Ok(())
+}
+
+/// [`apply_operator_f32`] for `f64` input rows (the second, `c × c` stage of
+/// the batched residual computation, applied to already-projected pixels).
+pub fn apply_operator_f64(op: &Matrix, rows: &[f64], out: &mut [f64]) -> Result<()> {
+    let (m, k) = op.shape();
+    if k == 0 || !rows.len().is_multiple_of(k) {
+        return Err(HsiError::DimensionMismatch {
+            expected: k,
+            actual: rows.len(),
+        });
+    }
+    let n = rows.len() / k;
+    if out.len() != n * m {
+        return Err(HsiError::DimensionMismatch {
+            expected: n * m,
+            actual: out.len(),
+        });
+    }
+    for (row, orow) in rows.chunks_exact(k).zip(out.chunks_exact_mut(m)) {
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot_f64(&op.data[j * k..(j + 1) * k], row);
+        }
+    }
+    Ok(())
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -274,6 +440,26 @@ impl Cholesky {
         self.solve_in_place(&mut x)?;
         Ok(x)
     }
+
+    /// Explicit inverse `A⁻¹`, one triangular solve per unit column.
+    ///
+    /// Used once per model fit to precompute the dense abundance operator
+    /// `(EᵀE)⁻¹Eᵀ`; never called per pixel.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.n;
+        let mut inv = Matrix::zeros(n, n);
+        let mut col = vec![0.0f64; n];
+        for j in 0..n {
+            col.fill(0.0);
+            col[j] = 1.0;
+            self.solve_in_place(&mut col)
+                .expect("column length matches factorization by construction");
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
 }
 
 /// LU factorization with partial pivoting, for general square systems
@@ -351,6 +537,27 @@ impl Lu {
             x[i] /= self.lu[i * n + i];
         }
         Ok(x)
+    }
+
+    /// Explicit inverse `A⁻¹`, one solve per unit column.
+    ///
+    /// Used once per model fit to extract the abundance block and offset of
+    /// the bordered sum-to-one system; never called per pixel.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.n;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0f64; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = self
+                .solve(&e)
+                .expect("column length matches factorization by construction");
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
     }
 }
 
@@ -504,6 +711,103 @@ mod tests {
         let x = least_squares(&a, &b).unwrap();
         assert!((x[0] - 0.5).abs() < 1e-8);
         assert!((x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_block_matches_matmul() {
+        // Odd shapes exercise partial blocks; values from a fixed recurrence.
+        let mut vals = Vec::new();
+        let mut x = 0.37f64;
+        for _ in 0..(70 * 65 + 65 * 3) {
+            x = (x * 997.0 + 0.123).rem_euclid(7.0) - 3.5;
+            vals.push(x);
+        }
+        let a = Matrix::from_rows(70, 65, &vals[..70 * 65]).unwrap();
+        let b = Matrix::from_rows(65, 3, &vals[70 * 65..]).unwrap();
+        let naive = a.matmul(&b).unwrap();
+        let blocked = a.matmul_block(&b).unwrap();
+        for i in 0..70 {
+            for j in 0..3 {
+                assert!((naive[(i, j)] - blocked[(i, j)]).abs() < 1e-9 * naive.max_abs());
+            }
+        }
+        assert!(a.matmul_block(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn sub_block_extracts_and_validates() {
+        let m = Matrix::from_rows(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let b = m.sub_block(1, 0, 2, 2).unwrap();
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b[(0, 0)], 4.0);
+        assert_eq!(b[(1, 1)], 8.0);
+        assert!(m.sub_block(2, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn dot_products_match_naive_sums() {
+        // 11 elements: exercises the 4-wide kernel plus a 3-element tail.
+        let a: Vec<f64> = (0..11).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let b32: Vec<f32> = (0..11).map(|i| (i as f32) * 0.25 + 1.0).collect();
+        let b64: Vec<f64> = b32.iter().map(|&v| v as f64).collect();
+        let naive: f64 = a.iter().zip(&b64).map(|(x, y)| x * y).sum();
+        assert!((dot_f32(&a, &b32) - naive).abs() < TOL);
+        assert!((dot_f64(&a, &b64) - naive).abs() < TOL);
+    }
+
+    #[test]
+    fn apply_operator_matches_per_row_matvec() {
+        let op = Matrix::from_rows(2, 3, &[1.0, -2.0, 0.5, 0.0, 3.0, 1.0]).unwrap();
+        let pixels = [1.0f32, 2.0, 3.0, -1.0, 0.5, 2.0];
+        let mut out = vec![0.0f64; 4];
+        apply_operator_f32(&op, &pixels, &mut out).unwrap();
+        for p in 0..2 {
+            let v: Vec<f64> = pixels[p * 3..(p + 1) * 3]
+                .iter()
+                .map(|&x| x as f64)
+                .collect();
+            let expected = op.matvec(&v).unwrap();
+            assert!((out[p * 2] - expected[0]).abs() < TOL);
+            assert!((out[p * 2 + 1] - expected[1]).abs() < TOL);
+        }
+        // f64 variant agrees on the same data.
+        let rows64: Vec<f64> = pixels.iter().map(|&x| x as f64).collect();
+        let mut out64 = vec![0.0f64; 4];
+        apply_operator_f64(&op, &rows64, &mut out64).unwrap();
+        for (a, b) in out.iter().zip(&out64) {
+            assert!((a - b).abs() < TOL);
+        }
+        // Shape validation.
+        assert!(apply_operator_f32(&op, &pixels[..5], &mut out).is_err());
+        assert!(apply_operator_f32(&op, &pixels, &mut out[..3]).is_err());
+        assert!(apply_operator_f64(&op, &rows64[..5], &mut out64).is_err());
+        assert!(apply_operator_f64(&op, &rows64, &mut out64[..3]).is_err());
+    }
+
+    #[test]
+    fn cholesky_inverse_reproduces_identity() {
+        let a = Matrix::from_rows(3, 3, &[4.0, 2.0, 1.0, 2.0, 10.0, 3.0, 1.0, 3.0, 6.0]).unwrap();
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        let ident = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - ident[(i, j)]).abs() < 1e-10, "{prod:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lu_inverse_reproduces_identity() {
+        let a = Matrix::from_rows(3, 3, &[0.0, 2.0, 1.0, 1.0, 0.0, 3.0, 2.0, 1.0, 0.0]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        let ident = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - ident[(i, j)]).abs() < 1e-10, "{prod:?}");
+            }
+        }
     }
 
     #[test]

@@ -210,8 +210,10 @@ fn clamp_coord(v: i64, max: usize) -> usize {
 /// probability spectra — the output of the pipeline's Normalization stage.
 pub fn normalize_cube(cube: &Cube) -> Cube {
     let dims = cube.dims();
-    let bip = cube.to_interleave(crate::cube::Interleave::Bip);
-    let mut data = bip.into_vec();
+    let mut data = cube
+        .to_interleave(crate::cube::Interleave::Bip)
+        .into_owned()
+        .into_vec();
     data.par_chunks_mut(dims.bands).for_each(|px| {
         let sum: f32 = px.iter().sum();
         if sum > f32::MIN_POSITIVE {

@@ -6,9 +6,13 @@
 //! squares; the classic variants differ in which physical constraints they
 //! enforce.
 
+use crate::cube::{Cube, Interleave};
 use crate::error::{HsiError, Result};
-use crate::linalg::{Cholesky, Lu, Matrix};
+use crate::linalg::{self, Cholesky, Lu, Matrix};
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Which abundance constraints the estimator enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,15 +31,53 @@ pub enum AbundanceConstraint {
 /// Default ridge λ as a fraction of the Gram matrix's mean diagonal.
 pub const RIDGE_SCALE: f64 = 3e-5;
 
+/// Pixels per tile of the batched unmixing kernels.
+///
+/// 256 pixels × ~100 bands × 4 bytes keeps a tile's input (~100 KiB) plus its
+/// abundance scratch well inside L2 next to the cache-resident operator. The
+/// tile size is a fixed constant — never derived from the worker count — so
+/// tile boundaries, and therefore every f64 summation, are identical at every
+/// `GPU_SIM_THREADS` setting.
+pub const BATCH_TILE_PIXELS: usize = 256;
+
+// Per-worker scratch for the batched kernels (abundance / Eᵀp rows). Reused
+// across tiles so the steady state performs zero per-pixel and zero per-tile
+// allocations.
+thread_local! {
+    static TILE_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Worker-summed CPU seconds of one batched classification call.
+///
+/// Each worker thread times its own tiles; the fields are the sums across
+/// workers. At one worker thread they add up to the call's wall clock; at `n`
+/// workers the sum can exceed wall time (it counts total CPU work, not
+/// elapsed time).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchTimings {
+    /// Seconds in the abundance GEMM + constraint fix-up (clamp/renormalize).
+    pub unmix_s: f64,
+    /// Seconds in the per-pixel argmax label assignment.
+    pub argmax_s: f64,
+}
+
 /// A fitted linear mixture model over a fixed endmember set.
 ///
-/// Construction factorizes the (c×c) systems once; per-pixel unmixing is then
-/// a matrix-vector product plus a triangular solve.
+/// Construction factorizes the (c×c) systems once and precomputes the dense
+/// abundance operators; per-pixel unmixing is then a matrix-vector product
+/// plus a triangular solve, and batched unmixing is one GEMM per pixel tile.
 #[derive(Debug, Clone)]
 pub struct LinearMixtureModel {
-    endmembers: Matrix, // bands x c
-    chol: Cholesky,     // of EᵀE
-    bordered: Lu,       // KKT system for sum-to-one
+    endmembers: Matrix,    // bands x c
+    et: Matrix,            // c x bands — Eᵀ, the batched right-hand-side operator
+    chol: Cholesky,        // of the ridged EᵀE
+    bordered: Lu,          // KKT system for sum-to-one
+    op_ucls: Matrix,       // c x bands — (EᵀE + λI)⁻¹Eᵀ
+    op_scls: Matrix,       // c x bands — abundance block of KKT⁻¹ times Eᵀ
+    scls_offset: Vec<f64>, // c — affine part of the bordered solve (λ row folded out)
+    gram: Matrix,          // c x c — unridged EᵀE, for batched residuals
+    gram_inv: Matrix,      // c x c — (EᵀE + λI)⁻¹
     bands: usize,
     count: usize,
 }
@@ -55,7 +97,8 @@ impl LinearMixtureModel {
                 available: bands,
             });
         }
-        let mut gram = e.gram();
+        let gram_unridged = e.gram();
+        let mut gram = gram_unridged.clone();
         // Ridge regularisation (damped least squares): real endmember sets
         // (e.g. a dozen corn variants early in the growing season) are
         // near-collinear, so the unregularised LS estimate amplifies sensor
@@ -88,10 +131,31 @@ impl LinearMixtureModel {
             kkt[(count, i)] = 1.0;
         }
         let bordered = Lu::new(&kkt)?;
+        // Precompute the dense abundance operators so the batched path is one
+        // GEMM per pixel tile instead of a triangular solve per pixel.
+        //
+        // UCLS: x = (EᵀE + λI)⁻¹ Eᵀ p, so op_ucls = G̃⁻¹Eᵀ (c × bands).
+        //
+        // SCLS: the bordered solve is affine in the right-hand side,
+        //   [x; μ] = KKT⁻¹ [Eᵀp; 1]  ⇒  x = B·(Eᵀp) + d
+        // where B is the top-left c×c block of KKT⁻¹ and d its last column's
+        // top c entries — the multiplier row folds into a constant offset.
+        let et = e.transpose();
+        let gram_inv = chol.inverse();
+        let op_ucls = gram_inv.matmul_block(&et)?;
+        let kkt_inv = bordered.inverse();
+        let op_scls = kkt_inv.sub_block(0, 0, count, count)?.matmul_block(&et)?;
+        let scls_offset: Vec<f64> = (0..count).map(|i| kkt_inv[(i, count)]).collect();
         Ok(Self {
             endmembers: e,
+            et,
             chol,
             bordered,
+            op_ucls,
+            op_scls,
+            scls_offset,
+            gram: gram_unridged,
+            gram_inv,
             bands,
             count,
         })
@@ -189,6 +253,181 @@ impl LinearMixtureModel {
                 d * d
             })
             .sum())
+    }
+
+    /// Estimate abundances for a block of BIP pixels in one batched pass.
+    ///
+    /// `pixels` holds `n` contiguous `bands`-length spectra; on return
+    /// `out[p*count .. (p+1)*count]` is the abundance vector of pixel `p`,
+    /// identical (up to f64 rounding, see the batch-vs-oracle proptests) to
+    /// calling [`LinearMixtureModel::abundances`] per pixel. The work is
+    /// tiled into [`BATCH_TILE_PIXELS`]-pixel blocks executed on the rayon
+    /// worker pool with zero per-pixel allocations; results are
+    /// bit-identical at every thread count because tile boundaries and
+    /// summation order are fixed.
+    pub fn abundances_batch(
+        &self,
+        pixels: &[f32],
+        constraint: AbundanceConstraint,
+        out: &mut [f64],
+    ) -> Result<()> {
+        if !pixels.len().is_multiple_of(self.bands) {
+            return Err(HsiError::DimensionMismatch {
+                expected: self.bands,
+                actual: pixels.len(),
+            });
+        }
+        let n = pixels.len() / self.bands;
+        if out.len() != n * self.count {
+            return Err(HsiError::DimensionMismatch {
+                expected: n * self.count,
+                actual: out.len(),
+            });
+        }
+        out.par_chunks_mut(BATCH_TILE_PIXELS * self.count)
+            .zip(pixels.par_chunks(BATCH_TILE_PIXELS * self.bands))
+            .for_each(|(ob, pb)| self.abundances_tile(pb, constraint, ob));
+        Ok(())
+    }
+
+    // One tile of `abundances_batch`: operator GEMM straight into `out`,
+    // then the constraint fix-up row by row. Shapes are validated by the
+    // callers, so the GEMM cannot fail.
+    fn abundances_tile(&self, pixels: &[f32], constraint: AbundanceConstraint, out: &mut [f64]) {
+        let op = match constraint {
+            AbundanceConstraint::None => &self.op_ucls,
+            _ => &self.op_scls,
+        };
+        linalg::apply_operator_f32(op, pixels, out).expect("tile shapes validated by caller");
+        match constraint {
+            AbundanceConstraint::None => {}
+            AbundanceConstraint::SumToOne => {
+                for row in out.chunks_exact_mut(self.count) {
+                    for (v, d) in row.iter_mut().zip(&self.scls_offset) {
+                        *v += d;
+                    }
+                }
+            }
+            AbundanceConstraint::SumToOneNonNeg => {
+                for row in out.chunks_exact_mut(self.count) {
+                    for (v, d) in row.iter_mut().zip(&self.scls_offset) {
+                        *v += d;
+                    }
+                    clamp_renormalize(row);
+                }
+            }
+        }
+    }
+
+    /// Batched [`LinearMixtureModel::classify_cube`]: one operator GEMM +
+    /// fused constraint fix-up + argmax per pixel tile, with per-worker
+    /// scratch instead of per-pixel allocations.
+    pub fn classify_cube_batched(
+        &self,
+        cube: &Cube,
+        constraint: AbundanceConstraint,
+    ) -> Result<Vec<u16>> {
+        self.classify_cube_batched_timed(cube, constraint)
+            .map(|(labels, _)| labels)
+    }
+
+    /// [`LinearMixtureModel::classify_cube_batched`] plus a [`BatchTimings`]
+    /// breakdown of where the CPU time went.
+    pub fn classify_cube_batched_timed(
+        &self,
+        cube: &Cube,
+        constraint: AbundanceConstraint,
+    ) -> Result<(Vec<u16>, BatchTimings)> {
+        let dims = cube.dims();
+        if dims.bands != self.bands {
+            return Err(HsiError::DimensionMismatch {
+                expected: self.bands,
+                actual: dims.bands,
+            });
+        }
+        let bip = cube.to_interleave(Interleave::Bip);
+        let data = bip.data();
+        let mut labels = vec![0u16; dims.pixels()];
+        let unmix_ns = AtomicU64::new(0);
+        let argmax_ns = AtomicU64::new(0);
+        labels
+            .par_chunks_mut(BATCH_TILE_PIXELS)
+            .zip(data.par_chunks(BATCH_TILE_PIXELS * self.bands))
+            .for_each(|(lab_tile, px_tile)| {
+                TILE_SCRATCH.with(|scratch| {
+                    let mut scratch = scratch.borrow_mut();
+                    let ab = &mut scratch.0;
+                    ab.resize(lab_tile.len() * self.count, 0.0);
+                    let t = Instant::now();
+                    self.abundances_tile(px_tile, constraint, ab);
+                    unmix_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let t = Instant::now();
+                    for (row, lab) in ab.chunks_exact(self.count).zip(lab_tile.iter_mut()) {
+                        *lab = argmax(row) as u16;
+                    }
+                    argmax_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            });
+        let timings = BatchTimings {
+            unmix_s: unmix_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            argmax_s: argmax_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        };
+        Ok((labels, timings))
+    }
+
+    /// Batched squared reconstruction residuals under unconstrained LS:
+    /// `out[p] = ‖pixel_p − E·α_p‖²`, matching
+    /// [`LinearMixtureModel::residual_norm2`] per pixel (up to f64 rounding).
+    ///
+    /// Expanded as `‖p‖² − 2·(Eᵀp)ᵀα + αᵀ(EᵀE)α` so the whole tile needs two
+    /// small GEMMs (`Eᵀ` and `G̃⁻¹`) plus c-length dot products — no
+    /// band-space reconstruction. The expansion can go slightly negative
+    /// through cancellation on fully-explained pixels, so it is clamped at
+    /// zero.
+    pub fn residuals_batch(&self, pixels: &[f32], out: &mut [f64]) -> Result<()> {
+        if !pixels.len().is_multiple_of(self.bands) {
+            return Err(HsiError::DimensionMismatch {
+                expected: self.bands,
+                actual: pixels.len(),
+            });
+        }
+        let n = pixels.len() / self.bands;
+        if out.len() != n {
+            return Err(HsiError::DimensionMismatch {
+                expected: n,
+                actual: out.len(),
+            });
+        }
+        out.par_chunks_mut(BATCH_TILE_PIXELS)
+            .zip(pixels.par_chunks(BATCH_TILE_PIXELS * self.bands))
+            .for_each(|(res_tile, px_tile)| {
+                TILE_SCRATCH.with(|scratch| {
+                    let mut scratch = scratch.borrow_mut();
+                    let (etb, a) = &mut *scratch;
+                    etb.resize(res_tile.len() * self.count, 0.0);
+                    a.resize(res_tile.len() * self.count, 0.0);
+                    linalg::apply_operator_f32(&self.et, px_tile, etb)
+                        .expect("tile shapes validated by caller");
+                    linalg::apply_operator_f64(&self.gram_inv, etb, a)
+                        .expect("tile shapes validated by caller");
+                    for (p, res) in res_tile.iter_mut().enumerate() {
+                        let px = &px_tile[p * self.bands..(p + 1) * self.bands];
+                        let eb = &etb[p * self.count..(p + 1) * self.count];
+                        let ar = &a[p * self.count..(p + 1) * self.count];
+                        let mut pp = 0.0f64;
+                        for &v in px {
+                            let v = v as f64;
+                            pp += v * v;
+                        }
+                        let mut quad = 0.0f64;
+                        for (i, &ai) in ar.iter().enumerate() {
+                            quad += ai * linalg::dot_f64(self.gram.row(i), ar);
+                        }
+                        *res = (pp - 2.0 * linalg::dot_f64(eb, ar) + quad).max(0.0);
+                    }
+                });
+            });
+        Ok(())
     }
 }
 
@@ -378,5 +617,179 @@ mod tests {
     fn argmax_first_on_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
         assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    const ALL_CONSTRAINTS: [AbundanceConstraint; 3] = [
+        AbundanceConstraint::None,
+        AbundanceConstraint::SumToOne,
+        AbundanceConstraint::SumToOneNonNeg,
+    ];
+
+    // A deterministic pseudo-random pixel stream (xorshift), spanning
+    // several tiles so partial-tile handling is exercised.
+    fn synthetic_pixels(n: usize, bands: usize) -> Vec<f32> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut out = Vec::with_capacity(n * bands);
+        for _ in 0..n * bands {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Values in [-0.5, 1.5): includes negatives to exercise clamping.
+            out.push((state >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 0.5);
+        }
+        out
+    }
+
+    #[test]
+    fn batched_abundances_match_oracle() {
+        let m = simple_model();
+        let pixels = synthetic_pixels(BATCH_TILE_PIXELS + 37, m.bands());
+        for constraint in ALL_CONSTRAINTS {
+            let mut batch = vec![0.0f64; (BATCH_TILE_PIXELS + 37) * m.count()];
+            m.abundances_batch(&pixels, constraint, &mut batch).unwrap();
+            for (p, px) in pixels.chunks_exact(m.bands()).enumerate() {
+                let oracle = m.abundances(px, constraint).unwrap();
+                for (b, o) in batch[p * m.count()..(p + 1) * m.count()]
+                    .iter()
+                    .zip(&oracle)
+                {
+                    assert!(
+                        (b - o).abs() <= 1e-9 * (1.0 + o.abs()),
+                        "constraint {constraint:?} pixel {p}: batch {b} oracle {o}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lengths_validated() {
+        let m = simple_model();
+        let pixels = vec![0.5f32; 2 * m.bands()];
+        let mut out = vec![0.0f64; 2 * m.count()];
+        assert!(m
+            .abundances_batch(&pixels[..5], AbundanceConstraint::None, &mut out)
+            .is_err());
+        assert!(m
+            .abundances_batch(&pixels, AbundanceConstraint::None, &mut out[..3])
+            .is_err());
+        let mut res = vec![0.0f64; 2];
+        assert!(m.residuals_batch(&pixels[..5], &mut res).is_err());
+        assert!(m.residuals_batch(&pixels, &mut res[..1]).is_err());
+    }
+
+    #[test]
+    fn classify_cube_batched_matches_per_pixel_oracle() {
+        let m = simple_model();
+        // 407 pixels: one full 256-pixel tile plus a 151-pixel remainder.
+        let dims = CubeDims::new(37, 11, 4);
+        let data = synthetic_pixels(dims.pixels(), dims.bands);
+        let cube = Cube::from_vec(dims, Interleave::Bip, data).unwrap();
+        for constraint in ALL_CONSTRAINTS {
+            let oracle = m.classify_cube(&cube, constraint).unwrap();
+            let (batched, timings) = m.classify_cube_batched_timed(&cube, constraint).unwrap();
+            assert_eq!(batched, oracle, "constraint {constraint:?}");
+            assert!(timings.unmix_s >= 0.0 && timings.argmax_s >= 0.0);
+        }
+        // Non-BIP input goes through the same conversion as the oracle.
+        let bsq = cube.to_interleave(Interleave::Bsq).into_owned();
+        assert_eq!(
+            m.classify_cube_batched(&bsq, AbundanceConstraint::SumToOneNonNeg)
+                .unwrap(),
+            m.classify_cube(&cube, AbundanceConstraint::SumToOneNonNeg)
+                .unwrap()
+        );
+        let wrong_bands = Cube::zeros(CubeDims::new(2, 2, 3), Interleave::Bip).unwrap();
+        assert!(m
+            .classify_cube_batched(&wrong_bands, AbundanceConstraint::None)
+            .is_err());
+    }
+
+    #[test]
+    fn batched_results_invariant_under_thread_count() {
+        let m = simple_model();
+        let pixels = synthetic_pixels(3 * BATCH_TILE_PIXELS + 5, m.bands());
+        let mut reference = vec![0.0f64; (3 * BATCH_TILE_PIXELS + 5) * m.count()];
+        rayon::with_threads(1, || {
+            m.abundances_batch(&pixels, AbundanceConstraint::SumToOneNonNeg, &mut reference)
+                .unwrap();
+        });
+        for threads in [2, 3, 8] {
+            let mut got = vec![0.0f64; reference.len()];
+            rayon::with_threads(threads, || {
+                m.abundances_batch(&pixels, AbundanceConstraint::SumToOneNonNeg, &mut got)
+                    .unwrap();
+            });
+            // Bit-identical, not merely close: tile boundaries and summation
+            // order do not depend on the worker count.
+            assert!(
+                reference.iter().zip(&got).all(|(a, b)| a == b),
+                "abundances differ at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn residuals_batch_matches_residual_norm2() {
+        let m = simple_model();
+        let n = BATCH_TILE_PIXELS + 13;
+        let pixels = synthetic_pixels(n, m.bands());
+        let mut batch = vec![0.0f64; n];
+        m.residuals_batch(&pixels, &mut batch).unwrap();
+        for (p, px) in pixels.chunks_exact(m.bands()).enumerate() {
+            let oracle = m.residual_norm2(px).unwrap();
+            let scale: f64 = px.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() + 1.0;
+            assert!(
+                (batch[p] - oracle).abs() <= 1e-9 * scale,
+                "pixel {p}: batch {} oracle {oracle}",
+                batch[p]
+            );
+            assert!(batch[p] >= 0.0);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        // The batched operator path must agree with the per-pixel
+        // factorization oracle for every constraint on random models and
+        // random (possibly negative) pixels.
+        #[test]
+        fn prop_batch_agrees_with_oracle(seed in 0u64..1u64 << 48) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as f64 / (1u64 << 24) as f64
+            };
+            let bands = 4 + (next() * 20.0) as usize; // 4..24
+            let count = 2 + (next() * 3.0) as usize; // 2..5 (≤ bands)
+            let npix = 1 + (next() * 40.0) as usize;
+            let spectra: Vec<Vec<f32>> = (0..count)
+                .map(|_| (0..bands).map(|_| 0.05 + next() as f32 * 9.95).collect())
+                .collect();
+            let refs: Vec<&[f32]> = spectra.iter().map(|s| s.as_slice()).collect();
+            let model = LinearMixtureModel::new(&refs).unwrap();
+            let pixels: Vec<f32> = (0..npix * bands)
+                .map(|_| next() as f32 * 11.0 - 1.0)
+                .collect();
+            for constraint in ALL_CONSTRAINTS {
+                let mut batch = vec![0.0f64; npix * count];
+                model.abundances_batch(&pixels, constraint, &mut batch).unwrap();
+                for (p, px) in pixels.chunks_exact(bands).enumerate() {
+                    let oracle = model.abundances(px, constraint).unwrap();
+                    for (b, o) in batch[p * count..(p + 1) * count].iter().zip(&oracle) {
+                        proptest::prop_assert!(
+                            (b - o).abs() <= 1e-9 * (1.0 + o.abs()),
+                            "constraint {:?}: batch {} vs oracle {}",
+                            constraint,
+                            b,
+                            o
+                        );
+                    }
+                }
+            }
+        }
     }
 }

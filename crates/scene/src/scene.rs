@@ -346,7 +346,7 @@ mod tests {
         let sigs: Vec<&[f32]> = scene.signatures.iter().map(|s| s.as_slice()).collect();
         let model = hsi::unmix::LinearMixtureModel::new(&sigs).unwrap();
         let labels = model
-            .classify_cube(&scene.cube, hsi::unmix::AbundanceConstraint::SumToOneNonNeg)
+            .classify_cube_batched(&scene.cube, hsi::unmix::AbundanceConstraint::SumToOneNonNeg)
             .unwrap();
         let cm =
             hsi::metrics::ConfusionMatrix::from_labels(&scene.ground_truth, &labels, classes.len())

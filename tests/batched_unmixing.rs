@@ -1,0 +1,99 @@
+//! Label parity between the batched unmixing tail and the per-pixel oracle
+//! on an Indian-Pines-style synthetic scene, at several worker-thread counts.
+
+use hyperspec::prelude::*;
+use hyperspec::scene::library::indian_pines_classes;
+
+/// A fast scene: 8 classes on a small grid (same shape as the end-to-end
+/// classification tests).
+fn small_scene(seed: u64) -> SyntheticScene {
+    let classes: Vec<_> = indian_pines_classes().into_iter().take(8).collect();
+    let cfg = SceneConfig {
+        width: 64,
+        height: 48,
+        bands: 24,
+        field_width: 12,
+        field_height: 12,
+        seed,
+        noise_fraction: 0.002,
+        mixing_halfwidth: 0.3,
+        sensor_scale: 4000.0,
+        purity_boost: 0.10,
+    };
+    generate(&classes, &cfg)
+}
+
+/// Fit a mixture model to pixels sampled on a stride across the scene —
+/// the parity test only needs a representative endmember matrix, not a
+/// full selection pass.
+fn sample_model(cube: &Cube, count: usize) -> LinearMixtureModel {
+    let dims = cube.dims();
+    let stride = (dims.pixels() / count).max(1);
+    let spectra: Vec<Vec<f32>> = (0..count)
+        .map(|i| {
+            let p = (i * stride).min(dims.pixels() - 1);
+            cube.pixel_slice(p % dims.width, p / dims.width)
+                .unwrap()
+                .to_vec()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = spectra.iter().map(Vec::as_slice).collect();
+    LinearMixtureModel::new(&refs).unwrap()
+}
+
+#[test]
+fn batched_labels_match_per_pixel_oracle_on_scene() {
+    let scene = small_scene(17);
+    let model = sample_model(&scene.cube, 8);
+    for constraint in [
+        AbundanceConstraint::None,
+        AbundanceConstraint::SumToOne,
+        AbundanceConstraint::SumToOneNonNeg,
+    ] {
+        let oracle = model.classify_cube(&scene.cube, constraint).unwrap();
+        let batched = model
+            .classify_cube_batched(&scene.cube, constraint)
+            .unwrap();
+        assert_eq!(oracle, batched, "labels diverge under {constraint:?}");
+    }
+}
+
+#[test]
+fn batched_labels_identical_across_thread_counts() {
+    let scene = small_scene(29);
+    let model = sample_model(&scene.cube, 8);
+    let constraint = AbundanceConstraint::SumToOneNonNeg;
+    let single = rayon::with_threads(1, || {
+        model
+            .classify_cube_batched(&scene.cube, constraint)
+            .unwrap()
+    });
+    // Default worker pool (GPU_SIM_THREADS or the core count), plus a few
+    // explicit counts: the fixed tile decomposition must make the labels
+    // bit-identical regardless of parallelism.
+    let default = model
+        .classify_cube_batched(&scene.cube, constraint)
+        .unwrap();
+    assert_eq!(single, default);
+    for n in [2, 5] {
+        let got = rayon::with_threads(n, || {
+            model
+                .classify_cube_batched(&scene.cube, constraint)
+                .unwrap()
+        });
+        assert_eq!(single, got, "labels diverge at {n} threads");
+    }
+}
+
+#[test]
+fn full_amc_classifier_is_thread_count_invariant() {
+    // The whole tail (selection + batched unmixing + refinement) must also
+    // be deterministic across worker pools, since every parallel stage
+    // decomposes over fixed tiles.
+    let scene = small_scene(5);
+    let amc = AmcClassifier::new(AmcConfig::paper_default(8));
+    let single = rayon::with_threads(1, || amc.classify(&scene.cube).unwrap());
+    let multi = rayon::with_threads(4, || amc.classify(&scene.cube).unwrap());
+    assert_eq!(single.labels, multi.labels);
+    assert_eq!(single.class_count(), multi.class_count());
+}

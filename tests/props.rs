@@ -54,8 +54,9 @@ proptest! {
             ((x * 31 + y * 17 + b * 7 + seed as usize) % 97) as f32
         }).unwrap();
         for il in Interleave::ALL {
-            let conv = cube.to_interleave(il).to_interleave(Interleave::Bip);
-            prop_assert_eq!(&conv, &cube);
+            let reencoded = cube.to_interleave(il).into_owned();
+            let conv = reencoded.to_interleave(Interleave::Bip);
+            prop_assert_eq!(&*conv, &cube);
         }
     }
 
