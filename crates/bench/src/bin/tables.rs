@@ -4,6 +4,7 @@
 //! cargo run --release -p hsi-bench --bin tables -- all
 //! cargo run --release -p hsi-bench --bin tables -- table3
 //! cargo run --release -p hsi-bench --bin tables -- fig5 out/
+//! cargo run --release -p hsi-bench --bin tables -- bench --trace out/trace.json
 //! ```
 
 use gpu_sim::device::Compiler;
@@ -26,11 +27,25 @@ fn main() {
             format_time_table(Compiler::Icc, &time_rows(Compiler::Icc))
         ),
         "fig5" => run_fig5(args.get(1).map(String::as_str).unwrap_or("out")),
-        "bench" => run_bench(
-            args.get(1)
-                .map(String::as_str)
-                .unwrap_or("BENCH_results.json"),
-        ),
+        "bench" => {
+            let mut path = "BENCH_results.json";
+            let mut trace_path = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--trace" {
+                    match rest.next() {
+                        Some(p) => trace_path = Some(p.as_str()),
+                        None => {
+                            eprintln!("usage: tables bench [path] [--trace <trace.json>]");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    path = a.as_str();
+                }
+            }
+            run_bench(path, trace_path);
+        }
         "fig6" => print!("{}", format_fig6(&time_rows(Compiler::Gcc))),
         "ablations" => print!("{}", format_ablations()),
         "all" => {
@@ -65,7 +80,10 @@ fn main() {
     }
 }
 
-fn run_bench(path: &str) {
+fn run_bench(path: &str, trace_path: Option<&str>) {
+    if trace_path.is_some() {
+        trace::enable();
+    }
     eprintln!(
         "[bench] timing the end-to-end AMC run ({} worker threads)...",
         rayon::max_threads()
@@ -73,6 +91,10 @@ fn run_bench(path: &str) {
     let run = results::run_benchmark(2026);
     let json = results::to_json(&run);
     std::fs::write(path, &json).expect("write benchmark results");
+    if let Some(tp) = trace_path {
+        trace::write_chrome_trace(Path::new(tp)).expect("write trace");
+        eprintln!("[bench] chrome trace (load in Perfetto or chrome://tracing) -> {tp}");
+    }
     eprintln!(
         "[bench] AMC wall {:.2}s (gpu pipeline {:.2}s + cpu tail {:.2}s) -> {path}",
         run.amc_wall_s(),

@@ -3,12 +3,23 @@
 //! `tables -- bench [path]` runs the AMC pipeline end to end on the reduced
 //! synthetic Indian Pines scene, wall-clocks each phase, and writes a JSON
 //! record: host wall-clock seconds for scene generation, the GPU stream
-//! pipeline and the CPU classification tail, plus the six-stage counter and
-//! modeled-time breakdown the simulator produced. The JSON is hand-rolled
-//! (the workspace carries no serde); keys are stable so successive baselines
-//! diff cleanly.
+//! pipeline and the CPU classification tail, the six-stage counter,
+//! wall-clock and modeled-time breakdown, device cache hit-rates, and a
+//! snapshot of the [`trace::metrics`] registry. The JSON is hand-rolled
+//! (the workspace carries no serde); keys are stable so successive
+//! baselines diff cleanly.
+//!
+//! The document carries a `schema_version` and [`from_json`] refuses any
+//! other version, so downstream consumers (the CI bench-smoke comparison)
+//! fail loudly on schema drift instead of silently reading defaults.
+//! [`from_json`] ∘ [`to_json`] is the identity on the serialized form:
+//! derived fields (modeled milliseconds, skew ratios, hit-rates) are
+//! recomputed from the parsed inputs, and every input field round-trips
+//! bit-stably (times at fixed 6-decimal precision, counters as exact
+//! integers — the parser goes through `f64`, exact up to 2⁵³, far above
+//! any counter this workload produces).
 
-use amc_core::pipeline::{GpuAmc, KernelMode, StageStats};
+use amc_core::pipeline::{GpuAmc, KernelMode, StageStats, StageWall};
 use gpu_sim::counters::PassStats;
 use gpu_sim::device::GpuProfile;
 use gpu_sim::gpu::Gpu;
@@ -18,6 +29,65 @@ use hsi_scene::library::indian_pines_classes;
 use hsi_scene::scene::{generate, SceneConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
+use trace::metrics::{HistSummary, Snapshot};
+
+/// Version of the `BENCH_results.json` document layout. Bump when keys are
+/// added, removed or change meaning; [`from_json`] rejects mismatches.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Device-cache effectiveness counters read off the [`Gpu`] after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuCacheCounters {
+    /// Full dataflow verifications executed (verification-cache misses).
+    pub verify_runs: u64,
+    /// Passes whose verification came from the cache.
+    pub verify_cache_hits: u64,
+    /// Program lowerings executed (lowering-cache misses).
+    pub lower_runs: u64,
+    /// ISA passes whose lowering came from the cache.
+    pub lower_cache_hits: u64,
+    /// Texture allocations served from the release pool.
+    pub pool_hits: u64,
+    /// Real texture allocations performed.
+    pub texture_allocs: u64,
+}
+
+impl GpuCacheCounters {
+    /// Read the counters from a device.
+    pub fn from_gpu(gpu: &Gpu) -> Self {
+        Self {
+            verify_runs: gpu.verifications(),
+            verify_cache_hits: gpu.verify_cache_hits(),
+            lower_runs: gpu.lowerings(),
+            lower_cache_hits: gpu.lower_cache_hits(),
+            pool_hits: gpu.pool_hits(),
+            texture_allocs: gpu.texture_allocs(),
+        }
+    }
+
+    fn rate(hits: u64, misses: u64) -> f64 {
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Verification-cache hit rate in `[0, 1]`.
+    pub fn verify_hit_rate(&self) -> f64 {
+        Self::rate(self.verify_cache_hits, self.verify_runs)
+    }
+
+    /// Lowering-cache hit rate in `[0, 1]`.
+    pub fn lower_hit_rate(&self) -> f64 {
+        Self::rate(self.lower_cache_hits, self.lower_runs)
+    }
+
+    /// Texture-pool hit rate in `[0, 1]`.
+    pub fn pool_hit_rate(&self) -> f64 {
+        Self::rate(self.pool_hits, self.texture_allocs)
+    }
+}
 
 /// One timed benchmark run.
 #[derive(Debug, Clone)]
@@ -42,6 +112,12 @@ pub struct BenchRun {
     pub endmembers: usize,
     /// Per-stage simulator counters.
     pub stages: StageStats,
+    /// Measured host wall-clock per pipeline stage.
+    pub stage_wall: StageWall,
+    /// Device cache effectiveness counters.
+    pub gpu_caches: GpuCacheCounters,
+    /// Snapshot of the metrics registry taken after the run.
+    pub metrics: Snapshot,
 }
 
 impl BenchRun {
@@ -52,8 +128,10 @@ impl BenchRun {
     }
 }
 
-/// Execute the end-to-end benchmark once.
+/// Execute the end-to-end benchmark once. The metrics registry is reset
+/// first so the emitted `metrics` block covers exactly this run.
 pub fn run_benchmark(seed: u64) -> BenchRun {
+    trace::metrics::reset();
     let classes = indian_pines_classes();
     let t = Instant::now();
     let scene = generate(&classes, &SceneConfig::reduced_indian_pines(seed));
@@ -79,24 +157,50 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
         chunks: hybrid.pipeline.chunks,
         endmembers: hybrid.classification.class_count(),
         stages: hybrid.pipeline.stages,
+        stage_wall: hybrid.pipeline.stage_wall,
+        gpu_caches: GpuCacheCounters::from_gpu(&gpu),
+        metrics: trace::metrics::snapshot(),
     }
 }
 
-fn stage_json(name: &str, s: &PassStats, profile: &GpuProfile) -> String {
-    let modeled = timing::gpu_time(s, profile);
+/// Round to the serialized 6-decimal precision, exactly as `{:.6}` prints.
+/// Derived values (sums, ratios) are computed from rounded operands so the
+/// document is a fixed point of parse → re-serialize.
+fn r6(x: f64) -> f64 {
+    format!("{x:.6}").parse().expect("fixed-precision float")
+}
+
+fn stage_json(name: &str, s: &PassStats, wall_s: f64, profile: &GpuProfile) -> String {
+    let modeled_ms = timing::gpu_time(s, profile).total_ms();
+    let wall_s = r6(wall_s);
+    // Measured-over-modeled skew: >1000 means a modeled millisecond costs
+    // more than a host second to simulate. Derived, so recomputed (not
+    // parsed) on round trip.
+    let skew = if modeled_ms > 0.0 {
+        wall_s * 1e3 / modeled_ms
+    } else {
+        0.0
+    };
     format!(
         "    {{\"stage\": \"{name}\", \"passes\": {}, \"fragments\": {}, \
-         \"instructions\": {}, \"texel_fetches\": {}, \"tiles\": {}, \
+         \"instructions\": {}, \"texel_fetches\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"tiles\": {}, \"bytes_written\": {}, \
          \"bytes_uploaded\": {}, \"bytes_downloaded\": {}, \
-         \"modeled_ms\": {:.6}}}",
+         \"wall_s\": {:.6}, \"modeled_ms\": {:.6}, \
+         \"wall_over_modeled\": {:.6}}}",
         s.passes,
         s.fragments,
         s.instructions,
         s.texel_fetches,
+        s.cache_hits,
+        s.cache_misses,
         s.tiles,
+        s.bytes_written,
         s.bytes_uploaded,
         s.bytes_downloaded,
-        modeled.total_ms()
+        wall_s,
+        modeled_ms,
+        skew
     )
 }
 
@@ -105,6 +209,7 @@ pub fn to_json(run: &BenchRun) -> String {
     let profile = GpuProfile::geforce_7800gtx();
     let total = run.stages.total();
     let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(s, "  \"benchmark\": \"amc_end_to_end\",");
     let _ = writeln!(s, "  \"seed\": {},", run.seed);
     let _ = writeln!(s, "  \"threads\": {},", run.threads);
@@ -125,7 +230,11 @@ pub fn to_json(run: &BenchRun) -> String {
          \"classify_s\": {:.6}, \"argmax_s\": {:.6}}},",
         run.tail.selection_s, run.tail.unmix_s, run.tail.classify_s, run.tail.argmax_s
     );
-    let _ = writeln!(s, "  \"amc_wall_s\": {:.6},", run.amc_wall_s());
+    let _ = writeln!(
+        s,
+        "  \"amc_wall_s\": {:.6},",
+        r6(run.gpu_pipeline_s) + r6(run.cpu_tail_s)
+    );
     let _ = writeln!(s, "  \"chunks\": {},", run.chunks);
     let _ = writeln!(s, "  \"endmembers\": {},", run.endmembers);
     let _ = writeln!(
@@ -134,6 +243,7 @@ pub fn to_json(run: &BenchRun) -> String {
         timing::gpu_time(&total, &profile).kernel_ms()
     );
     s.push_str("  \"stages\": [\n");
+    let walls = run.stage_wall.as_named();
     let stages: [(&str, &PassStats); 6] = [
         ("upload", &run.stages.upload),
         ("normalize", &run.stages.normalize),
@@ -143,28 +253,427 @@ pub fn to_json(run: &BenchRun) -> String {
         ("download", &run.stages.download),
     ];
     for (i, (name, stats)) in stages.iter().enumerate() {
-        s.push_str(&stage_json(name, stats, &profile));
+        debug_assert_eq!(*name, walls[i].0, "stage order mismatch");
+        s.push_str(&stage_json(name, stats, walls[i].1, &profile));
         s.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let c = &run.gpu_caches;
+    let _ = writeln!(
+        s,
+        "  \"gpu_caches\": {{\"verify_runs\": {}, \"verify_cache_hits\": {}, \
+         \"lower_runs\": {}, \"lower_cache_hits\": {}, \"pool_hits\": {}, \
+         \"texture_allocs\": {}}},",
+        c.verify_runs,
+        c.verify_cache_hits,
+        c.lower_runs,
+        c.lower_cache_hits,
+        c.pool_hits,
+        c.texture_allocs
+    );
+    s.push_str("  \"metrics\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"cache_hit_rates\": {{\"verify\": {:.6}, \"lower\": {:.6}, \
+         \"texture_pool\": {:.6}}},",
+        c.verify_hit_rate(),
+        c.lower_hit_rate(),
+        c.pool_hit_rate()
+    );
+    s.push_str("    \"counters\": [");
+    for (i, (name, value)) in run.metrics.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n      {{\"name\": \"{name}\", \"value\": {value}}}");
+    }
+    s.push_str(if run.metrics.counters.is_empty() {
+        "],\n"
+    } else {
+        "\n    ],\n"
+    });
+    s.push_str("    \"histograms\": [");
+    for (i, (name, h)) in run.metrics.histograms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n      {{\"name\": \"{name}\", \"count\": {}, \"sum_ns\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+            h.count, h.sum_ns, h.p50_ns, h.p95_ns, h.p99_ns
+        );
+    }
+    s.push_str(if run.metrics.histograms.is_empty() {
+        "]\n"
+    } else {
+        "\n    ]\n"
+    });
+    s.push_str("  }\n}\n");
     s
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (round-trip serde without serde)
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value for [`from_json`]. Numbers go through `f64`: exact
+/// for the integers this document carries (all far below 2⁵³).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// `null`, `true`/`false` — accepted but unused by this schema.
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type ParseResult<T> = std::result::Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> ParseResult<T> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> ParseResult<()> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> ParseResult<Json> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> ParseResult<Json> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8".to_string())?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> ParseResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> ParseResult<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> ParseResult<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key \"{key}\"")),
+            _ => Err(format!("expected object for key \"{key}\"")),
+        }
+    }
+
+    fn num(&self) -> ParseResult<f64> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err("expected number".into()),
+        }
+    }
+
+    fn u64(&self) -> ParseResult<u64> {
+        let n = self.num()?;
+        if n >= 0.0 && n.fract() == 0.0 {
+            Ok(n as u64)
+        } else {
+            Err(format!("expected unsigned integer, got {n}"))
+        }
+    }
+
+    fn str(&self) -> ParseResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+
+    fn arr(&self) -> ParseResult<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected array".into()),
+        }
+    }
+}
+
+fn pass_stats_from(v: &Json) -> ParseResult<PassStats> {
+    Ok(PassStats {
+        fragments: v.get("fragments")?.u64()?,
+        instructions: v.get("instructions")?.u64()?,
+        texel_fetches: v.get("texel_fetches")?.u64()?,
+        cache_hits: v.get("cache_hits")?.u64()?,
+        cache_misses: v.get("cache_misses")?.u64()?,
+        bytes_written: v.get("bytes_written")?.u64()?,
+        bytes_uploaded: v.get("bytes_uploaded")?.u64()?,
+        bytes_downloaded: v.get("bytes_downloaded")?.u64()?,
+        passes: v.get("passes")?.u64()?,
+        tiles: v.get("tiles")?.u64()?,
+    })
+}
+
+/// Parse a `BENCH_results.json` document back into a [`BenchRun`].
+///
+/// Fails with a descriptive error on malformed JSON, a missing key, or a
+/// `schema_version` other than [`SCHEMA_VERSION`] — schema drift is a hard
+/// error, never a silent default. Derived fields (`amc_wall_s`,
+/// `modeled_*`, `wall_over_modeled`, `cache_hit_rates`) are not read; they
+/// are recomputed from the parsed inputs on re-serialization.
+pub fn from_json(text: &str) -> ParseResult<BenchRun> {
+    let mut p = Parser::new(text);
+    let doc = p.value()?;
+    let version = doc
+        .get("schema_version")
+        .map_err(|e| format!("{e} — document predates schema versioning; regenerate it"))?
+        .u64()?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}; \
+             regenerate the document with this tree's `tables -- bench`"
+        ));
+    }
+    let scene = doc.get("scene")?;
+    let tail_obj = doc.get("cpu_tail_stages")?;
+    let tail = TailBreakdown {
+        selection_s: tail_obj.get("selection_s")?.num()?,
+        unmix_s: tail_obj.get("unmix_s")?.num()?,
+        classify_s: tail_obj.get("classify_s")?.num()?,
+        argmax_s: tail_obj.get("argmax_s")?.num()?,
+    };
+    let mut stages = StageStats::default();
+    let mut stage_wall = StageWall::default();
+    for entry in doc.get("stages")?.arr()? {
+        let name = entry.get("stage")?.str()?.to_owned();
+        let stats = pass_stats_from(entry)?;
+        let wall = entry.get("wall_s")?.num()?;
+        let (slot, wall_slot) = match name.as_str() {
+            "upload" => (&mut stages.upload, &mut stage_wall.upload_s),
+            "normalize" => (&mut stages.normalize, &mut stage_wall.normalize_s),
+            "distance" => (&mut stages.distance, &mut stage_wall.distance_s),
+            "minmax" => (&mut stages.minmax, &mut stage_wall.minmax_s),
+            "mei" => (&mut stages.mei, &mut stage_wall.mei_s),
+            "download" => (&mut stages.download, &mut stage_wall.download_s),
+            other => return Err(format!("unknown stage \"{other}\"")),
+        };
+        *slot = stats;
+        *wall_slot = wall;
+    }
+    let caches = doc.get("gpu_caches")?;
+    let metrics_obj = doc.get("metrics")?;
+    let mut counters = Vec::new();
+    for c in metrics_obj.get("counters")?.arr()? {
+        counters.push((c.get("name")?.str()?.to_owned(), c.get("value")?.u64()?));
+    }
+    let mut histograms = Vec::new();
+    for h in metrics_obj.get("histograms")?.arr()? {
+        histograms.push((
+            h.get("name")?.str()?.to_owned(),
+            HistSummary {
+                count: h.get("count")?.u64()?,
+                sum_ns: h.get("sum_ns")?.u64()?,
+                p50_ns: h.get("p50_ns")?.u64()?,
+                p95_ns: h.get("p95_ns")?.u64()?,
+                p99_ns: h.get("p99_ns")?.u64()?,
+            },
+        ));
+    }
+    Ok(BenchRun {
+        seed: doc.get("seed")?.u64()?,
+        threads: doc.get("threads")?.u64()? as usize,
+        dims: (
+            scene.get("width")?.u64()? as usize,
+            scene.get("height")?.u64()? as usize,
+            scene.get("bands")?.u64()? as usize,
+        ),
+        scene_s: doc.get("scene_generation_s")?.num()?,
+        gpu_pipeline_s: doc.get("gpu_pipeline_wall_s")?.num()?,
+        cpu_tail_s: doc.get("cpu_tail_wall_s")?.num()?,
+        tail,
+        chunks: doc.get("chunks")?.u64()? as usize,
+        endmembers: doc.get("endmembers")?.u64()? as usize,
+        stages,
+        stage_wall,
+        gpu_caches: GpuCacheCounters {
+            verify_runs: caches.get("verify_runs")?.u64()?,
+            verify_cache_hits: caches.get("verify_cache_hits")?.u64()?,
+            lower_runs: caches.get("lower_runs")?.u64()?,
+            lower_cache_hits: caches.get("lower_cache_hits")?.u64()?,
+            pool_hits: caches.get("pool_hits")?.u64()?,
+            texture_allocs: caches.get("texture_allocs")?.u64()?,
+        },
+        metrics: Snapshot {
+            counters,
+            histograms,
+        },
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_document_is_well_formed_and_complete() {
-        // A synthetic run: no need to execute the pipeline to test the
-        // serializer.
+    fn sample_run() -> BenchRun {
         let mut stages = StageStats::default();
         stages.normalize.passes = 4;
         stages.normalize.fragments = 1024;
         stages.normalize.instructions = 9000;
         stages.normalize.tiles = 8;
+        stages.normalize.cache_hits = 700;
+        stages.normalize.cache_misses = 44;
+        stages.normalize.bytes_written = 1024 * 16;
         stages.upload.bytes_uploaded = 1 << 20;
-        let run = BenchRun {
+        BenchRun {
             seed: 7,
             threads: 4,
             dims: (145, 145, 32),
@@ -180,12 +689,49 @@ mod tests {
             chunks: 3,
             endmembers: 30,
             stages,
-        };
-        let json = to_json(&run);
+            stage_wall: StageWall {
+                upload_s: 0.011,
+                normalize_s: 0.25,
+                distance_s: 0.8,
+                minmax_s: 0.1,
+                mei_s: 0.08,
+                download_s: 0.009,
+            },
+            gpu_caches: GpuCacheCounters {
+                verify_runs: 7,
+                verify_cache_hits: 1400,
+                lower_runs: 7,
+                lower_cache_hits: 1400,
+                pool_hits: 90,
+                texture_allocs: 30,
+            },
+            metrics: Snapshot {
+                counters: vec![
+                    ("gpu.pool.hits".into(), 90),
+                    ("gpu.verify.cache_hits".into(), 1400),
+                ],
+                histograms: vec![(
+                    "gpu.pass_wall".into(),
+                    HistSummary {
+                        count: 1407,
+                        sum_ns: 2_000_000_000,
+                        p50_ns: 1_572_863,
+                        p95_ns: 3_145_727,
+                        p99_ns: 6_291_455,
+                    },
+                )],
+            },
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed_and_complete() {
+        let json = to_json(&sample_run());
         // Balanced braces/brackets and the stable key set.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
+            "\"schema_version\": 2",
             "\"benchmark\"",
             "\"threads\": 4",
             "\"amc_wall_s\": 2.000000",
@@ -198,10 +744,55 @@ mod tests {
             "\"stage\": \"upload\"",
             "\"stage\": \"download\"",
             "\"tiles\": 8",
+            "\"cache_hits\": 700",
+            "\"wall_s\": 0.250000",
+            "\"wall_over_modeled\"",
             "\"modeled_kernel_ms_7800gtx\"",
+            "\"gpu_caches\": {\"verify_runs\": 7",
+            "\"cache_hit_rates\": {\"verify\": 0.995025",
+            "\"name\": \"gpu.pass_wall\", \"count\": 1407",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_eq!(json.matches("\"stage\": ").count(), 6);
+    }
+
+    #[test]
+    fn round_trip_is_bit_stable() {
+        // Parse → re-serialize must reproduce the document byte for byte;
+        // anything less means derived fields drifted from their inputs.
+        let doc = to_json(&sample_run());
+        let parsed = from_json(&doc).expect("document parses");
+        assert_eq!(to_json(&parsed), doc);
+        // And a second round proves the fixed point.
+        let doc2 = to_json(&from_json(&to_json(&parsed)).unwrap());
+        assert_eq!(doc2, doc);
+    }
+
+    #[test]
+    fn schema_drift_fails_loudly() {
+        let doc = to_json(&sample_run());
+        // Wrong version.
+        let old = doc.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let err = from_json(&old).expect_err("version 1 must be rejected");
+        assert!(err.contains("schema_version 1"), "{err}");
+        // Unversioned document (the pre-observability layout).
+        let unversioned = doc.replacen("  \"schema_version\": 2,\n", "", 1);
+        let err = from_json(&unversioned).expect_err("missing version must be rejected");
+        assert!(err.contains("schema_version"), "{err}");
+        // A missing input key is an error, not a default.
+        let broken = doc.replacen("\"cpu_tail_wall_s\"", "\"renamed_key\"", 1);
+        assert!(from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let mut p = Parser::new(r#"{"a": [1, 2.5, -3e2], "s": "q\"\\\nA", "b": true}"#);
+        let v = p.value().unwrap();
+        assert_eq!(v.get("a").unwrap().arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[2].num().unwrap(), -300.0);
+        assert_eq!(v.get("s").unwrap().str().unwrap(), "q\"\\\nA");
+        assert_eq!(v.get("b").unwrap(), &Json::Bool(true));
+        assert!(v.get("missing").is_err());
     }
 }

@@ -31,6 +31,8 @@ use gpu_sim::raster::TexCoordSet;
 use hsi::cube::{Chunking, Cube};
 use hsi::morphology::{MeiImage, StructuringElement};
 use std::fmt;
+use std::time::Instant;
+use trace::ArgValue;
 
 /// Which kernel implementation executes the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,6 +145,62 @@ impl StageStats {
     }
 }
 
+/// Host wall-clock seconds per pipeline stage, summed over chunks.
+///
+/// Complements [`StageStats`]: the counters feed the *modeled* GPU
+/// milliseconds of `gpu_sim::timing`, while these are *measured* host
+/// seconds for the same stage sections — their ratio is the
+/// modeled-vs-wall skew the bench harness reports per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageWall {
+    /// Stage 1: stream uploading.
+    pub upload_s: f64,
+    /// Stage 2: band-sum and normalize passes.
+    pub normalize_s: f64,
+    /// Stage 3: cumulative-distance passes.
+    pub distance_s: f64,
+    /// Stage 4: min/max passes.
+    pub minmax_s: f64,
+    /// Stage 5: MEI accumulation passes.
+    pub mei_s: f64,
+    /// Stage 6: stream downloading.
+    pub download_s: f64,
+}
+
+impl StageWall {
+    /// Accumulate another breakdown into this one, stage by stage.
+    pub fn add(&mut self, other: &StageWall) {
+        self.upload_s += other.upload_s;
+        self.normalize_s += other.normalize_s;
+        self.distance_s += other.distance_s;
+        self.minmax_s += other.minmax_s;
+        self.mei_s += other.mei_s;
+        self.download_s += other.download_s;
+    }
+
+    /// Sum of all six stages, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.upload_s
+            + self.normalize_s
+            + self.distance_s
+            + self.minmax_s
+            + self.mei_s
+            + self.download_s
+    }
+
+    /// `(stage name, seconds)` in pipeline order, for serialization.
+    pub fn as_named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("upload", self.upload_s),
+            ("normalize", self.normalize_s),
+            ("distance", self.distance_s),
+            ("minmax", self.minmax_s),
+            ("mei", self.mei_s),
+            ("download", self.download_s),
+        ]
+    }
+}
+
 /// Host-side readback buffers reused across chunks (stage 6 lands here
 /// instead of allocating fresh vectors per chunk).
 #[derive(Debug, Default)]
@@ -164,6 +222,8 @@ pub struct PipelineOutput {
     pub stats: PassStats,
     /// The same work broken down by pipeline stage.
     pub stages: StageStats,
+    /// Measured host wall-clock per stage section (all chunks summed).
+    pub stage_wall: StageWall,
     /// Number of chunks processed.
     pub chunks: usize,
 }
@@ -246,6 +306,7 @@ impl GpuAmc {
         height: usize,
         bands: usize,
     ) -> Result<Chunking> {
+        let _span = trace::span("pipeline.plan", "plan");
         let halo = 2 * self.se.radius_y();
         let height = height.max(1);
         let chunk_height = |lines: usize| (lines + 2 * halo).min(height);
@@ -290,11 +351,16 @@ impl GpuAmc {
         classifier: &hsi::classify::AmcClassifier,
     ) -> Result<HybridOutput> {
         let t = std::time::Instant::now();
-        let pipeline = self.run(gpu, cube)?;
+        let pipeline = {
+            let _phase = trace::span("pipeline.phase", "gpu_pipeline");
+            self.run(gpu, cube)?
+        };
         let gpu_wall_s = t.elapsed().as_secs_f64();
         let t = std::time::Instant::now();
-        let (classification, tail) =
-            classifier.classify_with_mei_timed(cube, pipeline.mei.clone())?;
+        let (classification, tail) = {
+            let _phase = trace::span("pipeline.phase", "cpu_tail");
+            classifier.classify_with_mei_timed(cube, pipeline.mei.clone())?
+        };
         let tail_wall_s = t.elapsed().as_secs_f64();
         Ok(HybridOutput {
             pipeline,
@@ -324,6 +390,7 @@ impl GpuAmc {
         let mut min_index = vec![0u32; dims.pixels()];
         let mut max_index = vec![0u32; dims.pixels()];
         let mut stages = StageStats::default();
+        let mut stage_wall = StageWall::default();
         let mut scratch = ChunkScratch::default();
 
         // Double-buffered staging: `packed` holds the current chunk's band
@@ -335,12 +402,32 @@ impl GpuAmc {
             layout::pack_cube_into(&first.cube, &mut packed);
         }
         for (i, chunk) in chunks.iter().enumerate() {
+            let chunk_span = trace::span_with(
+                "pipeline.chunk",
+                "chunk",
+                &[
+                    ("index", ArgValue::U64(i as u64)),
+                    ("lines", ArgValue::U64(chunk.cube.dims().height as u64)),
+                ],
+            );
+            let chunk_start = Instant::now();
             let next_cube = chunks.get(i + 1).map(|c| &c.cube);
             let prepack = std::mem::take(&mut spare);
             let (result, prepacked) = std::thread::scope(|s| {
                 let packer = next_cube.map(|next| {
                     let mut buf = prepack;
                     s.spawn(move || {
+                        if trace::enabled() {
+                            // One stable row: the scope joins each packer
+                            // before the next spawns, so lifetimes never
+                            // overlap.
+                            trace::set_thread_name("packer");
+                        }
+                        let _pack = trace::span_with(
+                            "pipeline.pack",
+                            "pack",
+                            &[("chunk", ArgValue::U64((i + 1) as u64))],
+                        );
                         layout::pack_cube_into(next, &mut buf);
                         buf
                     })
@@ -375,6 +462,9 @@ impl GpuAmc {
                 max_index[dst..dst + cw].copy_from_slice(&out.max_index[src..src + cw]);
             }
             stages.add(&out.stages);
+            stage_wall.add(&out.stage_wall);
+            trace::metrics::observe("pipeline.chunk_wall", chunk_start.elapsed());
+            drop(chunk_span);
         }
         gpu.drain_pool();
         Ok(PipelineOutput {
@@ -387,6 +477,7 @@ impl GpuAmc {
             max_index,
             stats: stages.total(),
             stages,
+            stage_wall,
             chunks: chunks.len(),
         })
     }
@@ -426,8 +517,11 @@ impl GpuAmc {
         let offsets = self.se.offsets();
         let p_b = offsets.len();
         let mut stages = StageStats::default();
+        let mut wall = StageWall::default();
 
         // -- Stage 1: stream uploading ------------------------------------
+        let stage_span = trace::span("pipeline.stage", "upload");
+        let stage_start = Instant::now();
         let before_upload = gpu.stats();
         let mut band_tex: Vec<TextureId> = Vec::with_capacity(groups);
         for plane in packed {
@@ -439,8 +533,12 @@ impl GpuAmc {
         gpu.upload(lut, &kernels::offset_lut(&offsets, w, h))?;
         stages.upload = gpu.stats();
         stages.upload.sub(&before_upload);
+        wall.upload_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
 
         // -- Stage 2: normalization ---------------------------------------
+        let stage_span = trace::span("pipeline.stage", "normalize");
+        let stage_start = Instant::now();
         let mut sum_a = gpu.alloc_pooled(w, h)?; // zero-initialised
         let mut sum_b = gpu.alloc_pooled(w, h)?;
         for &bt in &band_tex {
@@ -460,8 +558,12 @@ impl GpuAmc {
             norm_tex.push(nt);
         }
         gpu.release_pooled(sum_b)?;
+        wall.normalize_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
 
         // -- Stage 3: cumulative distance (the D_B field) ------------------
+        let stage_span = trace::span("pipeline.stage", "distance");
+        let stage_start = Instant::now();
         let mut d_a = gpu.alloc_pooled(w, h)?;
         let mut d_b = gpu.alloc_pooled(w, h)?;
         for &(dx, dy) in offsets.iter().filter(|&&o| o != (0, 0)) {
@@ -473,8 +575,12 @@ impl GpuAmc {
             }
         }
         // `d_a` holds the field.
+        wall.distance_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
 
         // -- Stage 4: maximum and minimum ----------------------------------
+        let stage_span = trace::span("pipeline.stage", "minmax");
+        let stage_start = Instant::now();
         let mut st_a = gpu.alloc_pooled(w, h)?;
         let mut st_b = gpu.alloc_pooled(w, h)?;
         stages
@@ -494,8 +600,12 @@ impl GpuAmc {
             std::mem::swap(&mut st_a, &mut st_b);
         }
         // `st_a` holds (minval, minidx, maxval, maxidx).
+        wall.minmax_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
 
         // -- Stage 5: compute SID (MEI accumulation) -----------------------
+        let stage_span = trace::span("pipeline.stage", "mei");
+        let stage_start = Instant::now();
         let mut mei_a = gpu.alloc_pooled(w, h)?;
         let mut mei_b = gpu.alloc_pooled(w, h)?;
         for &nt in &norm_tex {
@@ -504,8 +614,12 @@ impl GpuAmc {
                 .add(&self.pass_mei_partial(gpu, nt, st_a, mei_a, lut, mei_b, p_b, &offsets)?);
             std::mem::swap(&mut mei_a, &mut mei_b);
         }
+        wall.mei_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
 
         // -- Stage 6: stream downloading ------------------------------------
+        let stage_span = trace::span("pipeline.stage", "download");
+        let stage_start = Instant::now();
         let before_download = gpu.stats();
         gpu.download_into(mei_a, &mut scratch.mei_flat)?;
         gpu.download_into(st_a, &mut scratch.state_flat)?;
@@ -529,6 +643,8 @@ impl GpuAmc {
         for t in [sum_a, d_a, d_b, st_a, st_b, mei_a, mei_b, lut] {
             gpu.release_pooled(t)?;
         }
+        wall.download_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
 
         Ok(PipelineOutput {
             mei: MeiImage {
@@ -540,6 +656,7 @@ impl GpuAmc {
             max_index,
             stats: stages.total(),
             stages,
+            stage_wall: wall,
             chunks: 1,
         })
     }

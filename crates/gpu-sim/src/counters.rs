@@ -50,10 +50,75 @@ impl PassStats {
         self.tiles += other.tiles;
     }
 
-    /// Remove another total from this one, field by field (saturating). The
-    /// exact inverse of [`PassStats::add`] whenever `other` was previously
-    /// added — pipelines use it to report "work since this snapshot" deltas.
+    /// Remove another total from this one, field by field. The exact inverse
+    /// of [`PassStats::add`] whenever `other` was previously added —
+    /// pipelines use it to report "work since this snapshot" deltas.
+    ///
+    /// `other` must be component-wise ≤ `self`: subtracting something that
+    /// was never added is a snapshot-delta bug. Debug builds assert on every
+    /// field so the bug surfaces in tests; release builds saturate to zero
+    /// rather than wrap.
     pub fn sub(&mut self, other: &PassStats) {
+        debug_assert!(
+            other.fragments <= self.fragments,
+            "PassStats::sub underflow: fragments {} < {}",
+            self.fragments,
+            other.fragments
+        );
+        debug_assert!(
+            other.instructions <= self.instructions,
+            "PassStats::sub underflow: instructions {} < {}",
+            self.instructions,
+            other.instructions
+        );
+        debug_assert!(
+            other.texel_fetches <= self.texel_fetches,
+            "PassStats::sub underflow: texel_fetches {} < {}",
+            self.texel_fetches,
+            other.texel_fetches
+        );
+        debug_assert!(
+            other.cache_hits <= self.cache_hits,
+            "PassStats::sub underflow: cache_hits {} < {}",
+            self.cache_hits,
+            other.cache_hits
+        );
+        debug_assert!(
+            other.cache_misses <= self.cache_misses,
+            "PassStats::sub underflow: cache_misses {} < {}",
+            self.cache_misses,
+            other.cache_misses
+        );
+        debug_assert!(
+            other.bytes_written <= self.bytes_written,
+            "PassStats::sub underflow: bytes_written {} < {}",
+            self.bytes_written,
+            other.bytes_written
+        );
+        debug_assert!(
+            other.bytes_uploaded <= self.bytes_uploaded,
+            "PassStats::sub underflow: bytes_uploaded {} < {}",
+            self.bytes_uploaded,
+            other.bytes_uploaded
+        );
+        debug_assert!(
+            other.bytes_downloaded <= self.bytes_downloaded,
+            "PassStats::sub underflow: bytes_downloaded {} < {}",
+            self.bytes_downloaded,
+            other.bytes_downloaded
+        );
+        debug_assert!(
+            other.passes <= self.passes,
+            "PassStats::sub underflow: passes {} < {}",
+            self.passes,
+            other.passes
+        );
+        debug_assert!(
+            other.tiles <= self.tiles,
+            "PassStats::sub underflow: tiles {} < {}",
+            self.tiles,
+            other.tiles
+        );
         self.fragments = self.fragments.saturating_sub(other.fragments);
         self.instructions = self.instructions.saturating_sub(other.instructions);
         self.texel_fetches = self.texel_fetches.saturating_sub(other.texel_fetches);
@@ -163,13 +228,21 @@ mod tests {
         t.add(&b);
         t.sub(&b);
         assert_eq!(t, a, "add then sub must round-trip every field");
-        // Subtraction saturates instead of wrapping.
-        let mut z = b;
-        z.sub(&a);
-        assert_eq!(z.fragments, 0);
-        assert_eq!(z.instructions, 0);
-        assert_eq!(z.cache_misses, 4);
-        assert_eq!(z.passes, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "PassStats::sub underflow")]
+    fn sub_underflow_panics_in_debug() {
+        let big = PassStats {
+            fragments: 10,
+            ..Default::default()
+        };
+        let mut small = PassStats {
+            fragments: 3,
+            ..Default::default()
+        };
+        small.sub(&big);
     }
 
     #[test]

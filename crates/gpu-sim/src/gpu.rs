@@ -35,6 +35,8 @@ use rayon::prelude::*;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
+use trace::ArgValue;
 
 /// Handle to a texture resident in simulated video memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,6 +158,14 @@ where
         let mut cache = cache_model.then(TextureCache::per_pipe_default);
         let x0 = quad.x0 + (tile % cols) * raster::TILE_W;
         let y0 = quad.y0 + (tile / cols) * raster::TILE_ROWS;
+        let _tile_span = trace::span_with(
+            "gpu.tile",
+            "tile",
+            &[
+                ("x0", ArgValue::U64(x0 as u64)),
+                ("y0", ArgValue::U64(y0 as u64)),
+            ],
+        );
         let (instructions, texel_fetches) = shade_tile(x0, y0, rows, cache.as_mut());
         *slot = TileCounts {
             instructions,
@@ -288,9 +298,11 @@ impl Gpu {
         };
         if let Some(lowered) = self.lowered_cache.get(&key) {
             self.lower_cache_hits += 1;
+            trace::metrics::incr("gpu.lower.cache_hits", 1);
             return Arc::clone(lowered);
         }
         self.lower_runs += 1;
+        trace::metrics::incr("gpu.lower.runs", 1);
         let resolved = interp::resolve_constants(program, constants);
         let lowered = Arc::new(interp::lower(program, &resolved));
         self.lowered_cache.insert(key, Arc::clone(&lowered));
@@ -320,6 +332,12 @@ impl Gpu {
             let Some(key) = largest else { break };
             if let Some(tex) = self.pool.get_mut(&key).and_then(Vec::pop) {
                 self.pool_bytes -= tex.bytes();
+                trace::metrics::incr("gpu.pool.evictions", 1);
+                trace::instant(
+                    "gpu.pool",
+                    "evict",
+                    &[("bytes", ArgValue::U64(tex.bytes() as u64))],
+                );
             }
             self.pool.retain(|_, v| !v.is_empty());
         }
@@ -352,6 +370,13 @@ impl Gpu {
         self.textures.insert(id, Texture2D::new(width, height));
         self.allocated_bytes += bytes;
         self.texture_allocs += 1;
+        trace::metrics::incr("gpu.pool.allocs", 1);
+        trace::instant(
+            "gpu.pool",
+            "alloc",
+            &[("bytes", ArgValue::U64(bytes as u64))],
+        );
+        trace::counter("gpu.allocated_bytes", self.allocated_bytes as f64);
         Ok(TextureId(id))
     }
 
@@ -375,6 +400,9 @@ impl Gpu {
                 self.next_id += 1;
                 self.textures.insert(id, tex);
                 self.pool_hits += 1;
+                trace::metrics::incr("gpu.pool.hits", 1);
+                trace::instant("gpu.pool", "pool_hit", &[]);
+                trace::counter("gpu.pool_bytes", self.pool_bytes as f64);
                 Ok(TextureId(id))
             }
             None => self.alloc_texture(width, height),
@@ -393,6 +421,8 @@ impl Gpu {
                     .entry((tex.width(), tex.height()))
                     .or_default()
                     .push(tex);
+                trace::instant("gpu.pool", "release", &[]);
+                trace::counter("gpu.pool_bytes", self.pool_bytes as f64);
                 Ok(())
             }
             None => Err(GpuError::InvalidTexture { id: id.0 }),
@@ -404,6 +434,12 @@ impl Gpu {
         let freed = self.pool_bytes;
         self.pool.clear();
         self.pool_bytes = 0;
+        trace::instant(
+            "gpu.pool",
+            "drain",
+            &[("bytes", ArgValue::U64(freed as u64))],
+        );
+        trace::counter("gpu.pool_bytes", 0.0);
         freed
     }
 
@@ -447,10 +483,14 @@ impl Gpu {
                 actual: data.len(),
             });
         }
+        let bytes = (data.len() * 4) as u64;
+        let _span = trace::span_with("gpu.xfer", "upload", &[("bytes", ArgValue::U64(bytes))]);
+        let start = Instant::now();
         for (t, c) in tex.texels_mut().iter_mut().zip(data.chunks_exact(4)) {
             *t = [c[0], c[1], c[2], c[3]];
         }
-        self.stats.bytes_uploaded += (data.len() * 4) as u64;
+        trace::metrics::observe("gpu.upload_wall", start.elapsed());
+        self.stats.bytes_uploaded += bytes;
         Ok(())
     }
 
@@ -460,7 +500,17 @@ impl Gpu {
             .textures
             .get(&id.0)
             .ok_or(GpuError::InvalidTexture { id: id.0 })?;
+        let _span = trace::span_with(
+            "gpu.xfer",
+            "download",
+            &[(
+                "bytes",
+                ArgValue::U64((tex.width() * tex.height() * 16) as u64),
+            )],
+        );
+        let start = Instant::now();
         let data = tex.to_flat();
+        trace::metrics::observe("gpu.download_wall", start.elapsed());
         self.stats.bytes_downloaded += (data.len() * 4) as u64;
         Ok(data)
     }
@@ -473,11 +523,21 @@ impl Gpu {
             .textures
             .get(&id.0)
             .ok_or(GpuError::InvalidTexture { id: id.0 })?;
+        let _span = trace::span_with(
+            "gpu.xfer",
+            "download",
+            &[(
+                "bytes",
+                ArgValue::U64((tex.width() * tex.height() * 16) as u64),
+            )],
+        );
+        let start = Instant::now();
         out.clear();
         out.reserve(tex.width() * tex.height() * 4);
         for t in tex.texels() {
             out.extend_from_slice(t);
         }
+        trace::metrics::observe("gpu.download_wall", start.elapsed());
         self.stats.bytes_downloaded += (out.len() * 4) as u64;
         Ok(())
     }
@@ -528,8 +588,10 @@ impl Gpu {
         };
         if self.verify_cache.contains(&key) {
             self.verify_cache_hits += 1;
+            trace::metrics::incr("gpu.verify.cache_hits", 1);
         } else {
             self.verify_runs += 1;
+            trace::metrics::incr("gpu.verify.runs", 1);
             let diagnostics = verify::verify(program, &self.profile, Some(&key.bindings));
             if verify::has_errors(&diagnostics) {
                 return Err(GpuError::VerifyError {
@@ -554,6 +616,15 @@ impl Gpu {
                 ),
             });
         }
+        let _pass_span = trace::span_with(
+            "gpu.pass",
+            &program.name,
+            &[
+                ("fragments", ArgValue::U64(quad.fragments() as u64)),
+                ("tiles", ArgValue::U64(quad.tile_count() as u64)),
+            ],
+        );
+        let pass_start = Instant::now();
         // Shade the quad into a scratch buffer as independent tiles, one
         // simulated fragment pipe (with its own cache model) per tile.
         let mut out = vec![[0.0f32; 4]; quad.fragments()];
@@ -608,6 +679,7 @@ impl Gpu {
             pass.cache_hits += c.cache_hits;
             pass.cache_misses += c.cache_misses;
         }
+        trace::metrics::observe("gpu.pass_wall", pass_start.elapsed());
         self.stats.add(&pass);
         Ok(pass)
     }
@@ -654,6 +726,15 @@ impl Gpu {
                 message: "quad exceeds target".into(),
             });
         }
+        let _pass_span = trace::span_with(
+            "gpu.pass",
+            "<closure>",
+            &[
+                ("fragments", ArgValue::U64(quad.fragments() as u64)),
+                ("tiles", ArgValue::U64(quad.tile_count() as u64)),
+            ],
+        );
+        let pass_start = Instant::now();
         let mut out = vec![[0.0f32; 4]; quad.fragments()];
         let tile_counts = shade_tiled(
             &mut out,
@@ -695,6 +776,7 @@ impl Gpu {
             pass.cache_hits += c.cache_hits;
             pass.cache_misses += c.cache_misses;
         }
+        trace::metrics::observe("gpu.pass_wall", pass_start.elapsed());
         self.stats.add(&pass);
         Ok(pass)
     }

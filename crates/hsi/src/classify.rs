@@ -168,6 +168,7 @@ impl AmcClassifier {
         use std::time::Instant;
         let mut tail = TailBreakdown::default();
 
+        let span = trace::span("tail", "selection");
         let t = Instant::now();
         let mut endmembers = match self.config.selection {
             SelectionMethod::MeiGreedy => select_endmembers(
@@ -183,16 +184,23 @@ impl AmcClassifier {
             }
         };
         tail.selection_s += t.elapsed().as_secs_f64();
+        drop(span);
 
         let dims = cube.dims();
         let bip = cube.to_interleave(Interleave::Bip);
+        let span = trace::span("tail", "unmix");
         let t = Instant::now();
         let mut model = LinearMixtureModel::new(&spectra(&endmembers))?;
         tail.unmix_s += t.elapsed().as_secs_f64();
+        drop(span);
+        let span = trace::span("tail", "classify");
         let t = Instant::now();
         let (mut labels, timings) =
             model.classify_cube_batched_timed(&bip, self.config.constraint)?;
-        tail.classify_s += t.elapsed().as_secs_f64();
+        let d = t.elapsed();
+        tail.classify_s += d.as_secs_f64();
+        trace::metrics::observe("tail.classify_wall", d);
+        drop(span);
         tail.unmix_s += timings.unmix_s;
         tail.argmax_s += timings.argmax_s;
 
@@ -200,6 +208,7 @@ impl AmcClassifier {
         // with its class-mean spectrum (averaging out per-pixel mixing and
         // noise); reseed starved clusters at the least-explained pixels.
         for _ in 0..self.config.refine_iterations {
+            let span = trace::span("tail", "selection");
             let t = Instant::now();
             let c = endmembers.len();
             let mut sums = vec![vec![0.0f64; dims.bands]; c];
@@ -236,13 +245,20 @@ impl AmcClassifier {
                 }
             }
             tail.selection_s += t.elapsed().as_secs_f64();
+            drop(span);
+            let span = trace::span("tail", "unmix");
             let t = Instant::now();
             model = LinearMixtureModel::new(&spectra(&endmembers))?;
             tail.unmix_s += t.elapsed().as_secs_f64();
+            drop(span);
+            let span = trace::span("tail", "classify");
             let t = Instant::now();
             let (new_labels, timings) =
                 model.classify_cube_batched_timed(&bip, self.config.constraint)?;
-            tail.classify_s += t.elapsed().as_secs_f64();
+            let d = t.elapsed();
+            tail.classify_s += d.as_secs_f64();
+            trace::metrics::observe("tail.classify_wall", d);
+            drop(span);
             tail.unmix_s += timings.unmix_s;
             tail.argmax_s += timings.argmax_s;
             labels = new_labels;

@@ -358,14 +358,18 @@ impl LinearMixtureModel {
                     let mut scratch = scratch.borrow_mut();
                     let ab = &mut scratch.0;
                     ab.resize(lab_tile.len() * self.count, 0.0);
+                    let span = trace::span("tail.batch", "unmix");
                     let t = Instant::now();
                     self.abundances_tile(px_tile, constraint, ab);
                     unmix_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    drop(span);
+                    let span = trace::span("tail.batch", "argmax");
                     let t = Instant::now();
                     for (row, lab) in ab.chunks_exact(self.count).zip(lab_tile.iter_mut()) {
                         *lab = argmax(row) as u16;
                     }
                     argmax_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    drop(span);
                 });
             });
         let timings = BatchTimings {

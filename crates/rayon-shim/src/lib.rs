@@ -103,17 +103,39 @@ where
         }
         return;
     }
+    // Trace gating is hoisted once per dispatch: the per-item path pays a
+    // single bool test when tracing is off.
+    let traced = trace::enabled();
     let queue = Mutex::new(items.into_iter());
-    let work = || loop {
-        let item = queue.lock().unwrap().next();
-        match item {
-            Some(item) => f(item),
-            None => return,
+    let work = || {
+        let _drain = trace::span_with(
+            "pool.worker",
+            "drain",
+            &[("threads", trace::ArgValue::U64(threads as u64))],
+        );
+        loop {
+            let wait = traced.then(std::time::Instant::now);
+            let item = queue.lock().unwrap().next();
+            if let Some(started) = wait {
+                trace::metrics::observe("pool.queue_wait", started.elapsed());
+            }
+            match item {
+                Some(item) => f(item),
+                None => return,
+            }
         }
     };
     std::thread::scope(|s| {
-        for _ in 1..threads {
-            s.spawn(work);
+        let work = &work;
+        for k in 1..threads {
+            s.spawn(move || {
+                if traced {
+                    // Stable role name: successive scoped workers with the
+                    // same index share one timeline row in the trace viewer.
+                    trace::set_thread_name(&format!("pool-worker-{k}"));
+                }
+                work();
+            });
         }
         work();
     });

@@ -1,0 +1,28 @@
+//! Overhead guard: with tracing disabled, the span primitives must be a
+//! true no-op. One million enter/exit pairs must finish far inside a
+//! generous wall-clock bound even in debug builds.
+//!
+//! This lives in its own integration binary so it fully controls the
+//! process-global enable flag (test binaries run sequentially).
+
+#[test]
+fn disabled_spans_are_effectively_free() {
+    trace::disable();
+    let start = std::time::Instant::now();
+    for i in 0..1_000_000u64 {
+        let s = trace::span("hot", "iter");
+        std::hint::black_box(i);
+        drop(s);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        trace::drain_events().is_empty(),
+        "disabled tracing must record nothing"
+    );
+    // Generous: a true no-op takes ~a few ms even unoptimised; anything
+    // near this bound means the disabled path started allocating/locking.
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "1M disabled span enter/exits took {elapsed:?}"
+    );
+}

@@ -19,6 +19,9 @@
 //!   evaluation tables.
 //! * [`scene`] (`hsi-scene`) — synthetic AVIRIS Indian Pines scenes with
 //!   ground truth, ENVI I/O and rendering.
+//! * [`trace`] — zero-dependency spans, instants, counters and latency
+//!   histograms with a Chrome trace-event (Perfetto) exporter; see
+//!   DESIGN.md §12 for the span taxonomy.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub use amc_core as amc;
 pub use gpu_sim as gpu;
 pub use hsi;
 pub use hsi_scene as scene;
+pub use trace;
 
 /// The most common imports in one place.
 pub mod prelude {
