@@ -106,6 +106,31 @@ fn run_bench(path: &str, trace_path: Option<&str>) {
          classify {:.2}s, argmax {:.2}s (cpu)",
         run.tail.selection_s, run.tail.unmix_s, run.tail.classify_s, run.tail.argmax_s
     );
+    let rollup = results::opt_rollup(&run);
+    eprintln!("[bench] shader optimizer (per-kernel, dynamic = fragments x instructions):");
+    for k in &rollup.kernels {
+        eprintln!(
+            "[bench]   {:<14} {:>2} -> {:>2} instrs | {:>4} passes | {:>9} frags | \
+             dynamic {:>9} -> {:>9}  (-{:.1}%)",
+            k.name,
+            k.raw_instructions,
+            k.opt_instructions,
+            k.passes,
+            k.fragments,
+            k.dynamic_raw(),
+            k.dynamic_opt(),
+            k.reduction_pct()
+        );
+    }
+    eprintln!(
+        "[bench]   total dynamic shaded instructions {} -> {} (-{:.1}%), \
+         isa microbench wall {:.3}s -> {:.3}s",
+        rollup.dynamic_raw(),
+        rollup.dynamic_opt(),
+        rollup.reduction_pct(),
+        run.opt_wall_raw_s,
+        run.opt_wall_opt_s
+    );
 }
 
 fn run_table3() {

@@ -13,16 +13,25 @@
 //! other version, so downstream consumers (the CI bench-smoke comparison)
 //! fail loudly on schema drift instead of silently reading defaults.
 //! [`from_json`] ∘ [`to_json`] is the identity on the serialized form:
-//! derived fields (modeled milliseconds, skew ratios, hit-rates) are
-//! recomputed from the parsed inputs, and every input field round-trips
-//! bit-stably (times at fixed 6-decimal precision, counters as exact
-//! integers — the parser goes through `f64`, exact up to 2⁵³, far above
-//! any counter this workload produces).
+//! derived fields (modeled milliseconds, skew ratios, hit-rates, the
+//! optimizer rollup) are recomputed from the parsed inputs, and every
+//! input field round-trips bit-stably (times at fixed 6-decimal
+//! precision, counters as exact integers — the parser goes through
+//! `f64`, exact up to 2⁵³, far above any counter this workload produces).
+//!
+//! Since schema 3 the document also carries an `opt` block: the
+//! [`opt_rollup`] of the shader optimizer over the six AMC kernels
+//! (per-kernel raw vs optimized instruction counts, dynamically shaded
+//! instruction totals, eliminated-op counters, modeled-ms deltas) plus a
+//! small measured ISA-mode A/B microbench (`GPU_SIM_OPT=0` vs default).
 
+use amc_core::kernels;
 use amc_core::pipeline::{GpuAmc, KernelMode, StageStats, StageWall};
 use gpu_sim::counters::PassStats;
 use gpu_sim::device::GpuProfile;
 use gpu_sim::gpu::Gpu;
+use gpu_sim::opt::OptCounters;
+use gpu_sim::raster::TexCoordSet;
 use gpu_sim::timing;
 use hsi::classify::{AmcClassifier, AmcConfig, TailBreakdown};
 use hsi_scene::library::indian_pines_classes;
@@ -33,7 +42,8 @@ use trace::metrics::{HistSummary, Snapshot};
 
 /// Version of the `BENCH_results.json` document layout. Bump when keys are
 /// added, removed or change meaning; [`from_json`] rejects mismatches.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 3 added the `opt` block (optimizer rollup + ISA microbench).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Device-cache effectiveness counters read off the [`Gpu`] after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,6 +128,12 @@ pub struct BenchRun {
     pub gpu_caches: GpuCacheCounters,
     /// Snapshot of the metrics registry taken after the run.
     pub metrics: Snapshot,
+    /// Measured wall seconds of the ISA-mode microbench with the shader
+    /// optimizer disabled (`GPU_SIM_OPT=0` path).
+    pub opt_wall_raw_s: f64,
+    /// Measured wall seconds of the same microbench with the optimizer on
+    /// (the default lowering path).
+    pub opt_wall_opt_s: f64,
 }
 
 impl BenchRun {
@@ -126,6 +142,166 @@ impl BenchRun {
     pub fn amc_wall_s(&self) -> f64 {
         self.gpu_pipeline_s + self.cpu_tail_s
     }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer rollup (the `opt` block)
+// ---------------------------------------------------------------------------
+
+/// One AMC kernel's row in the optimizer rollup: static instruction counts
+/// from [`kernels::stage_cases`] and the optimizer, dynamic pass/fragment
+/// counts attributed back from the run's per-stage [`PassStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptKernelRow {
+    /// Kernel name (`Program::name`).
+    pub name: String,
+    /// Assembled (raw, Cg-shaped) instruction count.
+    pub raw_instructions: u64,
+    /// Instruction count after [`gpu_sim::optimize`].
+    pub opt_instructions: u64,
+    /// Render passes this kernel executed during the run.
+    pub passes: u64,
+    /// Fragments this kernel shaded during the run.
+    pub fragments: u64,
+}
+
+impl OptKernelRow {
+    /// Dynamically shaded instructions had the raw program been lowered.
+    pub fn dynamic_raw(&self) -> u64 {
+        self.fragments * self.raw_instructions
+    }
+
+    /// Dynamically shaded instructions under the optimized program.
+    pub fn dynamic_opt(&self) -> u64 {
+        self.fragments * self.opt_instructions
+    }
+
+    /// Percentage of dynamic instructions the optimizer removed.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.raw_instructions == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.opt_instructions as f64 / self.raw_instructions as f64)
+        }
+    }
+}
+
+/// Per-kernel and summed optimizer effect over the six AMC kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptRollup {
+    /// One row per AMC kernel, in pipeline order.
+    pub kernels: Vec<OptKernelRow>,
+    /// Eliminated-op counters summed over the six static optimizer runs.
+    pub counters: OptCounters,
+}
+
+impl OptRollup {
+    /// Total dynamically shaded instructions without the optimizer.
+    pub fn dynamic_raw(&self) -> u64 {
+        self.kernels.iter().map(OptKernelRow::dynamic_raw).sum()
+    }
+
+    /// Total dynamically shaded instructions with the optimizer.
+    pub fn dynamic_opt(&self) -> u64 {
+        self.kernels.iter().map(OptKernelRow::dynamic_opt).sum()
+    }
+
+    /// Percentage of total dynamic instructions removed (the ≥10% headline).
+    pub fn reduction_pct(&self) -> f64 {
+        if self.dynamic_raw() == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.dynamic_opt() as f64 / self.dynamic_raw() as f64)
+        }
+    }
+}
+
+/// Build the optimizer rollup for a run.
+///
+/// Static counts come from optimizing the checked-in kernels under their
+/// pipeline bindings. Dynamic pass/fragment counts are attributed from the
+/// per-stage counters exactly: the `normalize` stage interleaves `band_sum`
+/// and `normalize` with equal pass counts and equal fragments per pass
+/// (a 50/50 split); `minmax` runs one `minmax_init` pass per chunk and
+/// `p_B − 1` `minmax_update` passes, all over the same chunk quad, so the
+/// init share is `1/p_B` with `p_B = minmax.passes / chunks`; `distance`
+/// and `mei` each run a single kernel. The attribution is derived — it is
+/// recomputed, not parsed, on a [`from_json`] round trip.
+pub fn opt_rollup(run: &BenchRun) -> OptRollup {
+    let s = &run.stages;
+    let chunks = run.chunks as u64;
+    let p_b = s.minmax.passes.checked_div(chunks).unwrap_or(0);
+    let (init_passes, init_frags) = match s.minmax.fragments.checked_div(p_b) {
+        Some(f) => (chunks, f),
+        None => (0, 0),
+    };
+    let splits: [(u64, u64); 6] = [
+        (s.normalize.passes / 2, s.normalize.fragments / 2),
+        (s.normalize.passes / 2, s.normalize.fragments / 2),
+        (s.distance.passes, s.distance.fragments),
+        (init_passes, init_frags),
+        (
+            s.minmax.passes - init_passes,
+            s.minmax.fragments - init_frags,
+        ),
+        (s.mei.passes, s.mei.fragments),
+    ];
+    let mut counters = OptCounters::default();
+    let mut rows = Vec::with_capacity(6);
+    for ((program, bindings), (passes, fragments)) in kernels::stage_cases().into_iter().zip(splits)
+    {
+        let (optimized, report) = gpu_sim::optimize(&program, &bindings);
+        counters.add(&report.counters);
+        rows.push(OptKernelRow {
+            name: program.name.clone(),
+            raw_instructions: program.len() as u64,
+            opt_instructions: optimized.len() as u64,
+            passes,
+            fragments,
+        });
+    }
+    OptRollup {
+        kernels: rows,
+        counters,
+    }
+}
+
+/// Wall-clock the ISA lowering path with the optimizer off, then on: every
+/// AMC kernel shades a 96×96 quad for a few passes on a cold device per
+/// arm, so the measured delta is the per-fragment interpreter cost of the
+/// instructions the optimizer removes (plus one optimizer run per kernel,
+/// amortized across the passes exactly as the lowering cache amortizes it).
+fn isa_microbench() -> (f64, f64) {
+    const SIZE: usize = 96;
+    const REPS: usize = 8;
+    let time_arm = |optimize: bool| -> f64 {
+        let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
+        gpu.set_optimizer(optimize);
+        let t = Instant::now();
+        for (program, bindings) in kernels::stage_cases() {
+            let inputs: Vec<_> = (0..bindings.samplers)
+                .map(|_| {
+                    let id = gpu.alloc_texture(SIZE, SIZE).expect("microbench input");
+                    gpu.upload(id, &vec![0.25f32; SIZE * SIZE * 4])
+                        .expect("microbench upload");
+                    id
+                })
+                .collect();
+            let target = gpu.alloc_texture(SIZE, SIZE).expect("microbench target");
+            let constants: Vec<_> = bindings
+                .constants
+                .iter()
+                .map(|&idx| (idx, [0.5f32, 0.25, 0.75, 1.0]))
+                .collect();
+            let texcoords = vec![TexCoordSet::identity(); bindings.texcoord_sets];
+            for _ in 0..REPS {
+                gpu.run_pass(&program, &inputs, &constants, &texcoords, target, None)
+                    .expect("microbench pass");
+            }
+        }
+        t.elapsed().as_secs_f64()
+    };
+    (time_arm(false), time_arm(true))
 }
 
 /// Execute the end-to-end benchmark once. The metrics registry is reset
@@ -145,6 +321,10 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
     let hybrid = amc
         .run_and_classify(&mut gpu, &scene.cube, &classifier)
         .expect("hybrid AMC run");
+    // Snapshot before the microbench so the metrics block covers exactly
+    // the end-to-end run; the A/B arms below would otherwise pollute it.
+    let metrics = trace::metrics::snapshot();
+    let (opt_wall_raw_s, opt_wall_opt_s) = isa_microbench();
 
     BenchRun {
         seed,
@@ -159,7 +339,9 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
         stages: hybrid.pipeline.stages,
         stage_wall: hybrid.pipeline.stage_wall,
         gpu_caches: GpuCacheCounters::from_gpu(&gpu),
-        metrics: trace::metrics::snapshot(),
+        metrics,
+        opt_wall_raw_s,
+        opt_wall_opt_s,
     }
 }
 
@@ -258,6 +440,78 @@ pub fn to_json(run: &BenchRun) -> String {
         s.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    // Optimizer rollup: per-kernel static counts are constants of the tree,
+    // dynamic attributions derive from the stage counters above, and only
+    // the microbench walls are measured inputs (everything else is
+    // recomputed on a parse → re-serialize round trip).
+    let rollup = opt_rollup(run);
+    s.push_str("  \"opt\": {\n    \"kernels\": [\n");
+    for (i, k) in rollup.kernels.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"kernel\": \"{}\", \"raw_instructions\": {}, \
+             \"opt_instructions\": {}, \"passes\": {}, \"fragments\": {}, \
+             \"dynamic_raw\": {}, \"dynamic_opt\": {}, \
+             \"reduction_pct\": {:.6}}}",
+            k.name,
+            k.raw_instructions,
+            k.opt_instructions,
+            k.passes,
+            k.fragments,
+            k.dynamic_raw(),
+            k.dynamic_opt(),
+            k.reduction_pct()
+        );
+        s.push_str(if i + 1 < rollup.kernels.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(
+        s,
+        "    \"dynamic_instructions_raw\": {},",
+        rollup.dynamic_raw()
+    );
+    let _ = writeln!(
+        s,
+        "    \"dynamic_instructions_opt\": {},",
+        rollup.dynamic_opt()
+    );
+    let _ = writeln!(
+        s,
+        "    \"dynamic_reduction_pct\": {:.6},",
+        rollup.reduction_pct()
+    );
+    s.push_str("    \"eliminated\": {");
+    for (i, (label, count)) in rollup.counters.entries().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{label}\": {count}");
+    }
+    s.push_str("},\n");
+    // Modeled kernel time had the raw programs been shaded: the run's
+    // instruction total plus exactly the instructions the optimizer removed.
+    let mut raw_total = total;
+    raw_total.instructions = total.instructions + (rollup.dynamic_raw() - rollup.dynamic_opt());
+    let _ = writeln!(
+        s,
+        "    \"modeled_kernel_ms_raw_7800gtx\": {:.6},",
+        timing::gpu_time(&raw_total, &profile).kernel_ms()
+    );
+    let _ = writeln!(
+        s,
+        "    \"modeled_kernel_ms_opt_7800gtx\": {:.6},",
+        timing::gpu_time(&total, &profile).kernel_ms()
+    );
+    let _ = writeln!(
+        s,
+        "    \"isa_microbench\": {{\"wall_raw_s\": {:.6}, \"wall_opt_s\": {:.6}}}",
+        run.opt_wall_raw_s, run.opt_wall_opt_s
+    );
+    s.push_str("  },\n");
     let c = &run.gpu_caches;
     let _ = writeln!(
         s,
@@ -610,6 +864,9 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
         *wall_slot = wall;
     }
     let caches = doc.get("gpu_caches")?;
+    // Of the whole `opt` block only the measured microbench walls are
+    // inputs; the rollup itself is recomputed by [`to_json`].
+    let micro = doc.get("opt")?.get("isa_microbench")?;
     let metrics_obj = doc.get("metrics")?;
     let mut counters = Vec::new();
     for c in metrics_obj.get("counters")?.arr()? {
@@ -656,6 +913,8 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
             counters,
             histograms,
         },
+        opt_wall_raw_s: micro.get("wall_raw_s")?.num()?,
+        opt_wall_opt_s: micro.get("wall_opt_s")?.num()?,
     })
 }
 
@@ -721,6 +980,8 @@ mod tests {
                     },
                 )],
             },
+            opt_wall_raw_s: 0.041,
+            opt_wall_opt_s: 0.034,
         }
     }
 
@@ -731,7 +992,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"benchmark\"",
             "\"threads\": 4",
             "\"amc_wall_s\": 2.000000",
@@ -748,6 +1009,15 @@ mod tests {
             "\"wall_s\": 0.250000",
             "\"wall_over_modeled\"",
             "\"modeled_kernel_ms_7800gtx\"",
+            "\"opt\": {",
+            "\"kernel\": \"band_sum\", \"raw_instructions\": 5, \"opt_instructions\": 4",
+            "\"kernel\": \"mei_partial\", \"raw_instructions\": 22, \"opt_instructions\": 19",
+            "\"dynamic_instructions_raw\"",
+            "\"dynamic_reduction_pct\"",
+            "\"eliminated\": {\"consts_folded\": ",
+            "\"modeled_kernel_ms_raw_7800gtx\"",
+            "\"modeled_kernel_ms_opt_7800gtx\"",
+            "\"isa_microbench\": {\"wall_raw_s\": 0.041000, \"wall_opt_s\": 0.034000}",
             "\"gpu_caches\": {\"verify_runs\": 7",
             "\"cache_hit_rates\": {\"verify\": 0.995025",
             "\"name\": \"gpu.pass_wall\", \"count\": 1407",
@@ -755,6 +1025,7 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_eq!(json.matches("\"stage\": ").count(), 6);
+        assert_eq!(json.matches("\"kernel\": ").count(), 6);
     }
 
     #[test]
@@ -773,16 +1044,85 @@ mod tests {
     fn schema_drift_fails_loudly() {
         let doc = to_json(&sample_run());
         // Wrong version.
-        let old = doc.replace("\"schema_version\": 2", "\"schema_version\": 1");
-        let err = from_json(&old).expect_err("version 1 must be rejected");
-        assert!(err.contains("schema_version 1"), "{err}");
+        let old = doc.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        let err = from_json(&old).expect_err("version 2 must be rejected");
+        assert!(err.contains("schema_version 2"), "{err}");
         // Unversioned document (the pre-observability layout).
-        let unversioned = doc.replacen("  \"schema_version\": 2,\n", "", 1);
+        let unversioned = doc.replacen("  \"schema_version\": 3,\n", "", 1);
         let err = from_json(&unversioned).expect_err("missing version must be rejected");
         assert!(err.contains("schema_version"), "{err}");
         // A missing input key is an error, not a default.
         let broken = doc.replacen("\"cpu_tail_wall_s\"", "\"renamed_key\"", 1);
         assert!(from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn opt_rollup_attributes_stage_counters_exactly() {
+        // A physically consistent run: 2 chunks, 3 band groups (G=3), 5
+        // minmax passes per chunk, 100 fragments per pass, closure arms
+        // counting the optimized per-fragment costs.
+        let mut run = sample_run();
+        run.chunks = 2;
+        let frags = 100u64;
+        let s = &mut run.stages;
+        s.normalize = PassStats::default();
+        s.normalize.passes = 12; // 2 * G * chunks
+        s.normalize.fragments = 12 * frags;
+        s.normalize.instructions = 6 * frags * (kernels::BAND_SUM_COST + kernels::NORMALIZE_COST);
+        s.distance.passes = 8;
+        s.distance.fragments = 8 * frags;
+        s.distance.instructions = 8 * frags * kernels::SID_PARTIAL_COST;
+        s.minmax.passes = 10; // p_B = 5 per chunk
+        s.minmax.fragments = 10 * frags;
+        s.minmax.instructions =
+            2 * frags * kernels::MINMAX_INIT_COST + 8 * frags * kernels::MINMAX_UPDATE_COST;
+        s.mei.passes = 6;
+        s.mei.fragments = 6 * frags;
+        s.mei.instructions = 6 * frags * kernels::MEI_PARTIAL_COST;
+
+        let rollup = opt_rollup(&run);
+        let got: Vec<_> = rollup
+            .kernels
+            .iter()
+            .map(|k| {
+                (
+                    k.name.as_str(),
+                    k.raw_instructions,
+                    k.opt_instructions,
+                    k.passes,
+                    k.fragments,
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("band_sum", 5, 4, 6, 600),
+                ("normalize", 6, 5, 6, 600),
+                ("sid_partial", 14, 12, 8, 800),
+                ("minmax_init", 4, 3, 2, 200),
+                ("minmax_update", 9, 8, 8, 800),
+                ("mei_partial", 22, 19, 6, 600),
+            ]
+        );
+        // The optimized dynamic total reproduces the shaded instruction
+        // counters stage for stage — the attribution is exact, not a model.
+        let shaded = run.stages.normalize.instructions
+            + run.stages.distance.instructions
+            + run.stages.minmax.instructions
+            + run.stages.mei.instructions;
+        assert_eq!(rollup.dynamic_opt(), shaded);
+        assert_eq!(rollup.dynamic_raw(), 39_000);
+        assert!(
+            rollup.reduction_pct() >= 10.0,
+            "headline reduction {:.2}% < 10%",
+            rollup.reduction_pct()
+        );
+        // Something must have been eliminated in every category the six
+        // kernels exercise.
+        assert!(rollup.counters.copies_propagated > 0);
+        assert!(rollup.counters.dots_fused > 0);
+        assert!(rollup.counters.outputs_coalesced > 0);
     }
 
     #[test]

@@ -7,10 +7,20 @@
 //!   compiled to, with exact per-fragment instruction counts; and
 //! * a **closure twin** used as the fast execution path for large inputs.
 //!
-//! The twins mirror the ISA instruction sequence operation-for-operation
-//! (`log2(x)·ln2` instead of `ln`, ε-guards via `max`, identical summation
-//! order), so `KernelMode::Isa` and `KernelMode::Closure` produce bit-equal
-//! streams — a property the integration tests assert.
+//! The assembly below is written the way the Cg frontend emits it —
+//! compiler-temp copies, a separate multiply feeding the reduction `DP4`,
+//! results staged through a temp before the final output move. The
+//! `gpu_sim::opt` pass pipeline (on by default, `GPU_SIM_OPT=0` to disable)
+//! recovers the tight forms at lowering time; the `*_COST` constants below
+//! are the **optimized** per-fragment instruction counts the device actually
+//! shades, while `*_RAW_COST` are the as-assembled lengths.
+//!
+//! The twins mirror the optimized ISA instruction sequence
+//! operation-for-operation (`log2(x)·ln2` instead of `ln`, ε-guards via
+//! `max`, identical summation order), so `KernelMode::Isa` and
+//! `KernelMode::Closure` produce bit-equal streams — a property the
+//! integration tests assert. Every optimizer rewrite is exact-preserving,
+//! so `GPU_SIM_OPT=0` produces the same bits too.
 
 use gpu_sim::asm::assemble;
 use gpu_sim::isa::Program;
@@ -20,30 +30,47 @@ pub const SID_EPS: f32 = 1e-12;
 /// ln(2) as f32, converting `LG2` output to natural log.
 pub const LN2: f32 = std::f32::consts::LN_2;
 
-/// Instruction cost of the band-sum kernel (per fragment).
+/// Shaded (optimized) instruction cost of the band-sum kernel per fragment.
 pub const BAND_SUM_COST: u64 = 4;
-/// Instruction cost of the normalize kernel.
+/// Shaded (optimized) instruction cost of the normalize kernel.
 pub const NORMALIZE_COST: u64 = 5;
-/// Instruction cost of the partial-SID accumulation kernel.
-pub const SID_PARTIAL_COST: u64 = 13;
-/// Instruction cost of the min/max init kernel.
-pub const MINMAX_INIT_COST: u64 = 4;
-/// Instruction cost of the min/max update kernel.
-pub const MINMAX_UPDATE_COST: u64 = 9;
-/// Instruction cost of the MEI partial kernel.
-pub const MEI_PARTIAL_COST: u64 = 21;
+/// Shaded (optimized) instruction cost of the partial-SID kernel.
+pub const SID_PARTIAL_COST: u64 = 12;
+/// Shaded (optimized) instruction cost of the min/max init kernel.
+pub const MINMAX_INIT_COST: u64 = 3;
+/// Shaded (optimized) instruction cost of the min/max update kernel.
+pub const MINMAX_UPDATE_COST: u64 = 8;
+/// Shaded (optimized) instruction cost of the MEI partial kernel.
+pub const MEI_PARTIAL_COST: u64 = 19;
+
+/// As-assembled length of [`band_sum_program`] before optimization.
+pub const BAND_SUM_RAW_COST: u64 = 5;
+/// As-assembled length of [`normalize_program`] before optimization.
+pub const NORMALIZE_RAW_COST: u64 = 6;
+/// As-assembled length of [`sid_partial_program`] before optimization.
+pub const SID_PARTIAL_RAW_COST: u64 = 14;
+/// As-assembled length of [`minmax_init_program`] before optimization.
+pub const MINMAX_INIT_RAW_COST: u64 = 4;
+/// As-assembled length of [`minmax_update_program`] before optimization.
+pub const MINMAX_UPDATE_RAW_COST: u64 = 9;
+/// As-assembled length of [`mei_partial_program`] before optimization.
+pub const MEI_PARTIAL_RAW_COST: u64 = 22;
 
 /// Band-sum accumulation: `sum' = sum + dot(bandgroup, 1)`.
 ///
 /// Inputs: `tex0` = band-group plane (coord set `T0`), `tex1` = previous sum.
+///
+/// The frontend stages the dot product through a compiler temp (`R3`); copy
+/// propagation and DCE collapse it to four instructions.
 pub fn band_sum_program() -> Program {
     assemble(
         "!!band_sum\n\
          DEF C1, 1, 1, 1, 1\n\
          TEX R0, T0, tex0\n\
          TEX R1, T0, tex1\n\
-         DP4 R0, R0, C1\n\
-         ADD OC, R0, R1",
+         DP4 R2, R0, C1\n\
+         MOV R3, R2\n\
+         ADD OC, R3, R1",
     )
     .expect("band_sum assembles")
 }
@@ -51,15 +78,19 @@ pub fn band_sum_program() -> Program {
 /// Normalization (eqs. 3–4): `out = bandgroup / sum.x`.
 ///
 /// Inputs: `tex0` = band-group plane, `tex1` = total band sum.
+///
+/// The frontend lands the quotient in a temp and emits a final output move;
+/// output coalescing folds the move into the `MUL`.
 pub fn normalize_program() -> Program {
     assemble(
         "!!normalize\n\
          DEF C0, 1e-30, 0, 0, 0\n\
          TEX R0, T0, tex0\n\
          TEX R1, T0, tex1\n\
-         MAX R1, R1.x, C0.x\n\
-         RCP R1, R1\n\
-         MUL OC, R0, R1",
+         MAX R2, R1.x, C0.x\n\
+         RCP R3, R2\n\
+         MUL R4, R0, R3\n\
+         MOV OC, R4",
     )
     .expect("normalize assembles")
 }
@@ -69,6 +100,11 @@ pub fn normalize_program() -> Program {
 /// (centre) and `q` at `T1` (the δ-shifted coordinate set).
 ///
 /// Inputs: `tex0` = normalized band-group plane, `tex1` = previous accum.
+///
+/// The frontend copies the difference vector before the lanewise multiply
+/// and reduces through an explicit all-ones `DP4`; copy propagation deletes
+/// the copy and the `MUL`+`DP4` pair fuses into a direct dot product
+/// (exact: `x·1.0` is the identity on every f32 bit pattern).
 pub fn sid_partial_program() -> Program {
     assemble(
         "!!sid_partial\n\
@@ -84,9 +120,10 @@ pub fn sid_partial_program() -> Program {
          LG2 R2, R2\n\
          MUL R2, R2, C0.y\n\
          SUB R3, R0, R1\n\
-         MUL R3, R3, R2\n\
-         DP4 R3, R3, C1\n\
-         ADD OC, R4, R3",
+         MOV R5, R3\n\
+         MUL R5, R5, R2\n\
+         DP4 R5, R5, C1\n\
+         ADD OC, R4, R5",
     )
     .expect("sid_partial assembles")
 }
@@ -96,6 +133,9 @@ pub fn sid_partial_program() -> Program {
 ///
 /// Inputs: `tex0` = cumulative-distance field, sampled through the shifted
 /// coordinate set `T0` (= identity + δ₀).
+///
+/// Output coalescing retargets the two `R1` builds at `OC` directly and
+/// drops the final move.
 pub fn minmax_init_program() -> Program {
     assemble(
         "!!minmax_init\n\
@@ -114,6 +154,9 @@ pub fn minmax_init_program() -> Program {
 ///
 /// Inputs: `tex0` = previous state (`T0` identity), `tex1` = cumulative
 /// field (`T1` shifted by δₖ). Constant `C0` = `(k, k, k, k)`.
+///
+/// Output coalescing retargets the four lane builds of `R4` at `OC` and
+/// drops the final move.
 pub fn minmax_update_program() -> Program {
     assemble(
         "!!minmax_update\n\
@@ -137,6 +180,11 @@ pub fn minmax_update_program() -> Program {
 /// Inputs: `tex0` = normalized band-group plane, `tex1` = min/max state,
 /// `tex2` = previous MEI accum, `tex3` = the neighbour-offset lookup texture
 /// ([`offset_lut`]). Constant `C2` = `(1/p_B, 0.5/p_B, 0.5, 0)`.
+///
+/// Three rewrites fire here: the `R3` coordinate copy propagates (with its
+/// swizzle) straight into the dependent `TEX`, the staged accumulator copy
+/// (`R11`) propagates into the final `ADD`, and the all-ones `DP4` fuses
+/// with the preceding `MUL`.
 pub fn mei_partial_program() -> Program {
     assemble(
         "!!mei_partial\n\
@@ -160,9 +208,10 @@ pub fn mei_partial_program() -> Program {
          MUL R7, R7, C0.y\n\
          SUB R8, R6, R5\n\
          MUL R8, R8, R7\n\
-         DP4 R8, R8, C1\n\
+         DP4 R10, R8, C1\n\
          TEX R9, T0, tex2\n\
-         ADD OC, R9, R8",
+         MOV R11, R10\n\
+         ADD OC, R9, R11",
     )
     .expect("mei_partial assembles")
 }
@@ -205,6 +254,26 @@ pub static KERNEL_SET: std::sync::LazyLock<KernelSet> = std::sync::LazyLock::new
     minmax_update: minmax_update_program(),
     mei_partial: mei_partial_program(),
 });
+
+/// Every stage kernel paired with the exact [`PassBindings`] the pipeline
+/// runs it under, in pipeline order. This is what the optimizer keys its
+/// lowering-cache entries on, and what the bench opt table is computed from.
+pub fn stage_cases() -> Vec<(Program, gpu_sim::verify::PassBindings)> {
+    let ctx = |samplers, texcoord_sets, constants: Vec<u8>| gpu_sim::verify::PassBindings {
+        samplers,
+        texcoord_sets,
+        constants,
+        outputs_read: [true, false, false, false],
+    };
+    vec![
+        (band_sum_program(), ctx(2, 1, vec![])),
+        (normalize_program(), ctx(2, 1, vec![])),
+        (sid_partial_program(), ctx(2, 2, vec![])),
+        (minmax_init_program(), ctx(1, 1, vec![])),
+        (minmax_update_program(), ctx(2, 2, vec![0])),
+        (mei_partial_program(), ctx(4, 1, vec![2])),
+    ]
+}
 
 // ---------------------------------------------------------------------------
 // Closure twins: scalar helpers mirroring the ISA arithmetic exactly.
@@ -251,12 +320,41 @@ mod tests {
 
     #[test]
     fn all_programs_assemble_with_expected_costs() {
-        assert_eq!(band_sum_program().len() as u64, BAND_SUM_COST);
-        assert_eq!(normalize_program().len() as u64, NORMALIZE_COST);
-        assert_eq!(sid_partial_program().len() as u64, SID_PARTIAL_COST);
-        assert_eq!(minmax_init_program().len() as u64, MINMAX_INIT_COST);
-        assert_eq!(minmax_update_program().len() as u64, MINMAX_UPDATE_COST);
-        assert_eq!(mei_partial_program().len() as u64, MEI_PARTIAL_COST);
+        assert_eq!(band_sum_program().len() as u64, BAND_SUM_RAW_COST);
+        assert_eq!(normalize_program().len() as u64, NORMALIZE_RAW_COST);
+        assert_eq!(sid_partial_program().len() as u64, SID_PARTIAL_RAW_COST);
+        assert_eq!(minmax_init_program().len() as u64, MINMAX_INIT_RAW_COST);
+        assert_eq!(minmax_update_program().len() as u64, MINMAX_UPDATE_RAW_COST);
+        assert_eq!(mei_partial_program().len() as u64, MEI_PARTIAL_RAW_COST);
+    }
+
+    #[test]
+    fn optimizer_recovers_the_shaded_costs() {
+        // The `*_COST` constants the closure path charges must equal what
+        // the device actually shades: the optimized program lengths.
+        let expected = [
+            BAND_SUM_COST,
+            NORMALIZE_COST,
+            SID_PARTIAL_COST,
+            MINMAX_INIT_COST,
+            MINMAX_UPDATE_COST,
+            MEI_PARTIAL_COST,
+        ];
+        for ((prog, bindings), want) in stage_cases().into_iter().zip(expected) {
+            let (opt, report) = gpu_sim::optimize(&prog, &bindings);
+            assert_eq!(
+                opt.len() as u64,
+                want,
+                "`{}` optimized to:\n{}",
+                prog.name,
+                opt.to_asm()
+            );
+            assert_eq!(report.before, prog.len());
+            assert_eq!(report.after, opt.len());
+            // No texture fetch may ever be optimized away: texel traffic
+            // (and the cache model it feeds) must match the closure path.
+            assert_eq!(opt.tex_count(), prog.tex_count(), "`{}`", prog.name);
+        }
     }
 
     #[test]
@@ -271,31 +369,34 @@ mod tests {
     }
 
     #[test]
-    fn all_kernels_verify_clean() {
-        use gpu_sim::verify::{verify, PassBindings};
+    fn all_kernels_verify_clean_raw_and_optimized() {
+        use gpu_sim::verify::verify;
         use gpu_sim::GpuProfile;
-        // The exact binding contexts pipeline.rs runs each kernel with.
-        let ctx = |samplers, texcoord_sets, constants: Vec<u8>| PassBindings {
-            samplers,
-            texcoord_sets,
-            constants,
-            outputs_read: [true, false, false, false],
-        };
-        let cases = [
-            (band_sum_program(), ctx(2, 1, vec![])),
-            (normalize_program(), ctx(2, 1, vec![])),
-            (sid_partial_program(), ctx(2, 2, vec![])),
-            (minmax_init_program(), ctx(1, 1, vec![])),
-            (minmax_update_program(), ctx(2, 2, vec![0])),
-            (mei_partial_program(), ctx(4, 1, vec![2])),
-        ];
         for profile in GpuProfile::paper_gpus() {
-            for (prog, bindings) in &cases {
-                let d = verify(prog, &profile, Some(bindings));
-                assert!(d.is_empty(), "`{}` on {}: {d:?}", prog.name, profile.name);
-                let d = verify(prog, &profile, None);
-                assert!(d.is_empty(), "lint `{}`: {d:?}", prog.name);
+            for (prog, bindings) in &stage_cases() {
+                let (opt, _) = gpu_sim::optimize(prog, bindings);
+                for p in [prog, &opt] {
+                    let d = verify(p, &profile, Some(bindings));
+                    assert!(d.is_empty(), "`{}` on {}: {d:?}", p.name, profile.name);
+                    let d = verify(p, &profile, None);
+                    assert!(d.is_empty(), "lint `{}`: {d:?}", p.name);
+                }
             }
+        }
+    }
+
+    #[test]
+    fn kernels_round_trip_through_the_disassembler() {
+        // asm → disasm → asm is the identity on every AMC kernel, raw and
+        // optimized (instruction/def equality ignores source lines).
+        for (prog, bindings) in stage_cases() {
+            let again = assemble(&prog.to_string())
+                .unwrap_or_else(|e| panic!("`{}` re-assembles: {e}", prog.name));
+            assert_eq!(again, prog, "raw `{}`:\n{prog}", prog.name);
+            let (opt, _) = gpu_sim::optimize(&prog, &bindings);
+            let again = assemble(&opt.to_string())
+                .unwrap_or_else(|e| panic!("optimized `{}` re-assembles: {e}", prog.name));
+            assert_eq!(again, opt, "optimized `{}`:\n{opt}", prog.name);
         }
     }
 

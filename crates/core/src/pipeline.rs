@@ -27,6 +27,7 @@ use crate::kernels::{self, KERNEL_SET};
 use crate::layout;
 use gpu_sim::counters::PassStats;
 use gpu_sim::gpu::{Gpu, TextureId};
+use gpu_sim::opt;
 use gpu_sim::raster::TexCoordSet;
 use hsi::cube::{Chunking, Cube};
 use hsi::morphology::{MeiImage, StructuringElement};
@@ -242,6 +243,68 @@ pub struct HybridOutput {
     pub gpu_wall_s: f64,
     /// Host wall-clock seconds of the CPU tail phase.
     pub tail_wall_s: f64,
+}
+
+/// The 6-stage AMC pipeline as a static producer→consumer contract: one
+/// representative pass per stage (one band group, one SE neighbour), with
+/// the exact programs and [`gpu_sim::verify::PassBindings`] the driver uses.
+///
+/// Resources the pipeline samples through δ-shifted coordinate sets or
+/// dependent reads declare a `ClampToEdge` requirement — that is what makes
+/// halo sampling at chunk edges exact, so a mismatched mode is a pipeline
+/// bug even though each pass would verify in isolation.
+pub fn amc_stage_contracts() -> (Vec<opt::ResourceDecl>, Vec<opt::StageContract>) {
+    use gpu_sim::texture::AddressMode;
+    let clamp = AddressMode::ClampToEdge;
+    let resources = [
+        "band", "sum_prev", "sum", "norm", "sid_prev", "sid", "state", "state2", "mei_prev", "lut",
+        "mei",
+    ]
+    .into_iter()
+    .map(|name| opt::ResourceDecl {
+        name: name.into(),
+        mode: clamp,
+    })
+    .collect();
+    let cases = kernels::stage_cases();
+    let stage = |idx: usize, inputs: Vec<(&str, Option<AddressMode>)>, output: &str| {
+        let (program, bindings) = cases[idx].clone();
+        opt::StageContract {
+            name: program.name.clone(),
+            program,
+            bindings,
+            inputs: inputs
+                .into_iter()
+                .map(|(n, m)| (n.to_string(), m))
+                .collect(),
+            output: output.into(),
+        }
+    };
+    let stages = vec![
+        stage(0, vec![("band", None), ("sum_prev", None)], "sum"),
+        stage(1, vec![("band", None), ("sum", None)], "norm"),
+        stage(2, vec![("norm", Some(clamp)), ("sid_prev", None)], "sid"),
+        stage(3, vec![("sid", Some(clamp))], "state"),
+        stage(4, vec![("state", None), ("sid", Some(clamp))], "state2"),
+        stage(
+            5,
+            vec![
+                ("norm", Some(clamp)),
+                ("state2", None),
+                ("mei_prev", None),
+                ("lut", Some(clamp)),
+            ],
+            "mei",
+        ),
+    ];
+    (resources, stages)
+}
+
+/// Run the cross-pass static checker over the full AMC stage chain for one
+/// device profile. Empty means every producer→consumer contract holds.
+pub fn check_amc_pipeline(profile: &gpu_sim::GpuProfile) -> Vec<String> {
+    let (resources, stages) = amc_stage_contracts();
+    opt::check_pipeline(profile, &resources, &stages)
 }
 
 /// The GPU AMC pipeline driver.
@@ -1250,6 +1313,60 @@ mod tests {
                 )),
             }
         }
+    }
+
+    #[test]
+    fn amc_contract_is_accepted_on_both_paper_gpus() {
+        for profile in GpuProfile::paper_gpus() {
+            let errors = check_amc_pipeline(&profile);
+            assert!(errors.is_empty(), "on {}: {errors:?}", profile.name);
+        }
+    }
+
+    #[test]
+    fn amc_contract_rejects_deliberate_mismatches() {
+        use gpu_sim::texture::AddressMode;
+        let profile = GpuProfile::fx5950_ultra();
+
+        // Wrong address mode on a halo-sampled resource.
+        let (mut resources, stages) = amc_stage_contracts();
+        resources
+            .iter_mut()
+            .find(|r| r.name == "norm")
+            .unwrap()
+            .mode = AddressMode::Repeat;
+        let errors = opt::check_pipeline(&profile, &resources, &stages);
+        assert!(
+            errors.iter().any(|e| e.contains("requires address mode")),
+            "{errors:?}"
+        );
+
+        // Feedback: a stage sampling its own render target.
+        let (resources, mut stages) = amc_stage_contracts();
+        stages[5].inputs[2].0 = "mei".into();
+        let errors = opt::check_pipeline(&profile, &resources, &stages);
+        assert!(
+            errors.iter().any(|e| e.contains("renders into")),
+            "{errors:?}"
+        );
+
+        // Misordered stages: normalize consumes `sum` before it exists.
+        let (resources, mut stages) = amc_stage_contracts();
+        stages.swap(0, 1);
+        let errors = opt::check_pipeline(&profile, &resources, &stages);
+        assert!(
+            errors.iter().any(|e| e.contains("later stage")),
+            "{errors:?}"
+        );
+
+        // Sampler-count drift between bindings and declared inputs.
+        let (resources, mut stages) = amc_stage_contracts();
+        stages[0].inputs.pop();
+        let errors = opt::check_pipeline(&profile, &resources, &stages);
+        assert!(
+            errors.iter().any(|e| e.contains("sampler(s)")),
+            "{errors:?}"
+        );
     }
 
     #[test]

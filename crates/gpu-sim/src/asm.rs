@@ -19,6 +19,18 @@ use crate::isa::{
     ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_CONSTS, NUM_OUTPUTS,
     NUM_SAMPLERS, NUM_TEMPS, NUM_TEXCOORDS,
 };
+use std::fmt;
+
+/// The disassembler: a [`Program`] displays as assemblable source text —
+/// `!!name`, `DEF`s, then one instruction per line (each via the existing
+/// [`Instr`] `Display`). `assemble(&program.to_string())` reproduces the
+/// program exactly (modulo source line numbers, which `Program` equality
+/// ignores), so optimized kernels can be dumped, diffed, and re-assembled.
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_asm())
+    }
+}
 
 /// Assemble a source string into a [`Program`].
 ///

@@ -35,6 +35,9 @@ options:
                                (use an empty string for none)
   --outputs-read <o0,o2,...>   outputs the pass reads back (default: o0)
   --deny-warnings              exit nonzero on warnings too
+  --opt                        report what the optimizer eliminates
+                               (per-pass counters, before/after counts)
+  --emit                       print the optimized program's disassembly
   -h, --help                   show this help
 ";
 
@@ -42,6 +45,8 @@ struct Options {
     profile: GpuProfile,
     bindings: Option<PassBindings>,
     deny_warnings: bool,
+    opt: bool,
+    emit: bool,
     files: Vec<String>,
 }
 
@@ -52,6 +57,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut consts: Option<Vec<u8>> = None;
     let mut outputs_read: Option<[bool; 4]> = None;
     let mut deny_warnings = false;
+    let mut opt = false;
+    let mut emit = false;
     let mut files = Vec::new();
 
     let mut it = args.iter();
@@ -64,6 +71,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "-h" | "--help" => return Err(String::new()),
             "--deny-warnings" => deny_warnings = true,
+            "--opt" => opt = true,
+            "--emit" => emit = true,
             "--profile" => {
                 profile = match value("--profile")?.as_str() {
                     "fx5950" => GpuProfile::fx5950_ultra(),
@@ -141,6 +150,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile,
         bindings,
         deny_warnings,
+        opt,
+        emit,
         files,
     })
 }
@@ -179,6 +190,21 @@ fn lint_source(name: &str, source: &str, opts: &Options) -> (usize, usize) {
         match d.severity {
             Severity::Error => errors += 1,
             Severity::Warning => warnings += 1,
+        }
+    }
+    // The optimizer reports ride along without influencing the exit code;
+    // programs with errors are not optimized (run_pass would reject them).
+    if (opts.opt || opts.emit) && errors == 0 {
+        let bindings = opts
+            .bindings
+            .clone()
+            .unwrap_or_else(PassBindings::permissive);
+        let (optimized, report) = gpu_sim::optimize(&program, &bindings);
+        if opts.opt {
+            println!("opt[{name}] {report}");
+        }
+        if opts.emit {
+            print!("{optimized}");
         }
     }
     (errors, warnings)

@@ -27,6 +27,7 @@ use crate::device::GpuProfile;
 use crate::error::{GpuError, Result};
 use crate::interp::{self, FragmentInput, LoweredProgram};
 use crate::isa::Program;
+use crate::opt;
 use crate::raster::{self, fragment_input, Quad, TexCoordSet};
 use crate::texcache::TextureCache;
 use crate::texture::{AddressMode, Texel, Texture2D};
@@ -108,6 +109,11 @@ struct LowerKey {
     program: String,
     /// Pass constants as `(index, value-bit-pattern)` in binding order.
     constants: Vec<(u8, [u32; 4])>,
+    /// `Some(bindings)` when the optimizer shaped this lowering (the
+    /// optimized form depends on the pass bindings), `None` when the raw
+    /// program was lowered (`GPU_SIM_OPT=0`). Keying the flag into the
+    /// cache keeps optimized and raw lowerings from ever aliasing.
+    opt: Option<verify::PassBindings>,
 }
 
 /// Counters one shading tile produced, merged in tile order after the
@@ -197,6 +203,11 @@ pub struct Gpu {
     lowered_cache: HashMap<LowerKey, Arc<LoweredProgram>>,
     lower_runs: u64,
     lower_cache_hits: u64,
+    /// Whether ISA passes shade the statically optimized program form
+    /// (default; `GPU_SIM_OPT=0` disables).
+    opt_enabled: bool,
+    opt_runs: u64,
+    opt_reports: Vec<opt::OptReport>,
 }
 
 impl Gpu {
@@ -219,6 +230,9 @@ impl Gpu {
             lowered_cache: HashMap::new(),
             lower_runs: 0,
             lower_cache_hits: 0,
+            opt_enabled: std::env::var("GPU_SIM_OPT").map_or(true, |v| v != "0"),
+            opt_runs: 0,
+            opt_reports: Vec::new(),
         }
     }
 
@@ -283,11 +297,19 @@ impl Gpu {
 
     /// Fetch or build the lowered form of `(program, constants)`. The
     /// canonical program text is shared with the verification-cache key.
+    ///
+    /// When the optimizer is enabled, the cache miss path first rewrites the
+    /// program through [`opt::optimize`] under the pass `bindings`, re-runs
+    /// the verifier on the optimized form (outside the verification cache and
+    /// its counters — this is a safety net, not a pass admission check), and
+    /// lowers the optimized program. `GPU_SIM_OPT=0` lowers the raw program;
+    /// the choice is part of the cache key.
     fn lowered_for(
         &mut self,
         asm: &str,
         program: &Program,
         constants: &[(u8, [f32; 4])],
+        bindings: &verify::PassBindings,
     ) -> Arc<LoweredProgram> {
         let key = LowerKey {
             program: asm.to_owned(),
@@ -295,6 +317,7 @@ impl Gpu {
                 .iter()
                 .map(|&(idx, v)| (idx, v.map(f32::to_bits)))
                 .collect(),
+            opt: self.opt_enabled.then(|| bindings.clone()),
         };
         if let Some(lowered) = self.lowered_cache.get(&key) {
             self.lower_cache_hits += 1;
@@ -303,10 +326,56 @@ impl Gpu {
         }
         self.lower_runs += 1;
         trace::metrics::incr("gpu.lower.runs", 1);
-        let resolved = interp::resolve_constants(program, constants);
-        let lowered = Arc::new(interp::lower(program, &resolved));
+        let mut shaded = program;
+        let optimized;
+        if self.opt_enabled {
+            let (opt_program, report) = opt::optimize(program, bindings);
+            self.opt_runs += 1;
+            trace::metrics::incr("gpu.opt.runs", 1);
+            // Every optimized program must still satisfy the verifier; a
+            // rewrite that breaks verification would be an optimizer bug, so
+            // shade the raw program instead of failing the pass.
+            let diags = verify::verify(&opt_program, &self.profile, Some(bindings));
+            if verify::has_errors(&diags) {
+                debug_assert!(false, "optimizer broke verification: {diags:?}");
+            } else {
+                optimized = opt_program;
+                shaded = &optimized;
+                if !self.opt_reports.contains(&report) {
+                    self.opt_reports.push(report);
+                }
+            }
+        }
+        let resolved = interp::resolve_constants(shaded, constants);
+        let lowered = Arc::new(interp::lower(shaded, &resolved));
         self.lowered_cache.insert(key, Arc::clone(&lowered));
         lowered
+    }
+
+    /// Whether ISA passes shade statically optimized programs. Defaults to
+    /// the `GPU_SIM_OPT` environment variable (`0` disables, anything else —
+    /// including unset — enables).
+    pub fn optimizer_enabled(&self) -> bool {
+        self.opt_enabled
+    }
+
+    /// Override the `GPU_SIM_OPT` default for this device. Takes effect on
+    /// the next lowering-cache miss; existing cache entries keep the setting
+    /// they were built under (the flag is part of the cache key).
+    pub fn set_optimizer(&mut self, enabled: bool) {
+        self.opt_enabled = enabled;
+    }
+
+    /// Number of optimizer runs executed on this device (one per
+    /// lowering-cache miss while the optimizer is enabled).
+    pub fn opt_runs(&self) -> u64 {
+        self.opt_runs
+    }
+
+    /// Deduplicated per-kernel before/after reports for every program this
+    /// device optimized.
+    pub fn opt_reports(&self) -> &[opt::OptReport] {
+        &self.opt_reports
     }
 
     /// Cumulative counters since the last [`Gpu::reset_stats`].
@@ -584,7 +653,7 @@ impl Gpu {
         let asm = program.to_asm();
         let key = VerifyKey {
             program: asm.clone(),
-            bindings,
+            bindings: bindings.clone(),
         };
         if self.verify_cache.contains(&key) {
             self.verify_cache_hits += 1;
@@ -603,7 +672,7 @@ impl Gpu {
         }
         // Lower once per (program, constants) bind; repeat passes shade
         // straight from the cached pre-decoded form.
-        let lowered = self.lowered_for(&asm, program, constants);
+        let lowered = self.lowered_for(&asm, program, constants, &bindings);
         let input_refs = self.gather_inputs(inputs, target)?;
         let tgt = self.texture(target)?;
         let (tw, th) = (tgt.width(), tgt.height());
@@ -852,10 +921,42 @@ mod tests {
             .unwrap();
         assert_eq!(gpu.download(dst).unwrap(), data);
         assert_eq!(stats.fragments, 16);
-        assert_eq!(stats.instructions, 32); // 2 per fragment
+        // The optimizer coalesces `TEX R0` + `MOV OC, R0` into `TEX OC`,
+        // so each fragment shades 1 instruction instead of the written 2.
+        assert_eq!(stats.instructions, 16);
         assert_eq!(stats.texel_fetches, 16);
         assert_eq!(stats.bytes_written, 256);
         assert_eq!(stats.passes, 1);
+        assert_eq!(gpu.opt_runs(), 1);
+        let reports = gpu.opt_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!((reports[0].before, reports[0].after), (2, 1));
+    }
+
+    #[test]
+    fn gpu_sim_opt_0_shades_the_raw_program() {
+        let mut gpu = small_gpu();
+        gpu.set_optimizer(false);
+        let src = gpu.alloc_texture(4, 4).unwrap();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        let data: Vec<f32> = (0..4 * 4 * 4).map(|i| i as f32).collect();
+        gpu.upload(src, &data).unwrap();
+        let prog = assemble("!!copy\nTEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let stats = gpu
+            .run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
+            .unwrap();
+        assert_eq!(gpu.download(dst).unwrap(), data);
+        assert_eq!(stats.instructions, 32); // 2 per fragment, unoptimized
+        assert_eq!(gpu.opt_runs(), 0);
+        assert!(gpu.opt_reports().is_empty());
+        // Re-enabling keys a distinct lowering: same program, new entry.
+        gpu.set_optimizer(true);
+        let stats = gpu
+            .run_pass(&prog, &[src], &[], &[TexCoordSet::identity()], dst, None)
+            .unwrap();
+        assert_eq!(stats.instructions, 16);
+        assert_eq!(gpu.lowerings(), 2);
+        assert_eq!(gpu.lower_cache_hits(), 0);
     }
 
     #[test]

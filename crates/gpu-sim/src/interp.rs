@@ -62,7 +62,7 @@ fn lanewise2(op: impl Fn(f32, f32) -> f32, a: [f32; 4], b: [f32; 4]) -> [f32; 4]
 /// executors funnel every non-`TEX` opcode through this one match so their
 /// float operations are the same code and results stay bit-identical.
 #[inline(always)]
-fn alu(op: Opcode, s: impl Fn(usize) -> [f32; 4]) -> [f32; 4] {
+pub(crate) fn alu(op: Opcode, s: impl Fn(usize) -> [f32; 4]) -> [f32; 4] {
     match op {
         Opcode::Mov => s(0),
         Opcode::Add => lanewise2(|a, b| a + b, s(0), s(1)),
@@ -237,7 +237,7 @@ enum LoweredSrc {
 }
 
 #[inline(always)]
-fn swizzle_negate(sw: Swizzle, negate: bool, raw: [f32; 4]) -> [f32; 4] {
+pub(crate) fn swizzle_negate(sw: Swizzle, negate: bool, raw: [f32; 4]) -> [f32; 4] {
     let v = sw.apply(raw);
     if negate {
         [-v[0], -v[1], -v[2], -v[3]]
@@ -318,11 +318,12 @@ pub fn lower(program: &Program, constants: &[[f32; 4]; NUM_CONSTS]) -> LoweredPr
         let mut srcs = [LoweredSrc::Imm([0.0; 4]); 3];
         for (slot, src) in srcs.iter_mut().zip(&instr.srcs) {
             *slot = match src.reg {
-                Reg::Const(c) => LoweredSrc::Imm(swizzle_negate(
-                    src.swizzle,
-                    src.negate,
-                    constants[c as usize],
-                )),
+                Reg::Const(c) => {
+                    // Constant folding is owned by the optimizer's lattice
+                    // helper so there is exactly one definition of
+                    // "swizzle, then negate, a resolved constant".
+                    LoweredSrc::Imm(crate::opt::fold_const_src(src, constants[c as usize]))
+                }
                 Reg::Temp(r) => LoweredSrc::Temp(r, src.swizzle, src.negate),
                 Reg::TexCoord(t) => LoweredSrc::Coord(t, src.swizzle, src.negate),
                 Reg::Output(o) => LoweredSrc::Out(o, src.swizzle, src.negate),

@@ -37,6 +37,7 @@ pub mod error;
 pub mod gpu;
 pub mod interp;
 pub mod isa;
+pub mod opt;
 pub mod raster;
 pub mod stream;
 pub mod texcache;
@@ -48,5 +49,6 @@ pub use counters::PassStats;
 pub use device::{CpuProfile, GpuProfile};
 pub use error::GpuError;
 pub use gpu::{Gpu, TextureId};
+pub use opt::{optimize, OptCounters, OptReport};
 pub use stream::Stream;
 pub use verify::{verify, DiagKind, Diagnostic, PassBindings, Severity};

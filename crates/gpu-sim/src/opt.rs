@@ -1,0 +1,1280 @@
+//! Lane-precise optimizing dataflow framework for the straight-line fp30 IR.
+//!
+//! The verifier ([`crate::verify`]) already computes lane-precise use/def
+//! facts to diagnose programs; this module reuses the same per-lane machinery
+//! ([`verify::read_lanes`], [`verify::dst_mask`]) to *transform* them. The
+//! framework provides the classic straight-line analyses — backward
+//! [`liveness`], forward [`reaching_defs`], and (internally) copy/constant
+//! lattices and texture-fetch availability — plus a fixpoint pipeline of
+//! **exact-preserving** rewrites driven by [`optimize`]:
+//!
+//! * constant folding/propagation into fresh `DEF`s,
+//! * copy + swizzle propagation through non-saturating `MOV`s,
+//! * common-subexpression elimination, including redundant `TEX` fetches
+//!   with identical coordinate and unit,
+//! * `MUL`+`ADD`→`MAD` and `MUL`+`DP4`(ones)→`DP4` fusion where
+//!   bit-exactness is provable,
+//! * dead-write-lane narrowing and dead-instruction elimination,
+//! * coalescing a trailing `MOV O, R` by renaming `R`'s def range onto `O`,
+//! * pruning `DEF`s left unread.
+//!
+//! Every rewrite preserves results *bit for bit* on the interpreter in
+//! [`crate::interp`]: folding evaluates through the interpreter's own
+//! [`interp::alu`]; `MAD` fusion is exact because the interpreter's `MAD` is
+//! the unfused two-rounding `a*b + c`; dot fusion only fires against a
+//! provable all-ones constant, and `x * 1.0` is the identity for every
+//! finite, infinite, and NaN input the interpreter produces. Rewrites that
+//! would *not* be exact (e.g. `x + 0.0`, which breaks `-0.0`) are never
+//! attempted. See DESIGN.md §13 for the full exactness argument.
+//!
+//! The module also hosts the cross-pass static checker
+//! ([`check_pipeline`]): a declarative producer→consumer contract over a
+//! sequence of render passes, validating binding counts, address-mode
+//! expectations, target-not-input, and stage ordering — groundwork for
+//! render-graph fusion.
+
+use crate::interp;
+use crate::isa::{
+    ConstDef, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_CONSTS, NUM_OUTPUTS, NUM_TEMPS,
+    NUM_TEXCOORDS,
+};
+use crate::texture::AddressMode;
+use crate::verify::{self, PassBindings};
+use crate::GpuProfile;
+use std::fmt;
+
+/// Fold a constant source operand against its resolved register value:
+/// apply the swizzle, then the negate — exactly the order the interpreter
+/// uses at runtime, so folded immediates are bit-identical to a live read.
+///
+/// This is the single definition of constant folding in the crate;
+/// [`crate::interp::lower`] routes its `DEF`+pass-constant folding through
+/// it as well.
+pub fn fold_const_src(src: &Src, value: [f32; 4]) -> [f32; 4] {
+    interp::swizzle_negate(src.swizzle, src.negate, value)
+}
+
+/// Positions (indices into each operand's swizzle) that `instr` reads, as a
+/// 4-bit mask. Dot products and `TEX` read fixed positions; componentwise
+/// ops read position `l` exactly when destination lane `l` is written.
+fn read_position_mask(instr: &Instr) -> u8 {
+    match instr.op {
+        Opcode::Dp3 => 0b0111,
+        Opcode::Dp4 => 0b1111,
+        Opcode::Tex => 0b0011,
+        _ => verify::dst_mask(instr),
+    }
+}
+
+fn reg_in_range(reg: Reg) -> bool {
+    match reg {
+        Reg::Temp(i) => (i as usize) < NUM_TEMPS,
+        Reg::Const(i) => (i as usize) < NUM_CONSTS,
+        Reg::TexCoord(i) => (i as usize) < NUM_TEXCOORDS,
+        Reg::Output(i) => (i as usize) < NUM_OUTPUTS,
+    }
+}
+
+/// True when the program violates a structural invariant the passes assume
+/// (operand arity, register ranges, writable destinations, `TEX` samplers).
+/// [`optimize`] returns such programs unchanged; [`crate::verify`] reports
+/// the actual errors.
+fn malformed(program: &Program) -> bool {
+    program.instrs.iter().any(|i| {
+        i.srcs.len() != i.op.arity()
+            || !matches!(i.dst.reg, Reg::Temp(_) | Reg::Output(_))
+            || !reg_in_range(i.dst.reg)
+            || i.srcs.iter().any(|s| !reg_in_range(s.reg))
+            || i.srcs.iter().any(|s| s.swizzle.0.iter().any(|&l| l > 3))
+            || (i.op == Opcode::Tex && i.sampler.is_none())
+    }) || program
+        .defs
+        .iter()
+        .any(|d| (d.index as usize) >= NUM_CONSTS)
+}
+
+// ---------------------------------------------------------------------------
+// Analyses
+// ---------------------------------------------------------------------------
+
+/// Lane-precise liveness facts for a straight-line program, computed
+/// backward from the pass's read-back outputs by [`liveness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    /// `temps_after[i][r]` = 4-bit mask of `Rr` lanes live *after* instr `i`.
+    pub temps_after: Vec<[u8; NUM_TEMPS]>,
+    /// `outputs_after[i][o]` = 4-bit mask of `Oo` lanes live after instr `i`.
+    pub outputs_after: Vec<[u8; NUM_OUTPUTS]>,
+}
+
+/// Backward lane-precise liveness. A lane is live when some later
+/// instruction (or the pass read-back, per `outputs_read`) observes it
+/// before it is overwritten. Read lanes come from [`verify::read_lanes`],
+/// so the optimizer and verifier can never disagree about what is dead.
+pub fn liveness(instrs: &[Instr], outputs_read: [bool; NUM_OUTPUTS]) -> Liveness {
+    let n = instrs.len();
+    let mut temps_after = vec![[0u8; NUM_TEMPS]; n];
+    let mut outputs_after = vec![[0u8; NUM_OUTPUTS]; n];
+    let mut live_t = [0u8; NUM_TEMPS];
+    let mut live_o = [0u8; NUM_OUTPUTS];
+    for (o, lanes) in live_o.iter_mut().zip(outputs_read) {
+        *o = if lanes { 0b1111 } else { 0 };
+    }
+    for i in (0..n).rev() {
+        temps_after[i] = live_t;
+        outputs_after[i] = live_o;
+        let instr = &instrs[i];
+        let written = verify::dst_mask(instr);
+        match instr.dst.reg {
+            Reg::Temp(r) => live_t[r as usize] &= !written,
+            Reg::Output(o) => live_o[o as usize] &= !written,
+            _ => {}
+        }
+        for si in 0..instr.srcs.len() {
+            let lanes = verify::read_lanes(instr, si);
+            match instr.srcs[si].reg {
+                Reg::Temp(r) => live_t[r as usize] |= lanes,
+                Reg::Output(o) => live_o[o as usize] |= lanes,
+                _ => {}
+            }
+        }
+    }
+    Liveness {
+        temps_after,
+        outputs_after,
+    }
+}
+
+/// Forward reaching definitions: for each instruction `i` and each temp
+/// lane, the index of the instruction whose write reaches the *start* of
+/// `i`, or `None` when the lane still holds its zero initialisation.
+pub fn reaching_defs(instrs: &[Instr]) -> Vec<[[Option<usize>; 4]; NUM_TEMPS]> {
+    let mut cur = [[None; 4]; NUM_TEMPS];
+    let mut out = Vec::with_capacity(instrs.len());
+    for (i, instr) in instrs.iter().enumerate() {
+        out.push(cur);
+        if let Reg::Temp(r) = instr.dst.reg {
+            for (lane, slot) in cur[r as usize].iter_mut().enumerate() {
+                if instr.dst.mask[lane] {
+                    *slot = Some(i);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Counters and report
+// ---------------------------------------------------------------------------
+
+/// Per-pass elimination counters accumulated by one [`optimize`] run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptCounters {
+    /// Instructions whose result was computed at optimize time and replaced
+    /// with a `MOV` from a materialised `DEF`.
+    pub consts_folded: u64,
+    /// Source operands rewritten through a copy (`MOV`) definition.
+    pub copies_propagated: u64,
+    /// ALU instructions replaced by a `MOV` from an identical earlier result.
+    pub cse_replaced: u64,
+    /// Redundant `TEX` fetches (same coordinate operand and unit) replaced.
+    pub tex_cse_replaced: u64,
+    /// `MUL`+`ADD` pairs fused into a single `MAD`.
+    pub mads_fused: u64,
+    /// `MUL`+`DP4`(all-ones) pairs fused into a single `DP4`.
+    pub dots_fused: u64,
+    /// Instructions removed because no written lane was live.
+    pub dead_instructions: u64,
+    /// Individual write lanes cleared from surviving instructions.
+    pub dead_lanes: u64,
+    /// Trailing `MOV O, R` copies removed by renaming `R` onto `O`.
+    pub outputs_coalesced: u64,
+    /// `DEF`s removed because no instruction reads the constant.
+    pub defs_removed: u64,
+}
+
+impl OptCounters {
+    /// Accumulate another run's counters into this one.
+    pub fn add(&mut self, other: &OptCounters) {
+        self.consts_folded += other.consts_folded;
+        self.copies_propagated += other.copies_propagated;
+        self.cse_replaced += other.cse_replaced;
+        self.tex_cse_replaced += other.tex_cse_replaced;
+        self.mads_fused += other.mads_fused;
+        self.dots_fused += other.dots_fused;
+        self.dead_instructions += other.dead_instructions;
+        self.dead_lanes += other.dead_lanes;
+        self.outputs_coalesced += other.outputs_coalesced;
+        self.defs_removed += other.defs_removed;
+    }
+
+    /// `(label, count)` pairs in a stable order, for reports and JSON.
+    pub fn entries(&self) -> [(&'static str, u64); 10] {
+        [
+            ("consts_folded", self.consts_folded),
+            ("copies_propagated", self.copies_propagated),
+            ("cse_replaced", self.cse_replaced),
+            ("tex_cse_replaced", self.tex_cse_replaced),
+            ("mads_fused", self.mads_fused),
+            ("dots_fused", self.dots_fused),
+            ("dead_instructions", self.dead_instructions),
+            ("dead_lanes", self.dead_lanes),
+            ("outputs_coalesced", self.outputs_coalesced),
+            ("defs_removed", self.defs_removed),
+        ]
+    }
+}
+
+/// Before/after summary of one [`optimize`] run on one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptReport {
+    /// Program name (`Program::name`).
+    pub name: String,
+    /// Instruction count before optimization.
+    pub before: usize,
+    /// Instruction count after optimization.
+    pub after: usize,
+    /// What each pass eliminated.
+    pub counters: OptCounters,
+}
+
+impl fmt::Display for OptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} instructions",
+            self.name, self.before, self.after
+        )?;
+        let mut any = false;
+        for (label, count) in self.counters.entries() {
+            if count > 0 {
+                write!(f, "{} {label} {count}", if any { "," } else { " (" })?;
+                any = true;
+            }
+        }
+        if any {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The optimizer
+// ---------------------------------------------------------------------------
+
+/// Upper bound on fixpoint rounds; each round either changes the program or
+/// terminates the loop, and every rewrite strictly reduces instructions,
+/// operand indirections, or unknown lattice entries, so this is never hit
+/// in practice.
+const MAX_ROUNDS: usize = 8;
+
+/// Optimize `program` for execution under `bindings`, preserving results
+/// bit for bit.
+///
+/// `bindings` matters twice: pass-bound constant registers have unknown
+/// values (never folded), and `outputs_read` seeds liveness for dead-code
+/// elimination. Returns the optimized program and an [`OptReport`].
+/// Structurally malformed programs (which [`crate::verify`] rejects) are
+/// returned unchanged.
+pub fn optimize(program: &Program, bindings: &PassBindings) -> (Program, OptReport) {
+    let mut p = program.clone();
+    let mut counters = OptCounters::default();
+    let before = p.instrs.len();
+    if !malformed(&p) {
+        for _ in 0..MAX_ROUNDS {
+            let mut changed = false;
+            changed |= propagate(&mut p, bindings, &mut counters);
+            changed |= cse(&mut p, &mut counters);
+            changed |= fuse(&mut p, bindings, &mut counters);
+            changed |= dce(&mut p, bindings, &mut counters);
+            changed |= coalesce_output(&mut p, &mut counters);
+            if !changed {
+                break;
+            }
+        }
+        prune_defs(&mut p, &mut counters);
+    }
+    let report = OptReport {
+        name: p.name.clone(),
+        before,
+        after: p.instrs.len(),
+        counters,
+    };
+    (p, report)
+}
+
+/// One lane of the copy lattice: "this lane currently equals
+/// `±source_reg.lane`".
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CopyLane {
+    reg: Reg,
+    lane: u8,
+    negate: bool,
+}
+
+/// Combined forward copy/constant propagation and constant folding.
+///
+/// A single in-order scan maintains, per temp lane, (a) a copy fact from
+/// the latest non-saturating `MOV`, used to rewrite later reads through the
+/// copy, and (b) a constant value when one is statically known, used to
+/// evaluate instructions whose read lanes are all known. Folded results are
+/// materialised as fresh `DEF`s (reusing a bit-identical existing `DEF` or
+/// a free constant register) and replaced with a `MOV`; copy propagation
+/// then forwards them and DCE removes the `MOV` when it dies.
+fn propagate(p: &mut Program, bindings: &PassBindings, counters: &mut OptCounters) -> bool {
+    let mut defv = [None::<[f32; 4]>; NUM_CONSTS];
+    for d in &p.defs {
+        defv[d.index as usize] = Some(d.value);
+    }
+    for &c in &bindings.constants {
+        if (c as usize) < NUM_CONSTS {
+            defv[c as usize] = None; // pass-bound: value unknown at optimize time
+        }
+    }
+    let mut copy = [[None::<CopyLane>; 4]; NUM_TEMPS];
+    let mut konst = [[None::<f32>; 4]; NUM_TEMPS];
+    let mut new_defs: Vec<ConstDef> = Vec::new();
+    let mut changed = false;
+
+    for instr in &mut p.instrs {
+        let positions = read_position_mask(instr);
+
+        // --- Copy propagation: rewrite each operand through the lattice.
+        for src in &mut instr.srcs {
+            let Reg::Temp(r) = src.reg else { continue };
+            let mut target: Option<(Reg, bool)> = None;
+            let mut new_lanes = [0u8; 4];
+            let mut ok = true;
+            for pos in 0..4 {
+                if positions & (1 << pos) == 0 {
+                    continue;
+                }
+                match copy[r as usize][src.swizzle.0[pos] as usize] {
+                    Some(fact) => {
+                        if let Some((reg, neg)) = target {
+                            if reg != fact.reg || neg != fact.negate {
+                                ok = false;
+                                break;
+                            }
+                        } else {
+                            target = Some((fact.reg, fact.negate));
+                        }
+                        new_lanes[pos] = fact.lane;
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let Some((reg, neg)) = target else { continue };
+            if !ok {
+                continue;
+            }
+            // Fill unread positions with the first read position's lane so
+            // the swizzle stays well-formed without widening what is read.
+            let fill = (0..4)
+                .find(|pos| positions & (1 << pos) != 0)
+                .map(|pos| new_lanes[pos])
+                .unwrap_or(0);
+            for (pos, lane) in new_lanes.iter_mut().enumerate() {
+                if positions & (1 << pos) == 0 {
+                    *lane = fill;
+                }
+            }
+            let rewritten = Src {
+                reg,
+                swizzle: Swizzle(new_lanes),
+                negate: src.negate ^ neg,
+            };
+            if rewritten != *src {
+                *src = rewritten;
+                counters.copies_propagated += 1;
+                changed = true;
+            }
+        }
+
+        // --- Constant folding: evaluate when every read lane is known.
+        let already_folded = instr.op == Opcode::Mov && matches!(instr.srcs[0].reg, Reg::Const(_));
+        if instr.op != Opcode::Tex && !already_folded {
+            let all_known = instr.srcs.iter().all(|src| {
+                (0..4).all(|pos| {
+                    positions & (1 << pos) == 0 || known_pos(&defv, &konst, src, pos).is_some()
+                })
+            });
+            if all_known {
+                let vecs: Vec<[f32; 4]> = instr
+                    .srcs
+                    .iter()
+                    .map(|src| {
+                        let mut v = [0.0f32; 4];
+                        for (pos, slot) in v.iter_mut().enumerate() {
+                            if positions & (1 << pos) != 0 {
+                                *slot = known_pos(&defv, &konst, src, pos).unwrap();
+                            }
+                        }
+                        v
+                    })
+                    .collect();
+                let mut result = interp::alu(instr.op, |i| vecs[i]);
+                if instr.dst.saturate {
+                    result = result.map(|v| v.clamp(0.0, 1.0));
+                }
+                let mut stored = [0.0f32; 4];
+                for (lane, slot) in stored.iter_mut().enumerate() {
+                    if instr.dst.mask[lane] {
+                        *slot = result[lane];
+                    }
+                }
+                if let Some(index) = materialize(&p.defs, &mut new_defs, bindings, stored) {
+                    instr.op = Opcode::Mov;
+                    instr.srcs = vec![Src {
+                        reg: Reg::Const(index),
+                        swizzle: Swizzle::IDENTITY,
+                        negate: false,
+                    }];
+                    instr.sampler = None;
+                    instr.dst.saturate = false;
+                    defv[index as usize] = Some(stored);
+                    counters.consts_folded += 1;
+                    changed = true;
+                }
+            }
+        }
+
+        // --- Lattice update for this (possibly rewritten) instruction.
+        let written = verify::dst_mask(instr);
+        if let Reg::Temp(d) = instr.dst.reg {
+            // Kill copies whose source lanes are being overwritten.
+            for lanes in copy.iter_mut() {
+                for slot in lanes.iter_mut() {
+                    if let Some(fact) = slot {
+                        if fact.reg == Reg::Temp(d) && written & (1 << fact.lane) != 0 {
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            let is_copy = instr.op == Opcode::Mov
+                && !instr.dst.saturate
+                && instr.srcs[0].reg != Reg::Temp(d)
+                && matches!(
+                    instr.srcs[0].reg,
+                    Reg::Temp(_) | Reg::TexCoord(_) | Reg::Const(_)
+                );
+            for lane in 0..4 {
+                if written & (1 << lane) == 0 {
+                    continue;
+                }
+                let src = &instr.srcs[0];
+                copy[d as usize][lane] = if is_copy {
+                    Some(CopyLane {
+                        reg: src.reg,
+                        lane: src.swizzle.0[lane],
+                        negate: src.negate,
+                    })
+                } else {
+                    None
+                };
+                konst[d as usize][lane] = if instr.op == Opcode::Mov {
+                    known_pos(&defv, &konst, src, lane).map(|v| {
+                        if instr.dst.saturate {
+                            v.clamp(0.0, 1.0)
+                        } else {
+                            v
+                        }
+                    })
+                } else {
+                    None
+                };
+            }
+        }
+    }
+    p.defs.extend(new_defs);
+    changed
+}
+
+/// Resolve one operand position of `src` to a statically known value, if
+/// any: constants through the `DEF` environment, temps through the constant
+/// lattice, with the operand's negate applied after the swizzle.
+fn known_pos(
+    defv: &[Option<[f32; 4]>; NUM_CONSTS],
+    konst: &[[Option<f32>; 4]; NUM_TEMPS],
+    src: &Src,
+    pos: usize,
+) -> Option<f32> {
+    let lane = src.swizzle.0[pos] as usize;
+    let v = match src.reg {
+        Reg::Const(c) => defv[c as usize].map(|v| v[lane]),
+        Reg::Temp(r) => konst[r as usize][lane],
+        _ => None,
+    }?;
+    Some(if src.negate { -v } else { v })
+}
+
+/// Find a constant register holding exactly `value` (bit-compared), or
+/// allocate a free one. Returns `None` when every register is taken.
+fn materialize(
+    defs: &[ConstDef],
+    new_defs: &mut Vec<ConstDef>,
+    bindings: &PassBindings,
+    value: [f32; 4],
+) -> Option<u8> {
+    let bits = value.map(f32::to_bits);
+    for d in defs.iter().chain(new_defs.iter()) {
+        if d.value.map(f32::to_bits) == bits {
+            return Some(d.index);
+        }
+    }
+    let mut taken = [false; NUM_CONSTS];
+    for d in defs.iter().chain(new_defs.iter()) {
+        taken[d.index as usize] = true;
+    }
+    for &c in &bindings.constants {
+        if (c as usize) < NUM_CONSTS {
+            taken[c as usize] = true;
+        }
+    }
+    let free = taken.iter().position(|t| !t)? as u8;
+    new_defs.push(ConstDef {
+        index: free,
+        value,
+        line: 0,
+    });
+    Some(free)
+}
+
+/// Common-subexpression elimination, including redundant `TEX` fetches.
+///
+/// A forward scan keeps an availability table of full-mask, non-saturating
+/// temp-destination computations keyed on `(op, operands, sampler)`; a later
+/// instruction with an identical key is replaced by a `MOV` from the holder
+/// (which recovers the identical 4-lane value bit for bit). Entries are
+/// invalidated when any operand register or the holder is overwritten.
+fn cse(p: &mut Program, counters: &mut OptCounters) -> bool {
+    type Key = (Opcode, Vec<(Reg, [u8; 4], bool)>, Option<u8>);
+    let mut avail: Vec<(Key, u8)> = Vec::new();
+    let mut changed = false;
+    for instr in &mut p.instrs {
+        let key: Key = (
+            instr.op,
+            instr
+                .srcs
+                .iter()
+                .map(|s| (s.reg, s.swizzle.0, s.negate))
+                .collect(),
+            instr.sampler,
+        );
+        if instr.op != Opcode::Mov {
+            if let Some((_, holder)) = avail.iter().find(|(k, _)| *k == key) {
+                let replacement = Src {
+                    reg: Reg::Temp(*holder),
+                    swizzle: Swizzle::IDENTITY,
+                    negate: false,
+                };
+                if instr.dst.reg != Reg::Temp(*holder) {
+                    if instr.op == Opcode::Tex {
+                        counters.tex_cse_replaced += 1;
+                    } else {
+                        counters.cse_replaced += 1;
+                    }
+                    instr.op = Opcode::Mov;
+                    instr.srcs = vec![replacement];
+                    instr.sampler = None;
+                    changed = true;
+                }
+            }
+        }
+        // Invalidate everything the write clobbers, then register the
+        // instruction as a provider when it computes all four lanes.
+        let dst = instr.dst.reg;
+        avail.retain(|(k, holder)| {
+            Reg::Temp(*holder) != dst && k.1.iter().all(|(reg, _, _)| *reg != dst)
+        });
+        if let Reg::Temp(holder) = instr.dst.reg {
+            let full = instr.dst.mask == [true; 4];
+            let self_ref = instr.srcs.iter().any(|s| s.reg == Reg::Temp(holder));
+            if full && !instr.dst.saturate && !self_ref && instr.op != Opcode::Mov {
+                let key: Key = (
+                    instr.op,
+                    instr
+                        .srcs
+                        .iter()
+                        .map(|s| (s.reg, s.swizzle.0, s.negate))
+                        .collect(),
+                    instr.sampler,
+                );
+                avail.push((key, holder));
+            }
+        }
+    }
+    changed
+}
+
+/// Compose `base`'s swizzle with an outer read swizzle: position `p` of the
+/// fused operand reads what `outer[p]` read of `base`.
+fn compose(base: &Src, outer: Swizzle) -> Src {
+    Src {
+        reg: base.reg,
+        swizzle: Swizzle(outer.0.map(|l| base.swizzle.0[l as usize])),
+        negate: base.negate,
+    }
+}
+
+/// `MUL`+`ADD`→`MAD` and `MUL`+`DP4`(all-ones)→`DP4` fusion.
+///
+/// Both rewrites are exact: the interpreter's `MAD` is the unfused
+/// two-rounding `a*b + c`, so `MAD` recomputes the identical product and
+/// sum; dot fusion drops a `* 1.0` per term, which is the identity on every
+/// value. Fusion requires the `MUL` result to be consumed *only* by the
+/// fused instruction (no reads in between, dead after), its operands to be
+/// unmodified in between, and no negation on the consumed operand (negating
+/// before vs. after a multiply can differ in NaN sign propagation).
+fn fuse(p: &mut Program, bindings: &PassBindings, counters: &mut OptCounters) -> bool {
+    let mut defv = [None::<[f32; 4]>; NUM_CONSTS];
+    for d in &p.defs {
+        defv[d.index as usize] = Some(d.value);
+    }
+    for &c in &bindings.constants {
+        if (c as usize) < NUM_CONSTS {
+            defv[c as usize] = None;
+        }
+    }
+    let mut any = false;
+    // One fusion per iteration: indices shift after the removal, so rebuild
+    // the reaching-defs table and rescan until no pair fuses.
+    loop {
+        let rd = reaching_defs(&p.instrs);
+        let mut action: Option<(usize, usize, Instr)> = None;
+        for (i, instr) in p.instrs.iter().enumerate() {
+            let is_add = instr.op == Opcode::Add;
+            let is_dot = instr.op == Opcode::Dp4;
+            if !is_add && !is_dot {
+                continue;
+            }
+            let Reg::Temp(r) = instr.srcs[0].reg else {
+                continue;
+            };
+            if instr.srcs[0].negate || instr.srcs[1].reg == Reg::Temp(r) {
+                continue;
+            }
+            if is_dot {
+                // The second operand must be a provable all-ones constant.
+                let s1 = &instr.srcs[1];
+                let Reg::Const(c) = s1.reg else { continue };
+                let Some(v) = defv[c as usize] else { continue };
+                if s1.negate
+                    || !s1
+                        .swizzle
+                        .0
+                        .iter()
+                        .all(|&l| v[l as usize].to_bits() == 1.0f32.to_bits())
+                {
+                    continue;
+                }
+            }
+            // All four lanes of r must be defined by one full MUL.
+            let lanes = rd[i][r as usize];
+            let Some(j) = lanes[0] else { continue };
+            if lanes.iter().any(|&l| l != Some(j)) {
+                continue;
+            }
+            let mul = &p.instrs[j];
+            if mul.op != Opcode::Mul || mul.dst.saturate || mul.dst.mask != [true; 4] {
+                continue;
+            }
+            // Between the MUL and here: r unread, MUL operands unmodified.
+            let clobbered = p.instrs[j + 1..i].iter().any(|b| {
+                b.srcs.iter().any(|s| s.reg == Reg::Temp(r))
+                    || mul.srcs.iter().any(|s| s.reg == b.dst.reg)
+            });
+            // The MUL result must be unobservable once `i` executes. A full
+            // write-back into `r` itself (the common accumulator shape
+            // `MUL R, a, b; DP4 R, R, ones`) buries it immediately.
+            let r_buried = instr.dst.reg == Reg::Temp(r) && instr.dst.mask == [true; 4];
+            if clobbered || !(r_buried || reg_dead_after(&p.instrs, i, r)) {
+                continue;
+            }
+            let outer = instr.srcs[0].swizzle;
+            let mut fused = instr.clone();
+            if is_add {
+                fused.op = Opcode::Mad;
+                fused.srcs = vec![
+                    compose(&mul.srcs[0], outer),
+                    compose(&mul.srcs[1], outer),
+                    instr.srcs[1],
+                ];
+            } else {
+                fused.srcs = vec![compose(&mul.srcs[0], outer), compose(&mul.srcs[1], outer)];
+            }
+            action = Some((i, j, fused));
+            break;
+        }
+        let Some((i, j, fused)) = action else {
+            return any;
+        };
+        let fused_to_mad = fused.op == Opcode::Mad;
+        p.instrs[i] = fused;
+        p.instrs.remove(j);
+        if fused_to_mad {
+            counters.mads_fused += 1;
+        } else {
+            counters.dots_fused += 1;
+        }
+        any = true;
+    }
+}
+
+/// True when no later instruction can observe `Rr` as written at `i`:
+/// either nothing mentions it again, or the next mention is a full
+/// overwrite. Partial overwrites are conservatively treated as live.
+fn reg_dead_after(instrs: &[Instr], i: usize, r: u8) -> bool {
+    for instr in &instrs[i + 1..] {
+        if instr.srcs.iter().any(|s| s.reg == Reg::Temp(r)) {
+            return false;
+        }
+        if instr.dst.reg == Reg::Temp(r) {
+            return instr.dst.mask == [true; 4];
+        }
+    }
+    true
+}
+
+/// Dead-instruction elimination and dead-write-lane narrowing, in one
+/// backward walk seeded from `bindings.outputs_read`.
+fn dce(p: &mut Program, bindings: &PassBindings, counters: &mut OptCounters) -> bool {
+    let mut live_t = [0u8; NUM_TEMPS];
+    let mut live_o = [0u8; NUM_OUTPUTS];
+    for (o, read) in live_o.iter_mut().zip(bindings.outputs_read) {
+        *o = if read { 0b1111 } else { 0 };
+    }
+    let mut changed = false;
+    let mut keep: Vec<Instr> = Vec::with_capacity(p.instrs.len());
+    for mut instr in p.instrs.drain(..).rev() {
+        let written = verify::dst_mask(&instr);
+        let live = match instr.dst.reg {
+            Reg::Temp(r) => live_t[r as usize],
+            Reg::Output(o) => live_o[o as usize],
+            _ => 0b1111,
+        };
+        if written & live == 0 {
+            counters.dead_instructions += 1;
+            changed = true;
+            continue;
+        }
+        if written & !live != 0 {
+            counters.dead_lanes += u64::from((written & !live).count_ones());
+            for (lane, m) in instr.dst.mask.iter_mut().enumerate() {
+                *m = *m && live & (1 << lane) != 0;
+            }
+            changed = true;
+        }
+        match instr.dst.reg {
+            Reg::Temp(r) => live_t[r as usize] &= !verify::dst_mask(&instr),
+            Reg::Output(o) => live_o[o as usize] &= !verify::dst_mask(&instr),
+            _ => {}
+        }
+        for si in 0..instr.srcs.len() {
+            let lanes = verify::read_lanes(&instr, si);
+            match instr.srcs[si].reg {
+                Reg::Temp(r) => live_t[r as usize] |= lanes,
+                Reg::Output(o) => live_o[o as usize] |= lanes,
+                _ => {}
+            }
+        }
+        keep.push(instr);
+    }
+    keep.reverse();
+    p.instrs = keep;
+    changed
+}
+
+/// Coalesce a `MOV O, R` (full mask, identity, no negate/saturate) whose
+/// temp `R` is mentioned nowhere after it and whose output `O` is mentioned
+/// nowhere else: rename `R` to `O` throughout the def range and drop the
+/// `MOV`. Exact because temps and outputs share identical zero-initialised
+/// storage semantics in the interpreter.
+fn coalesce_output(p: &mut Program, counters: &mut OptCounters) -> bool {
+    let mut target: Option<(usize, u8, u8)> = None;
+    for (i, instr) in p.instrs.iter().enumerate() {
+        let Reg::Output(o) = instr.dst.reg else {
+            continue;
+        };
+        if instr.op != Opcode::Mov
+            || instr.dst.mask != [true; 4]
+            || instr.dst.saturate
+            || instr.srcs[0].negate
+            || !instr.srcs[0].swizzle.is_identity()
+        {
+            continue;
+        }
+        let Reg::Temp(r) = instr.srcs[0].reg else {
+            continue;
+        };
+        let r_escapes = p.instrs.iter().enumerate().any(|(k, b)| {
+            k > i && (b.dst.reg == Reg::Temp(r) || b.srcs.iter().any(|s| s.reg == Reg::Temp(r)))
+        });
+        let o_elsewhere = p.instrs.iter().enumerate().any(|(k, b)| {
+            k != i
+                && (b.dst.reg == Reg::Output(o) || b.srcs.iter().any(|s| s.reg == Reg::Output(o)))
+        });
+        let r_written = p.instrs[..i].iter().any(|b| b.dst.reg == Reg::Temp(r));
+        if !r_escapes && !o_elsewhere && r_written {
+            target = Some((i, r, o));
+            break;
+        }
+    }
+    let Some((i, r, o)) = target else {
+        return false;
+    };
+    for instr in &mut p.instrs[..i] {
+        if instr.dst.reg == Reg::Temp(r) {
+            instr.dst.reg = Reg::Output(o);
+        }
+        for src in &mut instr.srcs {
+            if src.reg == Reg::Temp(r) {
+                src.reg = Reg::Output(o);
+            }
+        }
+    }
+    p.instrs.remove(i);
+    counters.outputs_coalesced += 1;
+    true
+}
+
+/// Remove `DEF`s whose constant register is never read, so optimized
+/// programs stay free of `unused-const` lint warnings.
+fn prune_defs(p: &mut Program, counters: &mut OptCounters) {
+    let mut read = [false; NUM_CONSTS];
+    for instr in &p.instrs {
+        for src in &instr.srcs {
+            if let Reg::Const(c) = src.reg {
+                read[c as usize] = true;
+            }
+        }
+    }
+    let before = p.defs.len();
+    p.defs.retain(|d| read[d.index as usize]);
+    counters.defs_removed += (before - p.defs.len()) as u64;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-pass pipeline contract checker
+// ---------------------------------------------------------------------------
+
+/// Declared properties of one texture resource flowing between pipeline
+/// stages.
+#[derive(Debug, Clone)]
+pub struct ResourceDecl {
+    /// Unique resource name referenced by [`StageContract`]s.
+    pub name: String,
+    /// Address mode the texture is configured with.
+    pub mode: AddressMode,
+}
+
+/// One stage of a multi-pass pipeline contract: the program it runs, the
+/// bindings it runs under, and the resources it consumes and produces.
+#[derive(Debug, Clone)]
+pub struct StageContract {
+    /// Stage name, used in error messages.
+    pub name: String,
+    /// The fragment program this stage shades with.
+    pub program: Program,
+    /// Exact pass bindings the stage runs under.
+    pub bindings: PassBindings,
+    /// One entry per bound sampler, in sampler order: the resource name and
+    /// the address mode the program's fetch pattern requires (if any).
+    pub inputs: Vec<(String, Option<AddressMode>)>,
+    /// The resource this stage renders into.
+    pub output: String,
+}
+
+/// Statically validate producer→consumer contracts across a pipeline.
+///
+/// Checks, per stage: the program verifies error-free under its bindings;
+/// the sampler count matches the declared inputs; the render target is not
+/// simultaneously bound as an input; every referenced resource is declared;
+/// each input's required address mode matches the resource's declared mode;
+/// and any input produced by the pipeline is produced by an *earlier* stage.
+/// Returns human-readable errors — empty means the pipeline is accepted.
+pub fn check_pipeline(
+    profile: &GpuProfile,
+    resources: &[ResourceDecl],
+    stages: &[StageContract],
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (i, r) in resources.iter().enumerate() {
+        if resources[..i].iter().any(|prev| prev.name == r.name) {
+            errors.push(format!("resource `{}` declared twice", r.name));
+        }
+    }
+    let find = |name: &str| resources.iter().find(|r| r.name == name);
+    // First stage index producing each resource name.
+    let producer = |name: &str| stages.iter().position(|s| s.output == name);
+    for (k, stage) in stages.iter().enumerate() {
+        let diags = verify::verify(&stage.program, profile, Some(&stage.bindings));
+        for d in diags
+            .iter()
+            .filter(|d| d.severity == verify::Severity::Error)
+        {
+            errors.push(format!("stage `{}`: {}", stage.name, d.message));
+        }
+        if stage.inputs.len() != stage.bindings.samplers {
+            errors.push(format!(
+                "stage `{}`: {} input(s) declared but bindings specify {} sampler(s)",
+                stage.name,
+                stage.inputs.len(),
+                stage.bindings.samplers
+            ));
+        }
+        if find(&stage.output).is_none() {
+            errors.push(format!(
+                "stage `{}`: output resource `{}` is not declared",
+                stage.name, stage.output
+            ));
+        }
+        for (si, (input, required)) in stage.inputs.iter().enumerate() {
+            if input == &stage.output {
+                errors.push(format!(
+                    "stage `{}`: renders into `{}` while sampling it via tex{si}",
+                    stage.name, stage.output
+                ));
+            }
+            let Some(decl) = find(input) else {
+                errors.push(format!(
+                    "stage `{}`: input resource `{input}` is not declared",
+                    stage.name
+                ));
+                continue;
+            };
+            if let Some(required) = required {
+                if *required != decl.mode {
+                    errors.push(format!(
+                        "stage `{}`: tex{si} (`{input}`) requires address mode {required:?} \
+                         but the resource is declared {:?}",
+                        stage.name, decl.mode
+                    ));
+                }
+            }
+            if let Some(pk) = producer(input) {
+                if pk >= k {
+                    errors.push(format!(
+                        "stage `{}`: consumes `{input}` which is first produced by later \
+                         stage `{}`",
+                        stage.name, stages[pk].name
+                    ));
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::interp::{execute, resolve_constants, FragmentInput};
+    use crate::texture::Texture2D;
+    use crate::verify::has_errors;
+
+    fn bindings() -> PassBindings {
+        PassBindings {
+            samplers: 2,
+            texcoord_sets: 2,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        }
+    }
+
+    /// Optimize under `b` and assert bit-identical O0 on a spread of inputs.
+    fn assert_exact(src: &str, b: &PassBindings) -> (Program, OptReport) {
+        let program = assemble(src).unwrap();
+        let (opt, report) = optimize(&program, b);
+        let t0 = Texture2D::from_flat(
+            4,
+            4,
+            &(0..64).map(|i| i as f32 * 0.3 - 3.0).collect::<Vec<_>>(),
+        );
+        let t1 = Texture2D::from_flat(
+            4,
+            4,
+            &(0..64)
+                .map(|i| (i * 5 % 11) as f32 * 0.7)
+                .collect::<Vec<_>>(),
+        );
+        let ca = resolve_constants(&program, &[]);
+        let cb = resolve_constants(&opt, &[]);
+        for &(u, v) in &[(0.1f32, 0.9f32), (0.6, 0.2), (0.95, 0.55)] {
+            let mut input = FragmentInput::zero();
+            input.texcoords[0] = [u, v, 0.0, 1.0];
+            input.texcoords[1] = [v, u, 0.0, 1.0];
+            let a = execute(&program, &input, &ca, &[&t0, &t1], None);
+            let o = execute(&opt, &input, &cb, &[&t0, &t1], None);
+            assert_eq!(
+                a.colors[0].map(f32::to_bits),
+                o.colors[0].map(f32::to_bits),
+                "results diverged for {}",
+                program.name
+            );
+        }
+        assert!(
+            !has_errors(&verify::verify(&opt, &GpuProfile::fx5950_ultra(), Some(b))),
+            "optimized program fails verification"
+        );
+        (opt, report)
+    }
+
+    #[test]
+    fn copy_propagation_removes_the_copy() {
+        let (opt, report) = assert_exact(
+            "TEX R0, T0, tex0\nMOV R1, R0\nADD OC, R1, R1.x",
+            &bindings(),
+        );
+        assert_eq!(opt.len(), 2, "{}", opt.to_asm());
+        assert!(report.counters.copies_propagated >= 1);
+        assert_eq!(report.counters.dead_instructions, 1);
+    }
+
+    #[test]
+    fn swizzle_and_negate_compose_through_copies() {
+        let (opt, _) = assert_exact(
+            "TEX R0, T0, tex0\nMOV R1, -R0.yzwx\nSUB OC, T1, -R1.wxyz",
+            &bindings(),
+        );
+        assert_eq!(opt.len(), 2, "{}", opt.to_asm());
+        // -(-R0.yzwx).wxyz == R0.xyzw read through the composed swizzle.
+        assert_eq!(opt.instrs[1].srcs[1].reg, Reg::Temp(0));
+        assert!(!opt.instrs[1].srcs[1].negate);
+    }
+
+    #[test]
+    fn constant_folding_materialises_a_def() {
+        let (opt, report) = assert_exact(
+            "DEF C0, 2, 3, 4, 5\nADD R0, C0, C0\nMUL OC, T0, R0",
+            &bindings(),
+        );
+        assert_eq!(report.counters.consts_folded, 1);
+        assert_eq!(opt.len(), 1, "{}", opt.to_asm());
+        // The folded vector reaches the MUL directly from a DEF.
+        assert!(matches!(opt.instrs[0].srcs[1].reg, Reg::Const(_)));
+        let c = match opt.instrs[0].srcs[1].reg {
+            Reg::Const(c) => c,
+            _ => unreachable!(),
+        };
+        let def = opt.defs.iter().find(|d| d.index == c).unwrap();
+        assert_eq!(def.value, [4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn pass_bound_constants_are_never_folded() {
+        let mut b = bindings();
+        b.constants = vec![0];
+        let (opt, report) = assert_exact("ADD R0, C0, C0\nMUL OC, T0, R0", &b);
+        assert_eq!(report.counters.consts_folded, 0);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn tex_cse_removes_the_duplicate_fetch() {
+        let (opt, report) = assert_exact(
+            "TEX R0, T0, tex0\nTEX R1, T0, tex0\nADD OC, R0, R1",
+            &bindings(),
+        );
+        assert_eq!(report.counters.tex_cse_replaced, 1);
+        assert_eq!(opt.tex_count(), 1, "{}", opt.to_asm());
+    }
+
+    #[test]
+    fn mul_add_fuses_to_mad() {
+        let (opt, report) = assert_exact(
+            "TEX R0, T0, tex0\nTEX R1, T1, tex1\nMUL R2, R0, R1\nADD OC, R2, R1",
+            &bindings(),
+        );
+        assert_eq!(report.counters.mads_fused, 1);
+        assert_eq!(opt.len(), 3, "{}", opt.to_asm());
+        assert_eq!(opt.instrs[2].op, Opcode::Mad);
+    }
+
+    #[test]
+    fn mul_dp4_ones_fuses_to_dp4() {
+        let (opt, report) = assert_exact(
+            "DEF C1, 1, 1, 1, 1\nTEX R0, T0, tex0\nTEX R1, T1, tex1\n\
+             MUL R2, R0, R1\nDP4 R3, R2, C1\nADD OC, R3, R0",
+            &bindings(),
+        );
+        assert_eq!(report.counters.dots_fused, 1);
+        assert_eq!(opt.len(), 4, "{}", opt.to_asm());
+        // The all-ones DEF dies with the fusion.
+        assert_eq!(report.counters.defs_removed, 1);
+    }
+
+    #[test]
+    fn accumulator_shaped_dot_fuses_despite_later_reads() {
+        // `MUL R2, a, b; DP4 R2, R2, ones` fully buries the MUL result in
+        // the DP4's own write-back, so the later read of R2 observes the
+        // dot product, never the product vector — fusion is legal.
+        let (opt, report) = assert_exact(
+            "DEF C1, 1, 1, 1, 1\nTEX R0, T0, tex0\nTEX R1, T1, tex1\n\
+             MUL R2, R0, R1\nDP4 R2, R2, C1\nADD OC, R2, R0",
+            &bindings(),
+        );
+        assert_eq!(report.counters.dots_fused, 1, "{}", opt.to_asm());
+        assert_eq!(opt.len(), 4, "{}", opt.to_asm());
+    }
+
+    #[test]
+    fn fusion_refuses_when_the_mul_result_is_still_read() {
+        let (opt, report) = assert_exact(
+            "TEX R0, T0, tex0\nTEX R1, T1, tex1\nMUL R2, R0, R1\n\
+             ADD R3, R2, R1\nADD OC, R3, R2",
+            &bindings(),
+        );
+        assert_eq!(report.counters.mads_fused, 0);
+        assert_eq!(opt.len(), 5);
+    }
+
+    #[test]
+    fn dead_lanes_and_instructions_are_eliminated() {
+        let b = bindings();
+        let program = assemble("TEX R0, T0, tex0\nADD R1, R0, R0\nMOV OC.x, R0").unwrap();
+        let (opt, report) = optimize(&program, &b);
+        // ADD R1 is never read; OC.x only needs lane x of the TEX.
+        assert_eq!(report.counters.dead_instructions, 1);
+        assert!(opt.len() <= 2, "{}", opt.to_asm());
+    }
+
+    #[test]
+    fn output_coalescing_renames_the_def_range() {
+        let (opt, report) = assert_exact(
+            "DEF C0, 0, 0, 0, 0\nTEX R0, T0, tex0\nMOV R1, R0.x\nMOV R1.yw, C0\nMOV OC, R1",
+            &bindings(),
+        );
+        assert_eq!(report.counters.outputs_coalesced, 1);
+        assert_eq!(opt.len(), 3, "{}", opt.to_asm());
+        assert!(opt
+            .instrs
+            .iter()
+            .any(|i| i.dst.reg == Reg::Output(0) && i.dst.mask != [true; 4]));
+    }
+
+    #[test]
+    fn malformed_programs_are_returned_unchanged() {
+        let mut program = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        program.instrs[0].sampler = None; // structurally broken TEX
+        let (opt, report) = optimize(&program, &bindings());
+        assert_eq!(opt, program);
+        assert_eq!(report.before, report.after);
+        assert_eq!(report.counters, OptCounters::default());
+    }
+
+    #[test]
+    fn liveness_and_reaching_defs_agree_with_the_verifier_helpers() {
+        let p = assemble("TEX R0, T0, tex0\nMOV R1, R0\nADD OC, R1, R0").unwrap();
+        let live = liveness(&p.instrs, [true, false, false, false]);
+        // After the TEX, both R0 (read twice) and nothing else is live.
+        assert_eq!(live.temps_after[0][0], 0b1111);
+        assert_eq!(live.temps_after[1][1], 0b1111);
+        assert_eq!(live.temps_after[2][0], 0);
+        let rd = reaching_defs(&p.instrs);
+        assert_eq!(rd[1][0], [Some(0); 4]);
+        assert_eq!(rd[2][1], [Some(1); 4]);
+    }
+
+    #[test]
+    fn checker_accepts_a_well_formed_two_stage_chain() {
+        let resources = vec![
+            ResourceDecl {
+                name: "src".into(),
+                mode: AddressMode::ClampToEdge,
+            },
+            ResourceDecl {
+                name: "mid".into(),
+                mode: AddressMode::ClampToEdge,
+            },
+            ResourceDecl {
+                name: "dst".into(),
+                mode: AddressMode::ClampToEdge,
+            },
+        ];
+        let program = assemble("TEX R0, T0, tex0\nADD OC, R0, R0").unwrap();
+        let b = PassBindings {
+            samplers: 1,
+            texcoord_sets: 1,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        };
+        let stages = vec![
+            StageContract {
+                name: "first".into(),
+                program: program.clone(),
+                bindings: b.clone(),
+                inputs: vec![("src".into(), Some(AddressMode::ClampToEdge))],
+                output: "mid".into(),
+            },
+            StageContract {
+                name: "second".into(),
+                program,
+                bindings: b,
+                inputs: vec![("mid".into(), None)],
+                output: "dst".into(),
+            },
+        ];
+        let errors = check_pipeline(&GpuProfile::fx5950_ultra(), &resources, &stages);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn checker_rejects_mode_mismatch_feedback_and_misorder() {
+        let resources = vec![
+            ResourceDecl {
+                name: "src".into(),
+                mode: AddressMode::Repeat,
+            },
+            ResourceDecl {
+                name: "dst".into(),
+                mode: AddressMode::ClampToEdge,
+            },
+        ];
+        let program = assemble("TEX R0, T0, tex0\nADD OC, R0, R0").unwrap();
+        let b = PassBindings {
+            samplers: 1,
+            texcoord_sets: 1,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        };
+        let stage = |name: &str, input: &str, required, output: &str| StageContract {
+            name: name.into(),
+            program: program.clone(),
+            bindings: b.clone(),
+            inputs: vec![(input.into(), required)],
+            output: output.into(),
+        };
+        // Address-mode mismatch.
+        let errors = check_pipeline(
+            &GpuProfile::fx5950_ultra(),
+            &resources,
+            &[stage("s", "src", Some(AddressMode::ClampToEdge), "dst")],
+        );
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        // Render-target feedback.
+        let errors = check_pipeline(
+            &GpuProfile::fx5950_ultra(),
+            &resources,
+            &[stage("s", "dst", None, "dst")],
+        );
+        assert!(!errors.is_empty());
+        // Consumed before produced.
+        let errors = check_pipeline(
+            &GpuProfile::fx5950_ultra(),
+            &resources,
+            &[
+                stage("a", "dst", None, "src"),
+                stage("b", "src", None, "dst"),
+            ],
+        );
+        assert!(errors.iter().any(|e| e.contains("later stage")));
+    }
+}

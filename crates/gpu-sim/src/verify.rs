@@ -167,7 +167,11 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 }
 
 /// Lanes of `src` that instruction `instr` actually reads, as a 4-bit mask.
-fn read_lanes(instr: &Instr, src_index: usize) -> u8 {
+///
+/// Shared with [`crate::opt`]: the optimizer's liveness and propagation
+/// passes must agree exactly with the verifier about which lanes an
+/// instruction consumes.
+pub(crate) fn read_lanes(instr: &Instr, src_index: usize) -> u8 {
     let swz = instr.srcs[src_index].swizzle.0;
     let mut lanes = 0u8;
     match instr.op {
@@ -199,7 +203,9 @@ fn read_lanes(instr: &Instr, src_index: usize) -> u8 {
     lanes
 }
 
-fn dst_mask(instr: &Instr) -> u8 {
+/// Written lanes of `instr`'s destination as a 4-bit mask (shared with
+/// [`crate::opt`]).
+pub(crate) fn dst_mask(instr: &Instr) -> u8 {
     instr
         .dst
         .mask

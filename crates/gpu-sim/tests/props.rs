@@ -202,6 +202,60 @@ proptest! {
     }
 
     #[test]
+    fn optimized_programs_are_bit_identical_and_verify_clean(
+        body in prop::collection::vec(raw_instr_strategy(), 0..10),
+        uv in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0), 4),
+    ) {
+        // The whole pass pipeline (constant folding, copy/swizzle
+        // propagation, CSE, fusion, DCE, output coalescing) must be
+        // exact-preserving on every verifier-accepted program: the
+        // optimized program's read-back colors equal the unoptimized
+        // interpreter's bit for bit, and the result still verifies with
+        // no errors under the same pass context.
+        let program = build_program(body.iter().map(decode_instr).collect(), true);
+        let bindings = pass();
+        let profile = GpuProfile::fx5950_ultra();
+        if has_errors(&verify(&program, &profile, Some(&bindings))) {
+            return Ok(());
+        }
+        let (optimized, report) = gpu_sim::optimize(&program, &bindings);
+        prop_assert!(optimized.len() <= program.len());
+        prop_assert_eq!(report.before, program.len());
+        prop_assert_eq!(report.after, optimized.len());
+        let diags = verify(&optimized, &profile, Some(&bindings));
+        prop_assert!(
+            !has_errors(&diags),
+            "optimized program fails verify: {:?}\nraw:\n{}\noptimized:\n{}",
+            diags, program.to_asm(), optimized.to_asm()
+        );
+        let t0_data: Vec<f32> = (0..64).map(|i| i as f32 * 0.125 - 2.0).collect();
+        let t1_data: Vec<f32> = (0..64).map(|i| (i * 7 % 13) as f32 * 0.5).collect();
+        let t0 = Texture2D::from_flat(4, 4, &t0_data);
+        let t1 = Texture2D::from_flat(4, 4, &t1_data);
+        let pass_consts = [(1, [0.75f32, -0.5, 0.25, 3.0])];
+        let raw_consts = resolve_constants(&program, &pass_consts);
+        let opt_consts = resolve_constants(&optimized, &pass_consts);
+        for &(u, v) in &uv {
+            let mut input = FragmentInput::zero();
+            input.texcoords[0] = [u, v, 0.0, 1.0];
+            input.texcoords[1] = [v, u, 0.0, 1.0];
+            let a = execute(&program, &input, &raw_consts, &[&t0, &t1], None);
+            let b = execute(&optimized, &input, &opt_consts, &[&t0, &t1], None);
+            // Only the colors the pass reads back are contractual — dead
+            // outputs are exactly what the optimizer deletes.
+            for (o, read) in bindings.outputs_read.iter().enumerate() {
+                if *read {
+                    prop_assert!(
+                        a.colors[o].map(f32::to_bits) == b.colors[o].map(f32::to_bits),
+                        "O{} diverges at uv ({}, {})\nraw:\n{}\noptimized:\n{}",
+                        o, u, v, program.to_asm(), optimized.to_asm()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn verify_never_panics_and_is_deterministic(
         body in prop::collection::vec(raw_instr_strategy(), 0..12),
     ) {

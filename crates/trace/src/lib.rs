@@ -578,12 +578,7 @@ mod tests {
             .filter(|l| l.contains("\"ph\":\"B\"") || l.contains("\"ph\":\"E\""))
             .map(|l| {
                 let i = l.find("\"ts\":").unwrap() + 5;
-                l[i..]
-                    .split([',', '}'])
-                    .next()
-                    .unwrap()
-                    .parse()
-                    .unwrap()
+                l[i..].split([',', '}']).next().unwrap().parse().unwrap()
             })
             .collect();
         assert_eq!(ts.len(), 4);

@@ -40,7 +40,15 @@ fn main() {
             closure.mei.scores, isa.mei.scores,
             "both kernel forms produce bit-identical MEI streams"
         );
-        assert_eq!(closure.stats.instructions, isa.stats.instructions);
+        // Closure arms count the optimized per-fragment costs; with
+        // `GPU_SIM_OPT=0` the ISA path shades the raw (longer) programs,
+        // so the counters only line up when the optimizer is on. The MEI
+        // bit-identity above holds either way.
+        if gpu.optimizer_enabled() {
+            assert_eq!(closure.stats.instructions, isa.stats.instructions);
+        } else {
+            assert!(closure.stats.instructions < isa.stats.instructions);
+        }
 
         let s = &closure.stats;
         println!(
