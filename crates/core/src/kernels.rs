@@ -291,7 +291,7 @@ pub fn sid_partial_value(p: [f32; 4], q: [f32; 4]) -> f32 {
         let ql = q[lane].max(SID_EPS);
         let r = 1.0 / ql;
         let ratio = pl * r;
-        let l = ratio.max(f32::MIN_POSITIVE).log2() * LN2;
+        let l = gpu_sim::interp::lg2(ratio.max(f32::MIN_POSITIVE)) * LN2;
         terms[lane] = (pl - ql) * l;
     }
     // DP4 with the all-ones vector: sequential lane order.

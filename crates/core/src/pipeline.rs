@@ -47,6 +47,31 @@ pub enum KernelMode {
     Closure,
 }
 
+impl KernelMode {
+    /// Stable lowercase name, as reported in benchmark JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelMode::Isa => "isa",
+            KernelMode::Closure => "closure",
+        }
+    }
+
+    /// Parse a name produced by [`KernelMode::as_str`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "isa" => Some(KernelMode::Isa),
+            "closure" => Some(KernelMode::Closure),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Pipeline errors: device errors plus host-side validation.
 #[derive(Debug)]
 pub enum AmcError {
@@ -1055,6 +1080,59 @@ mod tests {
         assert_eq!(isa.stats.texel_fetches, clo.stats.texel_fetches);
         assert_eq!(isa.stats.fragments, clo.stats.fragments);
         assert_eq!(isa.stats.passes, clo.stats.passes);
+    }
+
+    #[test]
+    fn batched_isa_pipeline_matches_scalar_at_every_thread_count() {
+        // Full ISA classification (GPU pipeline + CPU tail) with the
+        // batched SoA executor vs the per-fragment oracle
+        // (`GPU_SIM_BATCH=0`), at one worker thread and at the default
+        // count: MEI scores, labels, and every PassStats field must be
+        // bit-identical.
+        let cube = test_cube(21, 11, 6, 7); // ragged vs 64x4 tiles
+        let se = StructuringElement::square(3).unwrap();
+        let classifier =
+            hsi::classify::AmcClassifier::new(hsi::classify::AmcConfig::paper_default(3));
+        let run = |batch: bool| {
+            let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
+            gpu.set_batch_execution(batch);
+            GpuAmc::new(se.clone(), KernelMode::Isa)
+                .run_and_classify(&mut gpu, &cube, &classifier)
+                .unwrap()
+        };
+        let baseline = run(false);
+        for threads in [Some(1), None] {
+            let batched = match threads {
+                Some(n) => rayon::with_threads(n, || run(true)),
+                None => run(true),
+            };
+            let score_bits =
+                |m: &MeiImage| m.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                score_bits(&batched.pipeline.mei),
+                score_bits(&baseline.pipeline.mei),
+                "MEI diverged (threads {threads:?})"
+            );
+            assert_eq!(batched.pipeline.min_index, baseline.pipeline.min_index);
+            assert_eq!(batched.pipeline.max_index, baseline.pipeline.max_index);
+            assert_eq!(
+                batched.classification.labels, baseline.classification.labels,
+                "labels diverged (threads {threads:?})"
+            );
+            assert_eq!(
+                batched.pipeline.stats, baseline.pipeline.stats,
+                "PassStats diverged (threads {threads:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_mode_names_round_trip() {
+        for mode in [KernelMode::Isa, KernelMode::Closure] {
+            assert_eq!(KernelMode::from_name(mode.as_str()), Some(mode));
+            assert_eq!(format!("{mode}"), mode.as_str());
+        }
+        assert_eq!(KernelMode::from_name("simd"), None);
     }
 
     #[test]

@@ -156,6 +156,32 @@ impl PassStats {
     }
 }
 
+/// Counters one shading tile produced. The executor dispatches tiles in
+/// parallel but merges their counters **in tile order** (see
+/// [`TileCounts::merge_into`] call sites), so aggregate [`PassStats`] are
+/// independent of scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TileCounts {
+    /// SIMD4 shader instructions the tile executed.
+    pub instructions: u64,
+    /// Texel fetches the tile issued.
+    pub texel_fetches: u64,
+    /// Texture-cache hits in the tile's private cache model.
+    pub cache_hits: u64,
+    /// Texture-cache misses in the tile's private cache model.
+    pub cache_misses: u64,
+}
+
+impl TileCounts {
+    /// Accumulate this tile's counters into a pass total.
+    pub fn merge_into(&self, pass: &mut PassStats) {
+        pass.instructions += self.instructions;
+        pass.texel_fetches += self.texel_fetches;
+        pass.cache_hits += self.cache_hits;
+        pass.cache_misses += self.cache_misses;
+    }
+}
+
 impl std::ops::Add for PassStats {
     type Output = PassStats;
     fn add(mut self, rhs: PassStats) -> PassStats {
@@ -243,6 +269,30 @@ mod tests {
             ..Default::default()
         };
         small.sub(&big);
+    }
+
+    #[test]
+    fn tile_counts_merge_only_shading_fields() {
+        let tile = TileCounts {
+            instructions: 5,
+            texel_fetches: 3,
+            cache_hits: 2,
+            cache_misses: 1,
+        };
+        let mut pass = PassStats {
+            fragments: 7,
+            passes: 1,
+            ..Default::default()
+        };
+        tile.merge_into(&mut pass);
+        tile.merge_into(&mut pass);
+        assert_eq!(pass.instructions, 10);
+        assert_eq!(pass.texel_fetches, 6);
+        assert_eq!(pass.cache_hits, 4);
+        assert_eq!(pass.cache_misses, 2);
+        // Pass-level fields are untouched by tile merges.
+        assert_eq!(pass.fragments, 7);
+        assert_eq!(pass.passes, 1);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! constants folded once per (program, constants) bind, cached on the device
 //! next to the verification cache.
 
-use crate::counters::PassStats;
+use crate::counters::{PassStats, TileCounts};
 use crate::device::GpuProfile;
 use crate::error::{GpuError, Result};
 use crate::interp::{self, FragmentInput, LoweredProgram};
@@ -114,16 +114,10 @@ struct LowerKey {
     /// program was lowered (`GPU_SIM_OPT=0`). Keying the flag into the
     /// cache keeps optimized and raw lowerings from ever aliasing.
     opt: Option<verify::PassBindings>,
-}
-
-/// Counters one shading tile produced, merged in tile order after the
-/// parallel dispatch so aggregates are independent of scheduling.
-#[derive(Debug, Clone, Copy, Default)]
-struct TileCounts {
-    instructions: u64,
-    texel_fetches: u64,
-    cache_hits: u64,
-    cache_misses: u64,
+    /// Whether the lowering was scheduled for the batched executor
+    /// ([`opt::schedule_for_batch`]); keyed so scalar (`GPU_SIM_BATCH=0`)
+    /// and batched lowerings of the same program never alias.
+    batch: bool,
 }
 
 /// Shade `out` (the scratch buffer for `quad`) as independent tiles on the
@@ -183,6 +177,17 @@ where
     counts
 }
 
+/// Copy a shaded quad's scratch rows into the target texture (row-contiguous
+/// block copies; the scratch buffer is row-major over the quad).
+fn resolve_to_target(tgt: &mut Texture2D, quad: &Quad, out: &[Texel]) {
+    let tw = tgt.width();
+    let texels = tgt.texels_mut();
+    for (row, chunk) in out.chunks_exact(quad.width).enumerate() {
+        let base = (quad.y0 + row) * tw + quad.x0;
+        texels[base..base + quad.width].copy_from_slice(chunk);
+    }
+}
+
 /// The simulated device.
 pub struct Gpu {
     profile: GpuProfile,
@@ -208,6 +213,9 @@ pub struct Gpu {
     opt_enabled: bool,
     opt_runs: u64,
     opt_reports: Vec<opt::OptReport>,
+    /// Whether ISA passes shade tiles through the batched SoA executor
+    /// (default; `GPU_SIM_BATCH=0` falls back to the per-fragment oracle).
+    batch_enabled: bool,
 }
 
 impl Gpu {
@@ -233,6 +241,7 @@ impl Gpu {
             opt_enabled: std::env::var("GPU_SIM_OPT").map_or(true, |v| v != "0"),
             opt_runs: 0,
             opt_reports: Vec::new(),
+            batch_enabled: std::env::var("GPU_SIM_BATCH").map_or(true, |v| v != "0"),
         }
     }
 
@@ -318,6 +327,7 @@ impl Gpu {
                 .map(|&(idx, v)| (idx, v.map(f32::to_bits)))
                 .collect(),
             opt: self.opt_enabled.then(|| bindings.clone()),
+            batch: self.batch_enabled,
         };
         if let Some(lowered) = self.lowered_cache.get(&key) {
             self.lower_cache_hits += 1;
@@ -345,6 +355,15 @@ impl Gpu {
                     self.opt_reports.push(report);
                 }
             }
+        }
+        // Batched lowerings are additionally scheduled for the SoA executor
+        // (TEX fetches hoisted as early as dependences allow — an exact,
+        // count-preserving reordering), which is why `batch` is part of the
+        // cache key: scalar and batched forms of the same bind differ.
+        let scheduled;
+        if self.batch_enabled {
+            scheduled = opt::schedule_for_batch(shaded);
+            shaded = &scheduled;
         }
         let resolved = interp::resolve_constants(shaded, constants);
         let lowered = Arc::new(interp::lower(shaded, &resolved));
@@ -376,6 +395,20 @@ impl Gpu {
     /// device optimized.
     pub fn opt_reports(&self) -> &[opt::OptReport] {
         &self.opt_reports
+    }
+
+    /// Whether ISA passes shade tiles through the batched SoA executor.
+    /// Defaults to the `GPU_SIM_BATCH` environment variable (`0` disables,
+    /// anything else — including unset — enables).
+    pub fn batch_execution_enabled(&self) -> bool {
+        self.batch_enabled
+    }
+
+    /// Override the `GPU_SIM_BATCH` default for this device. Takes effect on
+    /// the next lowering-cache miss; existing cache entries keep the setting
+    /// they were built under (the flag is part of the cache key).
+    pub fn set_batch_execution(&mut self, enabled: bool) {
+        self.batch_enabled = enabled;
     }
 
     /// Cumulative counters since the last [`Gpu::reset_stats`].
@@ -695,13 +728,34 @@ impl Gpu {
         );
         let pass_start = Instant::now();
         // Shade the quad into a scratch buffer as independent tiles, one
-        // simulated fragment pipe (with its own cache model) per tile.
+        // simulated fragment pipe (with its own cache model) per tile. The
+        // batched executor shades a whole tile per call over SoA registers;
+        // the scalar per-fragment loop stays as the bit-exactness oracle
+        // (`GPU_SIM_BATCH=0`).
+        let batch = self.batch_enabled;
         let mut out = vec![[0.0f32; 4]; quad.fragments()];
         let tile_counts = shade_tiled(
             &mut out,
             &quad,
             self.cache_model,
             |x0, y0, mut rows, mut cache| {
+                if batch {
+                    // Interpolate coordinate sets straight into the
+                    // executor's SoA registers and let it write the row
+                    // segments directly — no per-fragment input gather or
+                    // color scatter buffers.
+                    return interp::execute_lowered_batch_tile(
+                        &lowered,
+                        texcoords,
+                        x0,
+                        y0,
+                        tw,
+                        th,
+                        &mut rows,
+                        &input_refs,
+                        cache,
+                    );
+                }
                 let (mut instr, mut fetches) = (0u64, 0u64);
                 for (ri, seg) in rows.iter_mut().enumerate() {
                     let y = y0 + ri;
@@ -727,11 +781,7 @@ impl Gpu {
             .textures
             .get_mut(&target.0)
             .expect("target validated above");
-        for (row, chunk) in out.chunks_exact(quad.width).enumerate() {
-            for (col, &texel) in chunk.iter().enumerate() {
-                tgt.set_texel(quad.x0 + col, quad.y0 + row, texel);
-            }
-        }
+        resolve_to_target(tgt, &quad, &out);
 
         let mut pass = PassStats {
             fragments: quad.fragments() as u64,
@@ -743,10 +793,7 @@ impl Gpu {
         // Deterministic merge: per-tile counters sum in tile order, never
         // in scheduling order.
         for c in &tile_counts {
-            pass.instructions += c.instructions;
-            pass.texel_fetches += c.texel_fetches;
-            pass.cache_hits += c.cache_hits;
-            pass.cache_misses += c.cache_misses;
+            c.merge_into(&mut pass);
         }
         trace::metrics::observe("gpu.pass_wall", pass_start.elapsed());
         self.stats.add(&pass);
@@ -825,11 +872,7 @@ impl Gpu {
             .textures
             .get_mut(&target.0)
             .expect("target validated above");
-        for (row, chunk) in out.chunks_exact(quad.width).enumerate() {
-            for (col, &texel) in chunk.iter().enumerate() {
-                tgt.set_texel(quad.x0 + col, quad.y0 + row, texel);
-            }
-        }
+        resolve_to_target(tgt, &quad, &out);
 
         let mut pass = PassStats {
             fragments: quad.fragments() as u64,
@@ -840,10 +883,11 @@ impl Gpu {
             tiles: quad.tile_count() as u64,
             ..PassStats::default()
         };
+        // Tile instruction counters are zero here (the cost above is the
+        // declared equivalent-program cost), so the merge adds fetches and
+        // cache traffic only.
         for c in &tile_counts {
-            pass.texel_fetches += c.texel_fetches;
-            pass.cache_hits += c.cache_hits;
-            pass.cache_misses += c.cache_misses;
+            c.merge_into(&mut pass);
         }
         trace::metrics::observe("gpu.pass_wall", pass_start.elapsed());
         self.stats.add(&pass);
@@ -957,6 +1001,72 @@ mod tests {
         assert_eq!(stats.instructions, 16);
         assert_eq!(gpu.lowerings(), 2);
         assert_eq!(gpu.lower_cache_hits(), 0);
+    }
+
+    #[test]
+    fn gpu_sim_batch_0_matches_batched_passes_exactly() {
+        // The same non-trivial pass on two devices, one shading through the
+        // batched SoA executor and one through the per-fragment oracle:
+        // texels AND every PassStats field must agree bit for bit. A 70x9
+        // target exercises ragged tiles (partial chunks) on both axes.
+        let run = |batch: bool| {
+            let mut gpu = small_gpu();
+            gpu.set_batch_execution(batch);
+            let src = gpu.alloc_texture(70, 9).unwrap();
+            let dst = gpu.alloc_texture(70, 9).unwrap();
+            let data: Vec<f32> = (0..70 * 9 * 4)
+                .map(|i| (i % 23) as f32 * 0.21 - 1.9)
+                .collect();
+            gpu.upload(src, &data).unwrap();
+            let prog = assemble(
+                "!!mix\nDEF C1, 0.25, -3, 1.5, 2\nTEX R0, T0, tex0\nTEX R1, T1, tex0\n\
+                 MAD R2, R0, C1.wzxy, -R1\nLRP R3, C0.x, R0, R2\nDP3 R3.w, R3, C1\n\
+                 MOV_SAT OC, R3",
+            )
+            .unwrap();
+            let stats = gpu
+                .run_pass(
+                    &prog,
+                    &[src],
+                    &[(0, [0.4, 0.0, 0.0, 0.0])],
+                    &[
+                        TexCoordSet::identity(),
+                        TexCoordSet::shifted_texels(1, -1, 70, 9),
+                    ],
+                    dst,
+                    None,
+                )
+                .unwrap();
+            (gpu.download(dst).unwrap(), stats)
+        };
+        let (batched, batched_stats) = run(true);
+        let (scalar, scalar_stats) = run(false);
+        assert_eq!(
+            batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(batched_stats, scalar_stats);
+    }
+
+    #[test]
+    fn batch_flag_keys_the_lowering_cache() {
+        let mut gpu = small_gpu();
+        let src = gpu.alloc_texture(4, 4).unwrap();
+        let dst = gpu.alloc_texture(4, 4).unwrap();
+        gpu.upload(src, &vec![0.5f32; 4 * 4 * 4]).unwrap();
+        let prog = assemble("TEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let sets = [TexCoordSet::identity()];
+        gpu.run_pass(&prog, &[src], &[], &sets, dst, None).unwrap();
+        assert_eq!(gpu.lowerings(), 1);
+        // Toggling batching must miss the cache (the scheduled form
+        // differs), then hit its own entry on repeat.
+        gpu.set_batch_execution(!gpu.batch_execution_enabled());
+        gpu.run_pass(&prog, &[src], &[], &sets, dst, None).unwrap();
+        assert_eq!(gpu.lowerings(), 2);
+        assert_eq!(gpu.lower_cache_hits(), 0);
+        gpu.run_pass(&prog, &[src], &[], &sets, dst, None).unwrap();
+        assert_eq!(gpu.lowerings(), 2);
+        assert_eq!(gpu.lower_cache_hits(), 1);
     }
 
     #[test]

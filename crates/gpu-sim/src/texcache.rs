@@ -20,16 +20,20 @@ pub const BLOCK_H: usize = 4;
 pub const BLOCK_BYTES: usize = BLOCK_W * BLOCK_H * 16;
 
 /// A set-associative texture cache with LRU replacement.
+///
+/// Each set's ways are kept ordered most- to least-recently used, so LRU
+/// needs no timestamps: a hit rotates the line to the front, a miss evicts
+/// the last way. This is exactly the stamp-based formulation (same hit/miss
+/// classification for every access sequence — way order within a set is not
+/// observable), but the common case — a fetch landing in the same block as
+/// the set's most recent one — is a single tag compare.
 #[derive(Debug, Clone)]
 pub struct TextureCache {
     sets: usize,
     ways: usize,
-    /// `sets * ways` tags; `u64::MAX` = invalid. Tag encodes
-    /// (texture, block_x, block_y).
+    /// `sets * ways` tags, each set's ways MRU-first; `u64::MAX` = invalid.
+    /// Tag encodes (texture, block_x, block_y).
     tags: Vec<u64>,
-    /// LRU stamps parallel to `tags`.
-    stamps: Vec<u64>,
-    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -43,8 +47,6 @@ impl TextureCache {
             sets,
             ways,
             tags: vec![u64::MAX; sets * ways],
-            stamps: vec![0; sets * ways],
-            clock: 0,
             hits: 0,
             misses: 0,
         }
@@ -63,6 +65,7 @@ impl TextureCache {
 
     /// Record a fetch of texel `(x, y)` from texture `texture`; returns
     /// `true` on hit.
+    #[inline]
     pub fn access(&mut self, texture: u32, x: usize, y: usize) -> bool {
         let bx = (x / BLOCK_W) as u64;
         let by = (y / BLOCK_H) as u64;
@@ -70,22 +73,39 @@ impl TextureCache {
         // Simple XOR index so adjacent blocks of different textures spread.
         let set = ((bx ^ by.wrapping_mul(7) ^ (texture as u64).wrapping_mul(13)) as usize)
             & (self.sets - 1);
-        self.clock += 1;
         let base = set * self.ways;
         let lines = &mut self.tags[base..base + self.ways];
-        if let Some(w) = lines.iter().position(|&t| t == tag) {
-            self.stamps[base + w] = self.clock;
+        // MRU fast path: the raster scan mostly re-touches the block it
+        // touched last in this set.
+        if lines[0] == tag {
             self.hits += 1;
             return true;
         }
-        // Miss: replace LRU way.
-        let lru = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways >= 1");
-        self.tags[base + lru] = tag;
-        self.stamps[base + lru] = self.clock;
+        if let Some(w) = lines[1..].iter().position(|&t| t == tag) {
+            // Hit in a colder way: promote to MRU (the rotate carries the
+            // matching tag, at `lines[w + 1]`, to the front).
+            lines[..w + 2].rotate_right(1);
+            self.hits += 1;
+            return true;
+        }
+        // Miss: the last way is the LRU line; shift everything down and
+        // fill the front.
+        lines.rotate_right(1);
+        lines[0] = tag;
         self.misses += 1;
         false
+    }
+
+    /// Replay an ordered sequence of resolved texel touches — equivalent
+    /// to calling [`TextureCache::access`] once per `(texture, x, y)` item
+    /// in iteration order. The batched fragment executor records touches
+    /// instruction-major and replays them through this in the scalar
+    /// executor's fragment-major order, so hit/miss counters stay
+    /// bit-identical between the two paths.
+    pub fn access_all<I: IntoIterator<Item = (u32, usize, usize)>>(&mut self, touches: I) {
+        for (texture, x, y) in touches {
+            self.access(texture, x, y);
+        }
     }
 
     /// Hits recorded so far.
@@ -111,8 +131,6 @@ impl TextureCache {
     /// Reset contents and counters.
     pub fn clear(&mut self) {
         self.tags.fill(u64::MAX);
-        self.stamps.fill(0);
-        self.clock = 0;
         self.hits = 0;
         self.misses = 0;
     }
@@ -177,6 +195,19 @@ mod tests {
     }
 
     #[test]
+    fn access_all_matches_individual_accesses() {
+        let touches = [(0u32, 0usize, 0usize), (1, 4, 0), (0, 1, 1), (2, 8, 8)];
+        let mut a = TextureCache::new(1, 2);
+        let mut b = TextureCache::new(1, 2);
+        a.access_all(touches);
+        for (t, x, y) in touches {
+            b.access(t, x, y);
+        }
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.misses(), b.misses());
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut c = TextureCache::new(4, 1);
         c.access(0, 0, 0);
@@ -191,6 +222,67 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn sets_must_be_power_of_two() {
         TextureCache::new(3, 2);
+    }
+
+    #[test]
+    fn order_encoded_lru_matches_stamp_reference() {
+        // The recency-ordered ways must classify exactly like the textbook
+        // stamp-based LRU they replaced: replay a pseudo-random touch
+        // stream through both and compare every single hit/miss verdict.
+        struct StampLru {
+            sets: usize,
+            ways: usize,
+            tags: Vec<u64>,
+            stamps: Vec<u64>,
+            clock: u64,
+        }
+        impl StampLru {
+            fn access(&mut self, texture: u32, x: usize, y: usize) -> bool {
+                let bx = (x / BLOCK_W) as u64;
+                let by = (y / BLOCK_H) as u64;
+                let tag = ((texture as u64) << 40) | (by << 20) | bx;
+                let set = ((bx ^ by.wrapping_mul(7) ^ (texture as u64).wrapping_mul(13)) as usize)
+                    & (self.sets - 1);
+                self.clock += 1;
+                let base = set * self.ways;
+                let lines = &mut self.tags[base..base + self.ways];
+                if let Some(w) = lines.iter().position(|&t| t == tag) {
+                    self.stamps[base + w] = self.clock;
+                    return true;
+                }
+                let lru = (0..self.ways)
+                    .min_by_key(|&w| self.stamps[base + w])
+                    .expect("ways >= 1");
+                self.tags[base + lru] = tag;
+                self.stamps[base + lru] = self.clock;
+                false
+            }
+        }
+        for (sets, ways) in [(1, 1), (1, 4), (8, 2), (32, 4)] {
+            let mut cache = TextureCache::new(sets, ways);
+            let mut reference = StampLru {
+                sets,
+                ways,
+                tags: vec![u64::MAX; sets * ways],
+                stamps: vec![0; sets * ways],
+                clock: 0,
+            };
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            for i in 0..20_000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let texture = (state % 3) as u32;
+                let x = ((state >> 8) % 40) as usize;
+                let y = ((state >> 16) % 40) as usize;
+                assert_eq!(
+                    cache.access(texture, x, y),
+                    reference.access(texture, x, y),
+                    "{sets}x{ways} diverged at touch {i}: ({texture}, {x}, {y})"
+                );
+            }
+            assert!(cache.hits() > 0 && cache.misses() > 0, "stream too tame");
+        }
     }
 
     #[test]

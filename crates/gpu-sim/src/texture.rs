@@ -164,10 +164,18 @@ impl Texture2D {
     pub fn fetch(&self, x: i64, y: i64) -> Texel {
         match self.resolve_coords(x, y) {
             Some((x, y)) => self.texel(x, y),
-            None => match self.address_mode {
-                AddressMode::ClampToBorder(border) => border,
-                _ => unreachable!("non-border modes always resolve"),
-            },
+            None => self.border_texel(),
+        }
+    }
+
+    /// The texel an unresolvable fetch returns. Only reachable under
+    /// [`AddressMode::ClampToBorder`] — every other mode resolves every
+    /// coordinate.
+    #[inline(always)]
+    pub fn border_texel(&self) -> Texel {
+        match self.address_mode {
+            AddressMode::ClampToBorder(border) => border,
+            _ => unreachable!("non-border modes always resolve"),
         }
     }
 }

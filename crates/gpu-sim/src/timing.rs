@@ -135,8 +135,20 @@ pub fn gpu_time(stats: &PassStats, profile: &GpuProfile) -> GpuTime {
         compute_s,
         texture_s,
         memory_s,
-        upload_s: profile.bus.upload_time(stats.bytes_uploaded as usize),
-        download_s: profile.bus.download_time(stats.bytes_downloaded as usize),
+        // A stage that moved no bytes issued no transfer, so it owes no
+        // per-transfer setup latency — otherwise every zero-work stage
+        // models to 2x bus latency and "modeled time is zero" can never
+        // happen, which hid a misleading 0.0 skew in the bench report.
+        upload_s: if stats.bytes_uploaded > 0 {
+            profile.bus.upload_time(stats.bytes_uploaded as usize)
+        } else {
+            0.0
+        },
+        download_s: if stats.bytes_downloaded > 0 {
+            profile.bus.download_time(stats.bytes_downloaded as usize)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -272,6 +284,23 @@ mod tests {
         with_cache.cache_hits = 3_000_000;
         let a = gpu_time(&with_cache, &p);
         assert!(a.memory_s > b.memory_s);
+    }
+
+    #[test]
+    fn zero_work_stage_models_to_exactly_zero() {
+        // No counted work at all → no modeled time, including bus setup
+        // latency (no bytes moved means no transfer was issued). The bench
+        // report relies on this to emit a `null` skew instead of dividing
+        // by a phantom latency.
+        let t = gpu_time(&PassStats::default(), &GpuProfile::geforce_7800gtx());
+        assert_eq!(t.total_ms(), 0.0);
+        // But any actual transfer still pays the per-transfer latency.
+        let moved = PassStats {
+            bytes_uploaded: 1,
+            ..PassStats::default()
+        };
+        let t = gpu_time(&moved, &GpuProfile::geforce_7800gtx());
+        assert!(t.upload_s >= GpuProfile::geforce_7800gtx().bus.latency_s);
     }
 
     #[test]

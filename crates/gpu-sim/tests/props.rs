@@ -6,8 +6,11 @@
 //! verifier's structural and binding errors are exactly what stands
 //! between a bad program and an out-of-bounds index.
 
-use gpu_sim::interp::{execute, execute_lowered, lower, resolve_constants, FragmentInput};
-use gpu_sim::isa::{ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle};
+use gpu_sim::interp::{
+    execute, execute_lowered, execute_lowered_batch, lower, resolve_constants, FragmentInput,
+};
+use gpu_sim::isa::{ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_OUTPUTS};
+use gpu_sim::texcache::TextureCache;
 use gpu_sim::texture::Texture2D;
 use gpu_sim::verify::{has_errors, verify, PassBindings};
 use gpu_sim::GpuProfile;
@@ -253,6 +256,115 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_scalar(
+        body in prop::collection::vec(raw_instr_strategy(), 0..10),
+        uv in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0), 11),
+    ) {
+        // The batched SoA executor must reproduce the per-fragment oracle
+        // bit for bit on every verifier-accepted program: colors,
+        // instruction and fetch totals, AND the texture-cache hit/miss
+        // counters (the batch path records TEX touches instruction-major
+        // and replays them fragment-major). 11 fragments = one full 8-lane
+        // chunk plus a ragged tail.
+        let program = build_program(body.iter().map(decode_instr).collect(), true);
+        let bindings = pass();
+        if has_errors(&verify(&program, &GpuProfile::fx5950_ultra(), Some(&bindings))) {
+            return Ok(());
+        }
+        let t0_data: Vec<f32> = (0..64).map(|i| i as f32 * 0.125 - 2.0).collect();
+        let t1_data: Vec<f32> = (0..64).map(|i| (i * 7 % 13) as f32 * 0.5).collect();
+        let t0 = Texture2D::from_flat(4, 4, &t0_data);
+        let t1 = Texture2D::from_flat(4, 4, &t1_data);
+        let constants = resolve_constants(&program, &[(1, [0.75, -0.5, 0.25, 3.0])]);
+        // Batch-schedule the program the way the device does before
+        // lowering, so the proptest covers the scheduler's reordering too.
+        let scheduled = gpu_sim::schedule_for_batch(&program);
+        prop_assert_eq!(scheduled.len(), program.len());
+        let lowered = lower(&scheduled, &constants);
+        let inputs: Vec<FragmentInput> = uv.iter().map(|&(u, v)| {
+            let mut input = FragmentInput::zero();
+            input.texcoords[0] = [u, v, 0.0, 1.0];
+            input.texcoords[1] = [v, u, 0.0, 1.0];
+            input
+        }).collect();
+        // A tiny cache geometry so replay-order mistakes actually change
+        // hit/miss counts instead of hiding in a large cache.
+        let mut scalar_cache = TextureCache::new(1, 2);
+        let mut batch_cache = TextureCache::new(1, 2);
+        let mut scalar_instr = 0u64;
+        let mut scalar_fetches = 0u64;
+        let mut scalar_colors = Vec::with_capacity(inputs.len());
+        for input in &inputs {
+            let r = execute_lowered(&lowered, input, &[&t0, &t1], Some(&mut scalar_cache));
+            scalar_instr += r.instructions;
+            scalar_fetches += r.texel_fetches;
+            scalar_colors.push(r.colors);
+        }
+        let mut batch_colors = vec![[[0.0f32; 4]; NUM_OUTPUTS]; inputs.len()];
+        let (instr, fetches) = execute_lowered_batch(
+            &lowered, &inputs, &[&t0, &t1], Some(&mut batch_cache), &mut batch_colors,
+        );
+        prop_assert_eq!(instr, scalar_instr);
+        prop_assert_eq!(fetches, scalar_fetches);
+        prop_assert!(
+            (batch_cache.hits(), batch_cache.misses())
+                == (scalar_cache.hits(), scalar_cache.misses()),
+            "cache replay diverged:\n{}", scheduled.to_asm()
+        );
+        for (a, b) in scalar_colors.iter().zip(&batch_colors) {
+            for (ca, cb) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(ca.map(f32::to_bits), cb.map(f32::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scheduling_is_exact_and_pins_tex_order(
+        body in prop::collection::vec(raw_instr_strategy(), 0..10),
+        uv in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0), 4),
+    ) {
+        // schedule_for_batch must be count-preserving, keep the TEX chain
+        // in program order (the fetch-order contract), and leave every
+        // observable of scalar execution — all four output registers and
+        // the cache traffic — bit-identical.
+        let program = build_program(body.iter().map(decode_instr).collect(), true);
+        let bindings = pass();
+        if has_errors(&verify(&program, &GpuProfile::fx5950_ultra(), Some(&bindings))) {
+            return Ok(());
+        }
+        let scheduled = gpu_sim::schedule_for_batch(&program);
+        prop_assert_eq!(scheduled.len(), program.len());
+        let tex_chain = |p: &Program| p.instrs.iter()
+            .filter(|i| i.op == Opcode::Tex)
+            .map(|i| format!("{i}"))
+            .collect::<Vec<_>>();
+        prop_assert_eq!(tex_chain(&scheduled), tex_chain(&program));
+        let t0 = Texture2D::from_flat(4, 4, &(0..64).map(|i| i as f32 * 0.125 - 2.0).collect::<Vec<_>>());
+        let t1 = Texture2D::from_flat(4, 4, &(0..64).map(|i| (i * 7 % 13) as f32 * 0.5).collect::<Vec<_>>());
+        let constants = resolve_constants(&program, &[(1, [0.75, -0.5, 0.25, 3.0])]);
+        let sched_consts = resolve_constants(&scheduled, &[(1, [0.75, -0.5, 0.25, 3.0])]);
+        let mut ca = TextureCache::new(1, 2);
+        let mut cb = TextureCache::new(1, 2);
+        for &(u, v) in &uv {
+            let mut input = FragmentInput::zero();
+            input.texcoords[0] = [u, v, 0.0, 1.0];
+            input.texcoords[1] = [v, u, 0.0, 1.0];
+            let a = execute(&program, &input, &constants, &[&t0, &t1], Some(&mut ca));
+            let b = execute(&scheduled, &input, &sched_consts, &[&t0, &t1], Some(&mut cb));
+            prop_assert_eq!(a.instructions, b.instructions);
+            prop_assert_eq!(a.texel_fetches, b.texel_fetches);
+            for (x, y) in a.colors.iter().zip(b.colors.iter()) {
+                prop_assert!(
+                    x.map(f32::to_bits) == y.map(f32::to_bits),
+                    "scheduling changed results\nraw:\n{}\nscheduled:\n{}",
+                    program.to_asm(), scheduled.to_asm()
+                );
+            }
+        }
+        prop_assert_eq!((ca.hits(), ca.misses()), (cb.hits(), cb.misses()));
     }
 
     #[test]
