@@ -5,6 +5,7 @@
 //! cargo run --release -p hsi-bench --bin tables -- table3
 //! cargo run --release -p hsi-bench --bin tables -- fig5 out/
 //! cargo run --release -p hsi-bench --bin tables -- bench --trace out/trace.json
+//! cargo run --release -p hsi-bench --bin tables -- graph json --unfused
 //! ```
 
 use gpu_sim::device::Compiler;
@@ -46,6 +47,22 @@ fn main() {
             }
             run_bench(path, trace_path);
         }
+        "graph" => {
+            let mut format = "dot";
+            let mut fuse = true;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "dot" | "json" => format = a.as_str(),
+                    "--unfused" => fuse = false,
+                    other => {
+                        eprintln!("unknown graph option `{other}`");
+                        eprintln!("usage: tables graph [dot|json] [--unfused]");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            run_graph(format, fuse);
+        }
         "fig6" => print!("{}", format_fig6(&time_rows(Compiler::Gcc))),
         "ablations" => print!("{}", format_ablations()),
         "all" => {
@@ -73,7 +90,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|bench|all]"
+                "usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|bench|graph|all]"
             );
             std::process::exit(2);
         }
@@ -131,6 +148,42 @@ fn run_bench(path: &str, trace_path: Option<&str>) {
         run.opt_wall_raw_s,
         run.opt_wall_opt_s
     );
+}
+
+fn run_graph(format: &str, fuse: bool) {
+    use amc_core::pipeline::{GpuAmc, KernelMode};
+    use gpu_sim::device::GpuProfile;
+    use hsi::classify::AmcConfig;
+    use hsi_scene::scene::SceneConfig;
+
+    // The benchmark scene geometry: the graph's shape depends only on the
+    // band count and structuring element, so no cube needs generating.
+    let cfg = SceneConfig::reduced_indian_pines(0);
+    let config = AmcConfig::paper_default(1);
+    let amc = GpuAmc::new(config.se.clone(), KernelMode::Isa);
+    let graph = amc
+        .compile_graph(
+            &GpuProfile::geforce_7800gtx(),
+            cfg.width,
+            cfg.height,
+            cfg.bands,
+            fuse,
+        )
+        .expect("compile AMC render graph");
+    eprintln!(
+        "[graph] {}x{}x{} AMC graph, fusion {}: {} passes, {} fusions committed, {} eliminated",
+        cfg.width,
+        cfg.height,
+        cfg.bands,
+        if fuse { "on" } else { "off" },
+        graph.passes.len(),
+        graph.fusions.len(),
+        graph.eliminated.len(),
+    );
+    match format {
+        "json" => print!("{}", graph.to_json()),
+        _ => print!("{}", graph.to_dot()),
+    }
 }
 
 fn run_table3() {

@@ -24,12 +24,21 @@
 //! (per-kernel raw vs optimized instruction counts, dynamically shaded
 //! instruction totals, eliminated-op counters, modeled-ms deltas) plus a
 //! small measured ISA-mode A/B microbench (`GPU_SIM_OPT=0` vs default).
+//!
+//! Since schema 5 it carries a `fusion` block: the render-graph compiler's
+//! pass-fusion attribution (committed producer→consumer inlines aggregated
+//! per kernel pair, eliminated passes, static normalize+distance texel
+//! fetches per fragment fused vs unfused) plus a measured unfused-oracle
+//! arm (`GPU_SIM_FUSE=0` equivalent) whose stage counters anchor the
+//! ≥ 30% fetch-reduction gate CI enforces.
 
+use amc_core::graph::CompiledGraph;
 use amc_core::kernels;
-use amc_core::pipeline::{GpuAmc, KernelMode, StageStats, StageWall};
+use amc_core::pipeline::{GpuAmc, KernelMode, PipelineOutput, StageStats, StageWall};
 use gpu_sim::counters::PassStats;
 use gpu_sim::device::GpuProfile;
 use gpu_sim::gpu::Gpu;
+use gpu_sim::opt::InlineMode;
 use gpu_sim::opt::OptCounters;
 use gpu_sim::raster::TexCoordSet;
 use gpu_sim::timing;
@@ -46,7 +55,9 @@ use trace::metrics::{HistSummary, Snapshot};
 /// Version 4 added `kernel_mode` (the headline bench now runs the ISA
 /// path) and made `wall_over_modeled` `null` when the modeled time is zero
 /// instead of a misleading `0.0`.
-pub const SCHEMA_VERSION: u64 = 4;
+/// Version 5 added the `fusion` block (render-graph pass-fusion
+/// attribution and the measured unfused-oracle arm).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Device-cache effectiveness counters read off the [`Gpu`] after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -142,6 +153,8 @@ pub struct BenchRun {
     /// and batched executor actually exercise — so the device cache
     /// counters above are meaningful.
     pub kernel_mode: KernelMode,
+    /// Render-graph fusion attribution plus the measured unfused arm.
+    pub fusion: FusionReport,
 }
 
 impl BenchRun {
@@ -274,6 +287,157 @@ pub fn opt_rollup(run: &BenchRun) -> OptRollup {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fusion attribution (the `fusion` block, schema 5)
+// ---------------------------------------------------------------------------
+
+/// One aggregated family of committed producer→consumer inlines: every
+/// [`amc_core::graph::FusionRecord`] with the same kernel pair and
+/// coordinate mode, with sites and per-fragment fetch counts summed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPairRow {
+    /// Kernel whose body was inlined.
+    pub producer_kernel: String,
+    /// Kernel that absorbed it.
+    pub consumer_kernel: String,
+    /// Coordinate reconciliation (`substitute-site-coord` or
+    /// `keep-producer-coords`).
+    pub mode: String,
+    /// Commits in this family.
+    pub count: u64,
+    /// `TEX` sites replaced, summed.
+    pub sites: u64,
+    /// Per-fragment fetches of the separate passes, summed.
+    pub fetches_before: u64,
+    /// Per-fragment fetches of the fused programs, summed.
+    pub fetches_after: u64,
+}
+
+/// The schema-5 `fusion` block: static compiler attribution at the scene
+/// geometry plus the measured unfused-oracle arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionReport {
+    /// Whether the headline run executed the fused schedule (`GPU_SIM_FUSE`
+    /// unset or non-zero).
+    pub enabled: bool,
+    /// Committed fusions aggregated per (producer, consumer, mode).
+    pub pairs: Vec<FusionPairRow>,
+    /// Passes dead-pass elimination removed from the fused schedule.
+    pub eliminated_passes: u64,
+    /// Scheduled passes in the fused compile.
+    pub fused_passes: u64,
+    /// Scheduled passes in the unfused compile.
+    pub unfused_passes: u64,
+    /// Static normalize+distance texel fetches per fragment, fused.
+    pub fused_fetches_per_fragment: u64,
+    /// Static normalize+distance texel fetches per fragment, unfused.
+    pub unfused_fetches_per_fragment: u64,
+    /// Pool reuses that skipped their zero fill during the headline run
+    /// (the compiler proved every texel overwritten before read).
+    pub zero_fill_skips: u64,
+    /// Measured normalize-stage texel fetches of the unfused-oracle arm.
+    pub unfused_normalize_texel_fetches: u64,
+    /// Measured distance-stage texel fetches of the unfused-oracle arm.
+    pub unfused_distance_texel_fetches: u64,
+    /// Measured distance-stage wall seconds of the unfused-oracle arm.
+    pub unfused_distance_wall_s: f64,
+}
+
+impl FusionReport {
+    fn reduction(fused: u64, unfused: u64) -> f64 {
+        if unfused == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - fused as f64 / unfused as f64)
+        }
+    }
+
+    /// Percentage of static normalize+distance fetches per fragment that
+    /// fusion removed (the ≥ 30% CI gate).
+    pub fn static_fetch_reduction_pct(&self) -> f64 {
+        Self::reduction(
+            self.fused_fetches_per_fragment,
+            self.unfused_fetches_per_fragment,
+        )
+    }
+
+    /// Percentage of measured normalize+distance texel fetches the fused
+    /// run saved against the unfused-oracle arm.
+    pub fn measured_fetch_reduction_pct(&self, fused_norm_dist_fetches: u64) -> f64 {
+        Self::reduction(
+            fused_norm_dist_fetches,
+            self.unfused_normalize_texel_fetches + self.unfused_distance_texel_fetches,
+        )
+    }
+}
+
+fn mode_str(mode: InlineMode) -> &'static str {
+    match mode {
+        InlineMode::SubstituteSiteCoord => "substitute-site-coord",
+        InlineMode::KeepProducerCoords => "keep-producer-coords",
+    }
+}
+
+fn norm_dist_fetches(c: &CompiledGraph) -> u64 {
+    (c.stage_fetches_per_fragment("normalize") + c.stage_fetches_per_fragment("distance")) as u64
+}
+
+/// Build the fusion attribution for a run. The static side compiles the
+/// AMC graph at the full scene geometry — the pass/fetch structure depends
+/// only on the band count and the structuring element, so it attributes the
+/// chunked execution exactly — and the measured side reads the counters of
+/// the unfused-oracle arm run alongside the benchmark.
+pub fn fusion_report(
+    amc: &GpuAmc,
+    dims: (usize, usize, usize),
+    zero_fill_skips: u64,
+    unfused_arm: &PipelineOutput,
+) -> FusionReport {
+    let profile = GpuProfile::geforce_7800gtx();
+    let fused = amc
+        .compile_graph(&profile, dims.0, dims.1, dims.2, true)
+        .expect("fused AMC graph compiles");
+    let unfused = amc
+        .compile_graph(&profile, dims.0, dims.1, dims.2, false)
+        .expect("unfused AMC graph compiles");
+    let mut pairs: Vec<FusionPairRow> = Vec::new();
+    for f in &fused.fusions {
+        let mode = mode_str(f.mode);
+        match pairs.iter_mut().find(|p| {
+            p.producer_kernel == f.kernels.0 && p.consumer_kernel == f.kernels.1 && p.mode == mode
+        }) {
+            Some(row) => {
+                row.count += 1;
+                row.sites += f.sites as u64;
+                row.fetches_before += f.fetches_before as u64;
+                row.fetches_after += f.fetches_after as u64;
+            }
+            None => pairs.push(FusionPairRow {
+                producer_kernel: f.kernels.0.clone(),
+                consumer_kernel: f.kernels.1.clone(),
+                mode: mode.to_owned(),
+                count: 1,
+                sites: f.sites as u64,
+                fetches_before: f.fetches_before as u64,
+                fetches_after: f.fetches_after as u64,
+            }),
+        }
+    }
+    FusionReport {
+        enabled: amc.fusion(),
+        pairs,
+        eliminated_passes: fused.eliminated.len() as u64,
+        fused_passes: fused.passes.len() as u64,
+        unfused_passes: unfused.passes.len() as u64,
+        fused_fetches_per_fragment: norm_dist_fetches(&fused),
+        unfused_fetches_per_fragment: norm_dist_fetches(&unfused),
+        zero_fill_skips,
+        unfused_normalize_texel_fetches: unfused_arm.stages.normalize.texel_fetches,
+        unfused_distance_texel_fetches: unfused_arm.stages.distance.texel_fetches,
+        unfused_distance_wall_s: unfused_arm.stage_wall.distance_s,
+    }
+}
+
 /// Wall-clock the ISA lowering path with the optimizer off, then on: every
 /// AMC kernel shades a 96×96 quad for a few passes on a cold device per
 /// arm, so the measured delta is the per-fragment interpreter cost of the
@@ -337,7 +501,23 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
     // Snapshot before the microbench so the metrics block covers exactly
     // the end-to-end run; the A/B arms below would otherwise pollute it.
     let metrics = trace::metrics::snapshot();
+    let zero_fill_skips = gpu.zero_fill_skips();
     let (opt_wall_raw_s, opt_wall_opt_s) = isa_microbench();
+    // The unfused-oracle arm (`GPU_SIM_FUSE=0` equivalent): same pipeline,
+    // same scene, fresh device, fusion pinned off — its stage counters
+    // anchor the measured fetch-reduction attribution.
+    let mut amc_unfused = GpuAmc::new(amc.se().clone(), kernel_mode);
+    amc_unfused.set_fusion(false);
+    let mut gpu_unfused = Gpu::new(GpuProfile::geforce_7800gtx());
+    let unfused_arm = amc_unfused
+        .run(&mut gpu_unfused, &scene.cube)
+        .expect("unfused oracle run");
+    let fusion = fusion_report(
+        &amc,
+        (dims.width, dims.height, dims.bands),
+        zero_fill_skips,
+        &unfused_arm,
+    );
 
     BenchRun {
         seed,
@@ -356,6 +536,7 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
         opt_wall_raw_s,
         opt_wall_opt_s,
         kernel_mode,
+        fusion,
     }
 }
 
@@ -526,6 +707,61 @@ pub fn to_json(run: &BenchRun) -> String {
         s,
         "    \"isa_microbench\": {{\"wall_raw_s\": {:.6}, \"wall_opt_s\": {:.6}}}",
         run.opt_wall_raw_s, run.opt_wall_opt_s
+    );
+    s.push_str("  },\n");
+    // Fusion attribution: the pairs, pass counts, static per-fragment
+    // fetches and the unfused-arm counters are inputs; both reduction
+    // percentages are derived and recomputed on a round trip.
+    let f = &run.fusion;
+    s.push_str("  \"fusion\": {\n");
+    let _ = writeln!(s, "    \"enabled\": {},", f.enabled);
+    s.push_str("    \"pairs\": [\n");
+    for (i, p) in f.pairs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"producer_kernel\": \"{}\", \"consumer_kernel\": \"{}\", \
+             \"mode\": \"{}\", \"count\": {}, \"sites\": {}, \
+             \"fetches_before\": {}, \"fetches_after\": {}}}",
+            p.producer_kernel,
+            p.consumer_kernel,
+            p.mode,
+            p.count,
+            p.sites,
+            p.fetches_before,
+            p.fetches_after
+        );
+        s.push_str(if i + 1 < f.pairs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(s, "    \"eliminated_passes\": {},", f.eliminated_passes);
+    let _ = writeln!(s, "    \"fused_passes\": {},", f.fused_passes);
+    let _ = writeln!(s, "    \"unfused_passes\": {},", f.unfused_passes);
+    let _ = writeln!(
+        s,
+        "    \"normalize_distance_fetches_per_fragment\": \
+         {{\"fused\": {}, \"unfused\": {}}},",
+        f.fused_fetches_per_fragment, f.unfused_fetches_per_fragment
+    );
+    let _ = writeln!(
+        s,
+        "    \"static_fetch_reduction_pct\": {:.6},",
+        f.static_fetch_reduction_pct()
+    );
+    let _ = writeln!(s, "    \"zero_fill_skips\": {},", f.zero_fill_skips);
+    let _ = writeln!(
+        s,
+        "    \"unfused_arm\": {{\"normalize_texel_fetches\": {}, \
+         \"distance_texel_fetches\": {}, \"distance_wall_s\": {:.6}}},",
+        f.unfused_normalize_texel_fetches,
+        f.unfused_distance_texel_fetches,
+        f.unfused_distance_wall_s
+    );
+    let _ = writeln!(
+        s,
+        "    \"measured_fetch_reduction_pct\": {:.6}",
+        f.measured_fetch_reduction_pct(
+            run.stages.normalize.texel_fetches + run.stages.distance.texel_fetches
+        )
     );
     s.push_str("  },\n");
     let c = &run.gpu_caches;
@@ -810,6 +1046,13 @@ impl Json {
         }
     }
 
+    fn bool(&self) -> ParseResult<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err("expected boolean".into()),
+        }
+    }
+
     fn arr(&self) -> ParseResult<&[Json]> {
         match self {
             Json::Arr(items) => Ok(items),
@@ -883,6 +1126,34 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
     // Of the whole `opt` block only the measured microbench walls are
     // inputs; the rollup itself is recomputed by [`to_json`].
     let micro = doc.get("opt")?.get("isa_microbench")?;
+    let fus = doc.get("fusion")?;
+    let mut pairs = Vec::new();
+    for p in fus.get("pairs")?.arr()? {
+        pairs.push(FusionPairRow {
+            producer_kernel: p.get("producer_kernel")?.str()?.to_owned(),
+            consumer_kernel: p.get("consumer_kernel")?.str()?.to_owned(),
+            mode: p.get("mode")?.str()?.to_owned(),
+            count: p.get("count")?.u64()?,
+            sites: p.get("sites")?.u64()?,
+            fetches_before: p.get("fetches_before")?.u64()?,
+            fetches_after: p.get("fetches_after")?.u64()?,
+        });
+    }
+    let per_frag = fus.get("normalize_distance_fetches_per_fragment")?;
+    let arm = fus.get("unfused_arm")?;
+    let fusion = FusionReport {
+        enabled: fus.get("enabled")?.bool()?,
+        pairs,
+        eliminated_passes: fus.get("eliminated_passes")?.u64()?,
+        fused_passes: fus.get("fused_passes")?.u64()?,
+        unfused_passes: fus.get("unfused_passes")?.u64()?,
+        fused_fetches_per_fragment: per_frag.get("fused")?.u64()?,
+        unfused_fetches_per_fragment: per_frag.get("unfused")?.u64()?,
+        zero_fill_skips: fus.get("zero_fill_skips")?.u64()?,
+        unfused_normalize_texel_fetches: arm.get("normalize_texel_fetches")?.u64()?,
+        unfused_distance_texel_fetches: arm.get("distance_texel_fetches")?.u64()?,
+        unfused_distance_wall_s: arm.get("distance_wall_s")?.num()?,
+    };
     let metrics_obj = doc.get("metrics")?;
     let mut counters = Vec::new();
     for c in metrics_obj.get("counters")?.arr()? {
@@ -935,6 +1206,7 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
             let name = doc.get("kernel_mode")?.str()?.to_owned();
             KernelMode::from_name(&name).ok_or_else(|| format!("unknown kernel_mode \"{name}\""))?
         },
+        fusion,
     })
 }
 
@@ -1003,6 +1275,38 @@ mod tests {
             opt_wall_raw_s: 0.041,
             opt_wall_opt_s: 0.034,
             kernel_mode: KernelMode::Isa,
+            fusion: FusionReport {
+                enabled: true,
+                pairs: vec![
+                    FusionPairRow {
+                        producer_kernel: "normalize".into(),
+                        consumer_kernel: "sid_partial".into(),
+                        mode: "substitute-site-coord".into(),
+                        count: 24,
+                        sites: 48,
+                        fetches_before: 672,
+                        fetches_after: 462,
+                    },
+                    FusionPairRow {
+                        producer_kernel: "band_sum".into(),
+                        consumer_kernel: "band_sum".into(),
+                        mode: "keep-producer-coords".into(),
+                        count: 9,
+                        sites: 9,
+                        fetches_before: 54,
+                        fetches_after: 45,
+                    },
+                ],
+                eliminated_passes: 24,
+                fused_passes: 17,
+                unfused_passes: 53,
+                fused_fetches_per_fragment: 462,
+                unfused_fetches_per_fragment: 672,
+                zero_fill_skips: 41,
+                unfused_normalize_texel_fetches: 19_635,
+                unfused_distance_texel_fetches: 52_000,
+                unfused_distance_wall_s: 0.31,
+            },
         }
     }
 
@@ -1013,7 +1317,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema_version\": 4",
+            "\"schema_version\": 5",
             "\"benchmark\"",
             "\"kernel_mode\": \"isa\"",
             "\"threads\": 4",
@@ -1043,6 +1347,15 @@ mod tests {
             "\"modeled_kernel_ms_raw_7800gtx\"",
             "\"modeled_kernel_ms_opt_7800gtx\"",
             "\"isa_microbench\": {\"wall_raw_s\": 0.041000, \"wall_opt_s\": 0.034000}",
+            "\"fusion\": {",
+            "\"producer_kernel\": \"normalize\"",
+            "\"mode\": \"substitute-site-coord\"",
+            "\"normalize_distance_fetches_per_fragment\": {\"fused\": 462, \"unfused\": 672}",
+            "\"static_fetch_reduction_pct\": 31.250000",
+            "\"zero_fill_skips\": 41",
+            "\"unfused_arm\": {",
+            "\"distance_wall_s\": 0.310000",
+            "\"measured_fetch_reduction_pct\": 100.000000",
             "\"gpu_caches\": {\"verify_runs\": 7",
             "\"cache_hit_rates\": {\"verify\": 0.995025",
             "\"name\": \"gpu.pass_wall\", \"count\": 1407",
@@ -1073,11 +1386,11 @@ mod tests {
     fn schema_drift_fails_loudly() {
         let doc = to_json(&sample_run());
         // Wrong version.
-        let old = doc.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        let old = doc.replace("\"schema_version\": 5", "\"schema_version\": 3");
         let err = from_json(&old).expect_err("version 3 must be rejected");
         assert!(err.contains("schema_version 3"), "{err}");
         // Unversioned document (the pre-observability layout).
-        let unversioned = doc.replacen("  \"schema_version\": 4,\n", "", 1);
+        let unversioned = doc.replacen("  \"schema_version\": 5,\n", "", 1);
         let err = from_json(&unversioned).expect_err("missing version must be rejected");
         assert!(err.contains("schema_version"), "{err}");
         // A missing input key is an error, not a default.

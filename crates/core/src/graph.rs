@@ -1,0 +1,1423 @@
+//! A declarative render graph with a compiling executor.
+//!
+//! The AMC pipeline is a fixed chain of fragment passes; instead of
+//! hand-wiring texture ping-pongs, the pipeline *declares* every pass —
+//! which textures it reads (in sampler order), which coordinate sets and
+//! pass constants it binds, and the single texture it writes — against
+//! SSA-style logical texture handles (each written by at most one pass).
+//! [`compile`] then:
+//!
+//! 1. **validates** the graph (single writer, producers precede consumers,
+//!    per-pass program verification) by lowering it to the
+//!    [`gpu_sim::opt::check_pipeline`] contract form;
+//! 2. runs **dead-pass elimination** — passes that cannot reach a declared
+//!    [`TexKind::Output`] are dropped and reported;
+//! 3. optionally **fuses producer→consumer pass pairs** by inlining the
+//!    producer's fp30 body at the consumer's `TEX` site
+//!    ([`gpu_sim::opt::inline_producer`]), re-optimizing and re-verifying
+//!    every fused program;
+//! 4. runs **texture lifetime analysis** and assigns transient textures to
+//!    size-classed physical slots so that two textures share a slot only
+//!    when their live ranges are disjoint — the executor realizes the
+//!    aliasing through the device's LIFO texture pool.
+//!
+//! [`CompiledGraph::execute`] walks the scheduled passes against a
+//! [`Gpu`], materializing transient textures on first use (skipping the
+//! pool's zero-fill when the producer provably overwrites every texel),
+//! releasing them after their last read, and bucketing pass statistics and
+//! wall time per declared stage.
+//!
+//! # Fusion soundness
+//!
+//! Fusion decisions are made in two phases, both all-or-nothing per
+//! producer and both falling back to the materialized two-pass form on any
+//! resource limit or legality failure:
+//!
+//! * **Phase A — field producers.** A transient read by ≥ 2 passes *at
+//!   diverse coordinates* (shifted sets or dependent reads — i.e. consumed
+//!   as a field, not forwarded along an accumulator) is inlined at every
+//!   reading site with [`InlineMode::SubstituteSiteCoord`], which is exact
+//!   because the producer rendered with identity coordinate sets: its texel
+//!   is a pure function of position, so recomputing the body at the site's
+//!   coordinate reproduces the fetch. Candidates are chosen on the declared
+//!   graph only — coordinate diversity *introduced* by substitution is an
+//!   artifact of inlining, so one round suffices and accumulator chains
+//!   stay materialized for phase B.
+//! * **Phase B — accumulator chains.** A transient with exactly one reader
+//!   is collapsed into it (forward sweep; a collapsed pass immediately
+//!   becomes the next candidate, so chains fold until a register, sampler,
+//!   coordinate-set, or program-length limit stops them — the limit point
+//!   is where the chain segments). The producer's coordinate sets either
+//!   are all identity (site substitution again) or are carried into the
+//!   fused pass bit-identically with the reading site pinned at identity
+//!   ([`InlineMode::KeepProducerCoords`]).
+//!
+//! Every fused program is rebuilt by the exact-preserving `opt` framework
+//! (CSE, per-lane DCE, temp compaction) and statically re-verified against
+//! the device profile, so the fused graph renders bit-identically to the
+//! unfused one — which stays available behind `GPU_SIM_FUSE=0` as the
+//! oracle.
+
+use gpu_sim::counters::PassStats;
+use gpu_sim::device::GpuProfile;
+use gpu_sim::gpu::{Gpu, TextureId};
+use gpu_sim::isa::{Opcode, Program, Reg, NUM_SAMPLERS, NUM_TEXCOORDS};
+use gpu_sim::opt::{self, InlineMode, InlineRequest};
+use gpu_sim::raster::TexCoordSet;
+use gpu_sim::texture::AddressMode;
+use gpu_sim::verify::PassBindings;
+use gpu_sim::GpuError;
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Handle to one logical texture in a [`RenderGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TexHandle(pub usize);
+
+/// What a logical texture is to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TexKind {
+    /// Supplied by the caller at execute time (e.g. uploaded band planes).
+    /// Never allocated or released by the executor.
+    Imported,
+    /// Produced and consumed inside one execution; eligible for slot
+    /// aliasing. `zeroed` textures have no producer pass — they
+    /// materialize zero-filled at first read (accumulator seeds).
+    Transient {
+        /// Reads observe all-zero texels until (never) written.
+        zeroed: bool,
+    },
+    /// Survives the execution; returned to the caller for download.
+    Output,
+}
+
+/// One logical texture declaration.
+#[derive(Debug, Clone)]
+pub struct TextureDecl {
+    /// Debug name (unique; doubles as the contract resource name).
+    pub name: String,
+    /// Width in texels.
+    pub width: usize,
+    /// Height in texels.
+    pub height: usize,
+    /// Role of the texture.
+    pub kind: TexKind,
+}
+
+/// One declared render pass.
+#[derive(Debug, Clone)]
+pub struct PassDecl {
+    /// Debug name (unique per pass instance).
+    pub name: String,
+    /// Pipeline stage tag; consecutive passes with the same tag share a
+    /// `pipeline.stage` trace span and a [`StageRun`] stats bucket.
+    pub stage: &'static str,
+    /// The fp30 program the pass shades with.
+    pub program: Program,
+    /// Sampler bindings in order: the texture and the address mode the
+    /// program's fetch pattern requires of it (if any).
+    pub inputs: Vec<(TexHandle, Option<AddressMode>)>,
+    /// Interpolated coordinate sets, in `T` register order.
+    pub texcoords: Vec<TexCoordSet>,
+    /// Pass-bound constants overriding program `DEF`s.
+    pub constants: Vec<(u8, [f32; 4])>,
+    /// The texture rendered into (full-target quad).
+    pub output: TexHandle,
+}
+
+/// A declarative pass graph; build with [`RenderGraph::texture`] and
+/// [`RenderGraph::add_pass`], then [`compile`].
+#[derive(Debug, Clone, Default)]
+pub struct RenderGraph {
+    /// Logical textures, indexed by [`TexHandle`].
+    pub textures: Vec<TextureDecl>,
+    /// Passes in submission order (producers before consumers).
+    pub passes: Vec<PassDecl>,
+}
+
+impl RenderGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a logical texture and return its handle.
+    pub fn texture(
+        &mut self,
+        name: impl Into<String>,
+        w: usize,
+        h: usize,
+        kind: TexKind,
+    ) -> TexHandle {
+        self.textures.push(TextureDecl {
+            name: name.into(),
+            width: w,
+            height: h,
+            kind,
+        });
+        TexHandle(self.textures.len() - 1)
+    }
+
+    /// Append a pass.
+    pub fn add_pass(&mut self, pass: PassDecl) {
+        self.passes.push(pass);
+    }
+
+    /// Validate the graph's shape against a device profile. Empty means
+    /// accepted. Graph-specific checks (handle bounds, imported textures
+    /// never written, non-zeroed transients produced before read) run
+    /// first; the rest lowers to [`opt::check_pipeline`], which verifies
+    /// every pass program under its exact bindings and enforces the
+    /// single-writer and producer-before-consumer contract per resource.
+    pub fn validate(&self, profile: &GpuProfile) -> Vec<String> {
+        let mut errors = Vec::new();
+        let n = self.textures.len();
+        for (i, t) in self.textures.iter().enumerate() {
+            if self.textures[..i].iter().any(|o| o.name == t.name) {
+                errors.push(format!("texture `{}` declared twice", t.name));
+            }
+        }
+        let mut produced = vec![false; n];
+        for p in &self.passes {
+            for &(h, _) in &p.inputs {
+                if h.0 >= n {
+                    errors.push(format!(
+                        "pass `{}`: input handle {} out of range",
+                        p.name, h.0
+                    ));
+                }
+            }
+            if p.output.0 >= n {
+                errors.push(format!(
+                    "pass `{}`: output handle {} out of range",
+                    p.name, p.output.0
+                ));
+                continue;
+            }
+            match self.textures[p.output.0].kind {
+                TexKind::Imported => errors.push(format!(
+                    "pass `{}`: renders into imported texture `{}`",
+                    p.name, self.textures[p.output.0].name
+                )),
+                TexKind::Transient { zeroed: true } => errors.push(format!(
+                    "pass `{}`: renders into zero-seeded texture `{}` (seeds have no producer)",
+                    p.name, self.textures[p.output.0].name
+                )),
+                _ => {}
+            }
+            for &(h, _) in &p.inputs {
+                if h.0 >= n {
+                    continue;
+                }
+                let needs_producer = matches!(
+                    self.textures[h.0].kind,
+                    TexKind::Transient { zeroed: false } | TexKind::Output
+                );
+                if needs_producer && !produced[h.0] {
+                    errors.push(format!(
+                        "pass `{}`: reads `{}` before any pass produces it",
+                        p.name, self.textures[h.0].name
+                    ));
+                }
+            }
+            produced[p.output.0] = true;
+        }
+        for (i, t) in self.textures.iter().enumerate() {
+            if matches!(t.kind, TexKind::Output) && !produced[i] {
+                errors.push(format!("output texture `{}` is never produced", t.name));
+            }
+        }
+        if !errors.is_empty() {
+            return errors;
+        }
+        let (resources, stages) = self.to_contracts();
+        errors.extend(opt::check_pipeline(profile, &resources, &stages));
+        errors
+    }
+
+    /// Lower the graph to the [`opt::check_pipeline`] contract form: one
+    /// resource per logical texture (the pool configures every texture
+    /// `ClampToEdge`), one stage per pass.
+    fn to_contracts(&self) -> (Vec<opt::ResourceDecl>, Vec<opt::StageContract>) {
+        let resources = self
+            .textures
+            .iter()
+            .map(|t| opt::ResourceDecl {
+                name: t.name.clone(),
+                mode: AddressMode::ClampToEdge,
+            })
+            .collect();
+        let stages = self
+            .passes
+            .iter()
+            .map(|p| opt::StageContract {
+                name: p.name.clone(),
+                program: p.program.clone(),
+                bindings: pass_bindings(p.inputs.len(), p.texcoords.len(), &p.constants),
+                inputs: p
+                    .inputs
+                    .iter()
+                    .map(|&(h, m)| (self.textures[h.0].name.clone(), m))
+                    .collect(),
+                output: self.textures[p.output.0].name.clone(),
+            })
+            .collect();
+        (resources, stages)
+    }
+}
+
+fn pass_bindings(
+    samplers: usize,
+    texcoord_sets: usize,
+    constants: &[(u8, [f32; 4])],
+) -> PassBindings {
+    PassBindings {
+        samplers,
+        texcoord_sets,
+        constants: constants.iter().map(|&(i, _)| i).collect(),
+        // The executor resolves only O0 to the render target.
+        outputs_read: [true, false, false, false],
+    }
+}
+
+/// Graph compilation failure: the accumulated validation errors.
+#[derive(Debug)]
+pub struct CompileError {
+    /// Human-readable diagnostics.
+    pub errors: Vec<String>,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "render graph rejected: {}", self.errors.join("; "))
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One committed producer→consumer inline, for attribution.
+#[derive(Debug, Clone)]
+pub struct FusionRecord {
+    /// Name of the producer pass whose body was inlined.
+    pub producer: String,
+    /// Name of the consuming pass that absorbed it.
+    pub consumer: String,
+    /// `(producer, consumer)` kernel (program) names.
+    pub kernels: (String, String),
+    /// Coordinate reconciliation used.
+    pub mode: InlineMode,
+    /// `TEX` sites replaced in the consumer.
+    pub sites: usize,
+    /// Per-fragment texel fetches of producer + consumer before fusing.
+    pub fetches_before: usize,
+    /// Per-fragment texel fetches of the fused program.
+    pub fetches_after: usize,
+}
+
+/// One scheduled pass of a [`CompiledGraph`].
+#[derive(Debug, Clone)]
+pub struct CompiledPass {
+    /// Pass name (the consumer's name survives fusion).
+    pub name: String,
+    /// Stage tag for span/stats grouping.
+    pub stage: &'static str,
+    /// Program to shade (fused passes carry the rebuilt program).
+    pub program: Program,
+    /// Sampler bindings in order.
+    pub inputs: Vec<TexHandle>,
+    /// Coordinate sets in `T` register order.
+    pub texcoords: Vec<TexCoordSet>,
+    /// Pass-bound constants.
+    pub constants: Vec<(u8, [f32; 4])>,
+    /// Render target.
+    pub output: TexHandle,
+}
+
+/// Compile-time facts about one logical texture.
+#[derive(Debug, Clone)]
+pub struct TextureMeta {
+    /// Physical slot index (`None` for imported textures and textures fused
+    /// entirely out of existence).
+    pub slot: Option<usize>,
+    /// Pass index producing it (`None` for imports and zero seeds).
+    pub producer: Option<usize>,
+    /// Last pass index reading it.
+    pub last_use: Option<usize>,
+    /// The producer provably overwrites every texel before any read, so a
+    /// pooled reuse may skip the zero fill.
+    pub uninit_ok: bool,
+}
+
+/// A compiled, executable render graph.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    /// Logical texture declarations (indexed by [`TexHandle`]).
+    pub textures: Vec<TextureDecl>,
+    /// Per-texture compile results, parallel to `textures`.
+    pub meta: Vec<TextureMeta>,
+    /// `(width, height)` of each physical slot.
+    pub slots: Vec<(usize, usize)>,
+    /// Scheduled passes.
+    pub passes: Vec<CompiledPass>,
+    /// Committed fusions, in commit order.
+    pub fusions: Vec<FusionRecord>,
+    /// Names of dead passes removed by dead-pass elimination.
+    pub eliminated: Vec<String>,
+    /// Whether fusion ran.
+    pub fused: bool,
+    /// Transient handles to release after each pass (last-use lists).
+    release_after: Vec<Vec<TexHandle>>,
+}
+
+/// Per-stage execution results from [`CompiledGraph::execute`].
+#[derive(Debug, Clone)]
+pub struct StageRun {
+    /// Stage tag.
+    pub name: &'static str,
+    /// Device counters summed over the stage's passes.
+    pub stats: PassStats,
+    /// Host wall time of the stage.
+    pub wall_s: f64,
+}
+
+/// What [`CompiledGraph::execute`] hands back.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// One entry per run of consecutive same-stage passes, in order.
+    pub stages: Vec<StageRun>,
+    /// `(handle, texture)` for every [`TexKind::Output`] texture; the
+    /// caller downloads and releases them.
+    pub outputs: Vec<(TexHandle, TextureId)>,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Compile `graph` for `profile`. With `fuse` false the schedule is the
+/// declared pass list verbatim (the bit-exactness oracle); with `fuse` true
+/// the producer→consumer fusion phases run first. Lifetime analysis and
+/// slot assignment run either way.
+pub fn compile(
+    graph: &RenderGraph,
+    profile: &GpuProfile,
+    fuse: bool,
+) -> Result<CompiledGraph, CompileError> {
+    let errors = graph.validate(profile);
+    if !errors.is_empty() {
+        return Err(CompileError { errors });
+    }
+    let mut passes: Vec<CompiledPass> = graph
+        .passes
+        .iter()
+        .map(|p| CompiledPass {
+            name: p.name.clone(),
+            stage: p.stage,
+            program: p.program.clone(),
+            inputs: p.inputs.iter().map(|&(h, _)| h).collect(),
+            texcoords: p.texcoords.clone(),
+            constants: p.constants.clone(),
+            output: p.output,
+        })
+        .collect();
+    let mut eliminated = Vec::new();
+    let mut fusions = Vec::new();
+    eliminate_dead(&graph.textures, &mut passes, &mut eliminated);
+    if fuse {
+        phase_a(&graph.textures, &mut passes, profile, &mut fusions);
+        eliminate_dead(&graph.textures, &mut passes, &mut eliminated);
+        phase_b(&graph.textures, &mut passes, profile, &mut fusions);
+    }
+    let (meta, slots, release_after) = assign_slots(&graph.textures, &passes);
+    Ok(CompiledGraph {
+        textures: graph.textures.clone(),
+        meta,
+        slots,
+        passes,
+        fusions,
+        eliminated,
+        fused: fuse,
+        release_after,
+    })
+}
+
+/// Remove passes whose output cannot reach a [`TexKind::Output`] texture.
+fn eliminate_dead(
+    textures: &[TextureDecl],
+    passes: &mut Vec<CompiledPass>,
+    eliminated: &mut Vec<String>,
+) {
+    let mut live_tex = vec![false; textures.len()];
+    for (i, t) in textures.iter().enumerate() {
+        live_tex[i] = matches!(t.kind, TexKind::Output);
+    }
+    let mut live_pass = vec![false; passes.len()];
+    for (i, p) in passes.iter().enumerate().rev() {
+        if live_tex[p.output.0] {
+            live_pass[i] = true;
+            for &h in &p.inputs {
+                live_tex[h.0] = true;
+            }
+        }
+    }
+    let mut i = 0;
+    passes.retain(|p| {
+        let keep = live_pass[i];
+        if !keep {
+            eliminated.push(p.name.clone());
+        }
+        i += 1;
+        keep
+    });
+}
+
+/// Where a `TEX` site takes its coordinate from.
+#[derive(Clone, Copy, PartialEq)]
+enum SiteCoord {
+    /// A plain interpolated register: coordinate set index.
+    Interpolated(usize),
+    /// A computed register (dependent fetch).
+    Computed,
+}
+
+/// The coordinate sources of every `TEX` on `sampler`.
+fn sites_on(program: &Program, sampler: u8) -> Vec<SiteCoord> {
+    let mut out = Vec::new();
+    for instr in &program.instrs {
+        if instr.op == Opcode::Tex && instr.sampler == Some(sampler) {
+            let c = &instr.srcs[0];
+            out.push(match c.reg {
+                Reg::TexCoord(t) if c.swizzle.0[0] == 0 && c.swizzle.0[1] == 1 && !c.negate => {
+                    SiteCoord::Interpolated(t as usize)
+                }
+                _ => SiteCoord::Computed,
+            });
+        }
+    }
+    out
+}
+
+/// `(pass index, sampler slot)` for every binding of `t` as an input.
+/// A pass binding `t` at two slots yields two entries.
+fn readers_of(passes: &[CompiledPass], t: TexHandle) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, p) in passes.iter().enumerate() {
+        for (s, &h) in p.inputs.iter().enumerate() {
+            if h == t {
+                out.push((i, s));
+            }
+        }
+    }
+    out
+}
+
+fn identity_coords(sets: &[TexCoordSet]) -> bool {
+    sets.iter().all(|&c| c == TexCoordSet::identity())
+}
+
+/// Phase A: inline field producers (see module docs) at all reading sites,
+/// all-or-nothing per producer. Candidates are selected on the incoming
+/// pass list before any of them is applied.
+fn phase_a(
+    textures: &[TextureDecl],
+    passes: &mut [CompiledPass],
+    profile: &GpuProfile,
+    fusions: &mut Vec<FusionRecord>,
+) {
+    let mut candidates = Vec::new();
+    for (ti, tex) in textures.iter().enumerate() {
+        if !matches!(tex.kind, TexKind::Transient { zeroed: false }) {
+            continue;
+        }
+        let t = TexHandle(ti);
+        let Some(prod) = passes.iter().position(|p| p.output == t) else {
+            continue;
+        };
+        let readers = readers_of(passes, t);
+        if readers.len() < 2 {
+            continue;
+        }
+        // One slot per reading pass, or the rewrite bookkeeping ambiguates.
+        let mut pass_ids: Vec<usize> = readers.iter().map(|&(i, _)| i).collect();
+        pass_ids.dedup();
+        if pass_ids.len() != readers.len() {
+            continue;
+        }
+        // Site substitution is only exact for identity-coordinate producers.
+        if !identity_coords(&passes[prod].texcoords) {
+            continue;
+        }
+        // Field-consumption test: the readers must sample at ≥ 2 distinct
+        // coordinate descriptors (or dependently). A texture every reader
+        // fetches once at its own position is an accumulator link or a
+        // broadcast — materialization already evaluates its body exactly
+        // once per fragment, which inlining could only duplicate.
+        let mut descs: Vec<Option<TexCoordSet>> = Vec::new();
+        for &(pi, slot) in &readers {
+            for site in sites_on(&passes[pi].program, slot as u8) {
+                descs.push(match site {
+                    SiteCoord::Interpolated(x) => passes[pi].texcoords.get(x).copied(),
+                    SiteCoord::Computed => None,
+                });
+            }
+        }
+        let diverse = descs.iter().any(|d| d.is_none())
+            || descs.windows(2).any(|w| w[0] != w[1])
+            || descs.len() > readers.len();
+        if !diverse {
+            continue;
+        }
+        candidates.push((t, prod, readers));
+    }
+    for (t, prod, readers) in candidates {
+        let mut staged = Vec::with_capacity(readers.len());
+        let mut ok = true;
+        for &(pi, _) in &readers {
+            match fuse_into(textures, &passes[pi], &passes[prod], t, profile) {
+                Ok(res) => staged.push((pi, res)),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        for (pi, (fused, rec)) in staged {
+            passes[pi] = fused;
+            fusions.push(rec);
+        }
+        // The producer is now unread; dead-pass elimination reaps it.
+    }
+}
+
+/// Phase B: collapse single-reader accumulator chains with a forward
+/// sweep. A successful collapse removes the producer and immediately
+/// retries at the same index, so chains fold until a limit segments them.
+fn phase_b(
+    textures: &[TextureDecl],
+    passes: &mut Vec<CompiledPass>,
+    profile: &GpuProfile,
+    fusions: &mut Vec<FusionRecord>,
+) {
+    let mut i = 0;
+    while i < passes.len() {
+        let t = passes[i].output;
+        let collapse = if matches!(textures[t.0].kind, TexKind::Transient { zeroed: false }) {
+            let readers = readers_of(passes, t);
+            match readers[..] {
+                [(r, _)] => fuse_into(textures, &passes[r], &passes[i], t, profile)
+                    .ok()
+                    .map(|res| (r, res)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some((r, (fused, rec))) = collapse {
+            passes[r] = fused;
+            fusions.push(rec);
+            passes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Build the fused form of `consumer` with `producer`'s body inlined at
+/// every site sampling `t`. Errors leave both passes untouched.
+fn fuse_into(
+    textures: &[TextureDecl],
+    consumer: &CompiledPass,
+    producer: &CompiledPass,
+    t: TexHandle,
+    profile: &GpuProfile,
+) -> Result<(CompiledPass, FusionRecord), String> {
+    if !producer.constants.is_empty() {
+        return Err("producer binds pass constants".into());
+    }
+    let dims = (textures[t.0].width, textures[t.0].height);
+    for &h in &producer.inputs {
+        if (textures[h.0].width, textures[h.0].height) != dims {
+            return Err("producer input size differs from its target".into());
+        }
+    }
+    let slots: Vec<usize> = consumer
+        .inputs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &h)| h == t)
+        .map(|(s, _)| s)
+        .collect();
+    let [dying] = slots[..] else {
+        return Err("consumer binds the producer at multiple samplers".into());
+    };
+    let mode = if identity_coords(&producer.texcoords) {
+        InlineMode::SubstituteSiteCoord
+    } else {
+        // Carrying producer coordinates is exact only when every site
+        // fetched the producer's texel at its own position.
+        let at_identity = sites_on(&consumer.program, dying as u8).iter().all(|s| {
+            matches!(*s, SiteCoord::Interpolated(x)
+                if consumer.texcoords.get(x) == Some(&TexCoordSet::identity()))
+        });
+        if !at_identity {
+            return Err("producer has shifted coordinates and a non-identity site".into());
+        }
+        InlineMode::KeepProducerCoords
+    };
+    // Map producer samplers into the fused pass, reusing existing bindings
+    // of the same logical texture and appending the rest.
+    let mut inputs = consumer.inputs.clone();
+    let mut sampler_map = Vec::with_capacity(producer.inputs.len());
+    for &h in &producer.inputs {
+        let s = match inputs.iter().position(|&x| x == h) {
+            Some(s) if s != dying => s,
+            _ => {
+                inputs.push(h);
+                inputs.len() - 1
+            }
+        };
+        if s >= NUM_SAMPLERS {
+            return Err("sampler file exhausted".into());
+        }
+        sampler_map.push(s as u8);
+    }
+    // Carry producer coordinate sets in bit-identically (KeepProducerCoords).
+    let mut texcoords = consumer.texcoords.clone();
+    let mut texcoord_map = Vec::new();
+    if mode == InlineMode::KeepProducerCoords {
+        for &c in &producer.texcoords {
+            let x = match texcoords.iter().position(|&e| e == c) {
+                Some(x) => x,
+                None => {
+                    texcoords.push(c);
+                    texcoords.len() - 1
+                }
+            };
+            if x >= NUM_TEXCOORDS {
+                return Err("coordinate sets exhausted".into());
+            }
+            texcoord_map.push(x as u8);
+        }
+    }
+    let bindings = pass_bindings(inputs.len(), texcoords.len(), &consumer.constants);
+    let (mut fused, sites) = opt::inline_producer(
+        &consumer.program,
+        &bindings,
+        &InlineRequest {
+            producer: &producer.program,
+            sampler: dying as u8,
+            sampler_map: &sampler_map,
+            texcoord_map: &texcoord_map,
+            mode,
+        },
+    )?;
+    drop_sampler(&mut fused, &mut inputs, dying);
+    let bindings = pass_bindings(inputs.len(), texcoords.len(), &consumer.constants);
+    let (mut fused, _) = opt::optimize(&fused, &bindings);
+    opt::compact_temps(&mut fused);
+    fused.name = consumer.program.name.clone();
+    let diags = gpu_sim::verify::verify(&fused, profile, Some(&bindings));
+    if gpu_sim::verify::has_errors(&diags) {
+        return Err(format!(
+            "fused program fails verification: {}",
+            diags
+                .iter()
+                .filter(|d| d.severity == gpu_sim::verify::Severity::Error)
+                .map(|d| d.message.as_str())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    let rec = FusionRecord {
+        producer: producer.name.clone(),
+        consumer: consumer.name.clone(),
+        kernels: (producer.program.name.clone(), consumer.program.name.clone()),
+        mode,
+        sites,
+        fetches_before: producer.program.tex_count() + consumer.program.tex_count(),
+        fetches_after: fused.tex_count(),
+    };
+    Ok((
+        CompiledPass {
+            name: consumer.name.clone(),
+            stage: consumer.stage,
+            program: fused,
+            inputs,
+            texcoords,
+            constants: consumer.constants.clone(),
+            output: consumer.output,
+        },
+        rec,
+    ))
+}
+
+/// Remove the (now unreferenced) sampler `slot` and renumber the rest.
+fn drop_sampler(program: &mut Program, inputs: &mut Vec<TexHandle>, slot: usize) {
+    debug_assert!(program.instrs.iter().all(|i| i.sampler != Some(slot as u8)));
+    inputs.remove(slot);
+    for instr in &mut program.instrs {
+        if let Some(s) = instr.sampler.as_mut() {
+            if (*s as usize) > slot {
+                *s -= 1;
+            }
+        }
+    }
+}
+
+/// Lifetime analysis + greedy size-classed slot assignment. Returns
+/// per-texture metadata, the physical slots, and per-pass release lists.
+///
+/// A texture is live from its producer pass (zero seeds: from their first
+/// read, where they materialize zero-filled) to its last read; outputs
+/// stay live past the end. Two textures share a slot only when the earlier
+/// one's last use strictly precedes the later one's first — mirroring the
+/// executor, which returns a transient to the LIFO pool after its last
+/// reading pass and draws the next one from the pool at its producer.
+type SlotAssignment = (Vec<TextureMeta>, Vec<(usize, usize)>, Vec<Vec<TexHandle>>);
+
+fn assign_slots(textures: &[TextureDecl], passes: &[CompiledPass]) -> SlotAssignment {
+    let n = textures.len();
+    let mut producer = vec![None; n];
+    let mut first = vec![None; n];
+    let mut last = vec![None; n];
+    for (i, p) in passes.iter().enumerate() {
+        for &h in &p.inputs {
+            first[h.0].get_or_insert(i);
+            last[h.0] = Some(i);
+        }
+        producer[p.output.0] = Some(i);
+        first[p.output.0].get_or_insert(i);
+    }
+    // Greedy scan in order of first action; most-recently-freed slot wins
+    // (the pool is LIFO).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (first[i].unwrap_or(usize::MAX), i));
+    let mut slots: Vec<(usize, usize, i64)> = Vec::new(); // (w, h, free_from)
+    let mut meta: Vec<TextureMeta> = (0..n)
+        .map(|i| TextureMeta {
+            slot: None,
+            producer: producer[i],
+            last_use: last[i],
+            // Every pass draws a full-target quad and the device stores the
+            // whole texel, so any produced texture is fully overwritten
+            // before its first read.
+            uninit_ok: producer[i].is_some(),
+        })
+        .collect();
+    for &i in &order {
+        let Some(f) = first[i] else {
+            continue;
+        };
+        if matches!(textures[i].kind, TexKind::Imported) {
+            continue;
+        }
+        let class = (textures[i].width, textures[i].height);
+        let until = match textures[i].kind {
+            TexKind::Output => i64::MAX,
+            _ => last[i].map_or(f as i64, |l| l as i64),
+        };
+        let pick = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &(w, h, free))| (w, h) == class && free >= 0 && free <= f as i64)
+            .max_by_key(|&(_, &(_, _, free))| free);
+        let slot = match pick {
+            Some((s, _)) => s,
+            None => {
+                slots.push((class.0, class.1, -1));
+                slots.len() - 1
+            }
+        };
+        // Free for a successor only after the last use has passed.
+        slots[slot].2 = if until == i64::MAX {
+            i64::MAX
+        } else {
+            until + 1
+        };
+        meta[i].slot = Some(slot);
+    }
+    let mut release_after = vec![Vec::new(); passes.len()];
+    for i in 0..n {
+        if let (TexKind::Transient { .. }, Some(l)) = (textures[i].kind, last[i]) {
+            release_after[l].push(TexHandle(i));
+        }
+    }
+    (
+        meta,
+        slots.into_iter().map(|(w, h, _)| (w, h)).collect(),
+        release_after,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+impl CompiledGraph {
+    /// Run the compiled graph on `gpu`. `imports` supplies one device
+    /// texture per [`TexKind::Imported`] handle (the caller keeps
+    /// ownership). Transients are drawn from / returned to the texture
+    /// pool around their live range; [`TexKind::Output`] textures are
+    /// returned for the caller to download and release.
+    pub fn execute(
+        &self,
+        gpu: &mut Gpu,
+        imports: &[(TexHandle, TextureId)],
+    ) -> Result<ExecReport, GpuError> {
+        let mut ids: Vec<Option<TextureId>> = vec![None; self.textures.len()];
+        for &(h, id) in imports {
+            if !matches!(self.textures[h.0].kind, TexKind::Imported) {
+                return Err(GpuError::InvalidPass {
+                    message: format!(
+                        "graph texture `{}` is not imported",
+                        self.textures[h.0].name
+                    ),
+                });
+            }
+            ids[h.0] = Some(id);
+        }
+        for (i, t) in self.textures.iter().enumerate() {
+            if matches!(t.kind, TexKind::Imported)
+                && ids[i].is_none()
+                && self.meta[i].last_use.is_some()
+            {
+                return Err(GpuError::InvalidPass {
+                    message: format!("imported texture `{}` was not supplied", t.name),
+                });
+            }
+        }
+        let mut stages: Vec<StageRun> = Vec::new();
+        let mut p = 0;
+        while p < self.passes.len() {
+            let stage = self.passes[p].stage;
+            let end = self.passes[p..]
+                .iter()
+                .position(|x| x.stage != stage)
+                .map_or(self.passes.len(), |off| p + off);
+            let _span = trace::span("pipeline.stage", stage);
+            let start = Instant::now();
+            let mut stats = PassStats::new();
+            for i in p..end {
+                stats.add(&self.run_pass(gpu, i, &mut ids)?);
+            }
+            stages.push(StageRun {
+                name: stage,
+                stats,
+                wall_s: start.elapsed().as_secs_f64(),
+            });
+            p = end;
+        }
+        let outputs = self
+            .textures
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.kind, TexKind::Output))
+            .map(|(i, t)| {
+                ids[i]
+                    .map(|id| (TexHandle(i), id))
+                    .ok_or_else(|| GpuError::InvalidPass {
+                        message: format!("output texture `{}` was never rendered", t.name),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExecReport { stages, outputs })
+    }
+
+    fn run_pass(
+        &self,
+        gpu: &mut Gpu,
+        i: usize,
+        ids: &mut [Option<TextureId>],
+    ) -> Result<PassStats, GpuError> {
+        let pass = &self.passes[i];
+        // Zero-seeded accumulators materialize (zero-filled) at first read.
+        for &h in &pass.inputs {
+            if ids[h.0].is_none() {
+                let t = &self.textures[h.0];
+                debug_assert!(matches!(t.kind, TexKind::Transient { zeroed: true }));
+                ids[h.0] = Some(gpu.alloc_pooled(t.width, t.height)?);
+            }
+        }
+        let out = {
+            let t = &self.textures[pass.output.0];
+            // The compiler proved the pass overwrites every texel (full
+            // quad, whole-texel stores), so a pooled reuse — the aliasing
+            // path — skips its zero fill.
+            let id = if self.meta[pass.output.0].uninit_ok {
+                gpu.alloc_pooled_uninit(t.width, t.height)?
+            } else {
+                gpu.alloc_pooled(t.width, t.height)?
+            };
+            ids[pass.output.0] = Some(id);
+            id
+        };
+        let inputs: Vec<TextureId> = pass.inputs.iter().map(|&h| ids[h.0].unwrap()).collect();
+        let stats = gpu.run_pass(
+            &pass.program,
+            &inputs,
+            &pass.constants,
+            &pass.texcoords,
+            out,
+            None,
+        )?;
+        for &h in &self.release_after[i] {
+            if let Some(id) = ids[h.0].take() {
+                gpu.release_pooled(id)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Per-fragment texel fetches summed over the passes of `stage`.
+    pub fn stage_fetches_per_fragment(&self, stage: &str) -> usize {
+        self.passes
+            .iter()
+            .filter(|p| p.stage == stage)
+            .map(|p| p.program.tex_count())
+            .sum()
+    }
+
+    /// Number of scheduled passes tagged `stage`.
+    pub fn stage_passes(&self, stage: &str) -> usize {
+        self.passes.iter().filter(|p| p.stage == stage).count()
+    }
+
+    // -- introspection dumps ------------------------------------------------
+
+    /// GraphViz DOT rendering: passes as boxes (fused passes bold), live
+    /// textures as ellipses labelled with their physical slot.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph render_graph {{");
+        let _ = writeln!(s, "  rankdir=LR;");
+        let fused_consumers: Vec<&str> = self.fusions.iter().map(|f| f.consumer.as_str()).collect();
+        for (i, p) in self.passes.iter().enumerate() {
+            let bold = if fused_consumers.contains(&p.name.as_str()) {
+                ", style=bold"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "  p{i} [shape=box{bold}, label=\"{}\\n{} · {} instr · {} fetch\"];",
+                p.name,
+                p.stage,
+                p.program.len(),
+                p.program.tex_count()
+            );
+        }
+        for (ti, t) in self.textures.iter().enumerate() {
+            if self.meta[ti].last_use.is_none() && self.meta[ti].producer.is_none() {
+                continue;
+            }
+            let slot = match self.meta[ti].slot {
+                Some(sl) => format!("slot {sl}"),
+                None => "imported".into(),
+            };
+            let _ = writeln!(
+                s,
+                "  t{ti} [shape=ellipse, label=\"{}\\n{}x{} · {slot}\"];",
+                t.name, t.width, t.height
+            );
+        }
+        for (i, p) in self.passes.iter().enumerate() {
+            for &h in &p.inputs {
+                let _ = writeln!(s, "  t{} -> p{i};", h.0);
+            }
+            let _ = writeln!(s, "  p{i} -> t{};", p.output.0);
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// JSON rendering of the compile results: passes, fused pairs, slot
+    /// aliasing, and eliminated passes.
+    pub fn to_json(&self) -> String {
+        let esc = |x: &str| x.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"fused\": {},", self.fused);
+        let _ = writeln!(s, "  \"passes\": [");
+        for (i, p) in self.passes.iter().enumerate() {
+            let comma = if i + 1 < self.passes.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"stage\": \"{}\", \"kernel\": \"{}\", \
+                 \"instructions\": {}, \"fetches\": {}, \"inputs\": [{}], \"output\": \"{}\"}}{comma}",
+                esc(&p.name),
+                p.stage,
+                esc(&p.program.name),
+                p.program.len(),
+                p.program.tex_count(),
+                p.inputs
+                    .iter()
+                    .map(|&h| format!("\"{}\"", esc(&self.textures[h.0].name)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                esc(&self.textures[p.output.0].name)
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"fusions\": [");
+        for (i, f) in self.fusions.iter().enumerate() {
+            let comma = if i + 1 < self.fusions.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"producer\": \"{}\", \"consumer\": \"{}\", \"mode\": \"{}\", \
+                 \"sites\": {}, \"fetches_before\": {}, \"fetches_after\": {}}}{comma}",
+                esc(&f.producer),
+                esc(&f.consumer),
+                match f.mode {
+                    InlineMode::SubstituteSiteCoord => "substitute-site-coord",
+                    InlineMode::KeepProducerCoords => "keep-producer-coords",
+                },
+                f.sites,
+                f.fetches_before,
+                f.fetches_after
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"eliminated\": [");
+        for (i, e) in self.eliminated.iter().enumerate() {
+            let comma = if i + 1 < self.eliminated.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    \"{}\"{comma}", esc(e));
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"textures\": [");
+        let live: Vec<usize> = (0..self.textures.len())
+            .filter(|&i| self.meta[i].producer.is_some() || self.meta[i].last_use.is_some())
+            .collect();
+        for (k, &ti) in live.iter().enumerate() {
+            let comma = if k + 1 < live.len() { "," } else { "" };
+            let t = &self.textures[ti];
+            let m = &self.meta[ti];
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"width\": {}, \"height\": {}, \"slot\": {}, \
+                 \"uninit_ok\": {}, \"live\": [{}, {}]}}{comma}",
+                esc(&t.name),
+                t.width,
+                t.height,
+                m.slot.map_or("null".into(), |x| x.to_string()),
+                m.uninit_ok,
+                m.producer
+                    .or(m.last_use)
+                    .map_or("null".into(), |x| x.to_string()),
+                m.last_use.map_or("null".into(), |x| x.to_string())
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"slots\": {}", self.slots.len());
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::asm::assemble;
+    use proptest::prelude::*;
+
+    /// `out = src` (one fetch at the interpolated coordinate).
+    fn copy_program() -> Program {
+        assemble("!!copy\nTEX R0, T0, tex0\nMOV OC, R0").unwrap()
+    }
+
+    /// `out = prev + src` (accumulator link: prev at s0, src at s1).
+    fn acc_program() -> Program {
+        assemble("!!acc\nTEX R0, T0, tex0\nTEX R1, T0, tex1\nADD OC, R0, R1").unwrap()
+    }
+
+    fn pass(
+        name: impl Into<String>,
+        program: Program,
+        inputs: Vec<(TexHandle, Option<AddressMode>)>,
+        output: TexHandle,
+    ) -> PassDecl {
+        PassDecl {
+            name: name.into(),
+            stage: "chain",
+            program,
+            inputs,
+            texcoords: vec![TexCoordSet::identity()],
+            constants: Vec::new(),
+            output,
+        }
+    }
+
+    /// `len` passes accumulating an imported 4×4 source:
+    /// `t0 = src; t1 = t0 + src; …; t(len-1)` is the output.
+    fn chain_graph(len: usize) -> (RenderGraph, TexHandle) {
+        let mut g = RenderGraph::new();
+        let src = g.texture("src", 4, 4, TexKind::Imported);
+        let mut prev: Option<TexHandle> = None;
+        for j in 0..len {
+            let kind = if j + 1 == len {
+                TexKind::Output
+            } else {
+                TexKind::Transient { zeroed: false }
+            };
+            let out = g.texture(format!("t{j}"), 4, 4, kind);
+            let p = match prev {
+                None => pass(format!("p{j}"), copy_program(), vec![(src, None)], out),
+                Some(t) => pass(
+                    format!("p{j}"),
+                    acc_program(),
+                    vec![(t, None), (src, None)],
+                    out,
+                ),
+            };
+            g.add_pass(p);
+            prev = Some(out);
+        }
+        (g, src)
+    }
+
+    /// Every pair of textures assigned the same physical slot must have the
+    /// same size class and strictly disjoint appearance ranges over the
+    /// scheduled passes.
+    fn check_alias_invariant(c: &CompiledGraph) {
+        let n = c.textures.len();
+        let mut lo = vec![usize::MAX; n];
+        let mut hi = vec![0usize; n];
+        for (i, p) in c.passes.iter().enumerate() {
+            for &h in p.inputs.iter().chain(std::iter::once(&p.output)) {
+                lo[h.0] = lo[h.0].min(i);
+                hi[h.0] = hi[h.0].max(i);
+            }
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                let (Some(sa), Some(sb)) = (c.meta[a].slot, c.meta[b].slot) else {
+                    continue;
+                };
+                if sa != sb {
+                    continue;
+                }
+                assert_eq!(
+                    (c.textures[a].width, c.textures[a].height),
+                    (c.textures[b].width, c.textures[b].height),
+                    "slot {sa} mixes size classes"
+                );
+                assert!(
+                    lo[a] != usize::MAX && lo[b] != usize::MAX,
+                    "slotted texture never appears in the schedule"
+                );
+                assert!(
+                    hi[a] < lo[b] || hi[b] < lo[a],
+                    "`{}` [{}, {}] and `{}` [{}, {}] share slot {sa} while live",
+                    c.textures[a].name,
+                    lo[a],
+                    hi[a],
+                    c.textures[b].name,
+                    lo[b],
+                    hi[b]
+                );
+            }
+        }
+    }
+
+    fn run_chain(c: &CompiledGraph, src: TexHandle, data: &[f32]) -> Vec<f32> {
+        let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
+        let src_id = gpu.alloc_pooled(4, 4).unwrap();
+        gpu.upload(src_id, data).unwrap();
+        let report = c.execute(&mut gpu, &[(src, src_id)]).unwrap();
+        let [(_, out_id)] = report.outputs[..] else {
+            panic!("one output expected")
+        };
+        let mut out = Vec::new();
+        gpu.download_into(out_id, &mut out).unwrap();
+        gpu.release_pooled(out_id).unwrap();
+        gpu.release_pooled(src_id).unwrap();
+        out
+    }
+
+    #[test]
+    fn validate_rejects_malformed_graphs() {
+        let profile = GpuProfile::fx5950_ultra();
+        // Duplicate texture names.
+        let mut g = RenderGraph::new();
+        g.texture("x", 4, 4, TexKind::Imported);
+        g.texture("x", 4, 4, TexKind::Imported);
+        assert!(g
+            .validate(&profile)
+            .iter()
+            .any(|e| e.contains("declared twice")));
+        // Rendering into an imported texture.
+        let mut g = RenderGraph::new();
+        let a = g.texture("a", 4, 4, TexKind::Imported);
+        g.add_pass(pass("p", copy_program(), vec![(a, None)], a));
+        assert!(g.validate(&profile).iter().any(|e| e.contains("imported")));
+        // Reading a transient before any pass produces it.
+        let mut g = RenderGraph::new();
+        let t = g.texture("t", 4, 4, TexKind::Transient { zeroed: false });
+        let o = g.texture("o", 4, 4, TexKind::Output);
+        g.add_pass(pass("p", copy_program(), vec![(t, None)], o));
+        assert!(g
+            .validate(&profile)
+            .iter()
+            .any(|e| e.contains("before any pass produces")));
+        // Declared output that nothing renders.
+        let mut g = RenderGraph::new();
+        g.texture("o", 4, 4, TexKind::Output);
+        let errs = g.validate(&profile);
+        assert!(errs.iter().any(|e| e.contains("never produced")));
+        // compile surfaces the same diagnostics as a typed error.
+        let err = compile(&g, &profile, true).unwrap_err();
+        assert!(err.to_string().contains("render graph rejected"));
+    }
+
+    #[test]
+    fn dead_passes_are_eliminated() {
+        let mut g = RenderGraph::new();
+        let src = g.texture("src", 4, 4, TexKind::Imported);
+        let dead = g.texture("dead", 4, 4, TexKind::Transient { zeroed: false });
+        let out = g.texture("out", 4, 4, TexKind::Output);
+        g.add_pass(pass("pd", copy_program(), vec![(src, None)], dead));
+        g.add_pass(pass("p1", copy_program(), vec![(src, None)], out));
+        let c = compile(&g, &GpuProfile::fx5950_ultra(), false).unwrap();
+        assert_eq!(c.passes.len(), 1);
+        assert_eq!(c.eliminated, vec!["pd".to_string()]);
+        assert_eq!(c.meta[dead.0].slot, None);
+        assert_eq!(c.meta[out.0].slot, Some(0));
+    }
+
+    #[test]
+    fn zero_seed_and_produced_textures_get_correct_fill_metadata() {
+        let mut g = RenderGraph::new();
+        let src = g.texture("src", 4, 4, TexKind::Imported);
+        let seed = g.texture("seed", 4, 4, TexKind::Transient { zeroed: true });
+        let out = g.texture("out", 4, 4, TexKind::Output);
+        g.add_pass(pass(
+            "p0",
+            acc_program(),
+            vec![(seed, None), (src, None)],
+            out,
+        ));
+        let c = compile(&g, &GpuProfile::fx5950_ultra(), true).unwrap();
+        // The seed has no producer: it must materialize zero-filled. The
+        // rendered output is fully overwritten, so its alloc may skip the
+        // zero fill.
+        assert!(!c.meta[seed.0].uninit_ok);
+        assert!(c.meta[out.0].uninit_ok);
+        // seed + src == src: the zero fill is observable.
+        let data: Vec<f32> = (0..64).map(|i| i as f32 * 0.25).collect();
+        assert_eq!(run_chain(&c, src, &data), data);
+    }
+
+    #[test]
+    fn chain_slots_alias_disjoint_lifetimes() {
+        let (g, _) = chain_graph(5);
+        let c = compile(&g, &GpuProfile::fx5950_ultra(), false).unwrap();
+        assert_eq!(c.passes.len(), 5);
+        // Four transients plus the output fold onto two physical slots:
+        // t0/t2 and t1/t3 ping-pong, and the output moves into the slot t2
+        // freed (all lifetimes disjoint).
+        assert_eq!(c.slots.len(), 2);
+        assert_eq!(c.meta[1].slot, c.meta[3].slot);
+        assert_eq!(c.meta[2].slot, c.meta[4].slot);
+        assert_eq!(c.meta[5].slot, c.meta[1].slot);
+        check_alias_invariant(&c);
+    }
+
+    #[test]
+    fn fused_chain_is_bit_identical_and_shorter() {
+        let (g, src) = chain_graph(4);
+        let profile = GpuProfile::fx5950_ultra();
+        let unfused = compile(&g, &profile, false).unwrap();
+        let fused = compile(&g, &profile, true).unwrap();
+        assert_eq!(unfused.passes.len(), 4);
+        assert_eq!(fused.passes.len(), 1);
+        assert_eq!(fused.fusions.len(), 3);
+        assert!(fused
+            .fusions
+            .iter()
+            .all(|f| f.mode == InlineMode::SubstituteSiteCoord));
+        // The survivor keeps the final consumer's identity.
+        assert_eq!(fused.passes[0].name, "p3");
+        let data: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+        let a = run_chain(&unfused, src, &data);
+        let b = run_chain(&fused, src, &data);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dot_and_json_dumps_describe_the_compile() {
+        let (g, _) = chain_graph(3);
+        let c = compile(&g, &GpuProfile::fx5950_ultra(), true).unwrap();
+        let dot = c.to_dot();
+        assert!(dot.starts_with("digraph render_graph"));
+        assert!(dot.contains("p2"));
+        assert!(dot.contains("style=bold"));
+        let json = c.to_json();
+        assert!(json.contains("\"fused\": true"));
+        assert!(json.contains("\"substitute-site-coord\""));
+        assert!(json.contains("\"slots\": "));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "JSON braces balance"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// Compilation never assigns two textures with overlapping
+        /// lifetimes (or different size classes) to the same slot, fused or
+        /// not, across interleaved accumulator chains of random lengths.
+        #[test]
+        fn compiled_graphs_never_alias_overlapping_lifetimes(
+            chains in proptest::collection::vec((1usize..6, 0usize..2), 1..5),
+            fuse in any::<bool>(),
+        ) {
+            let sizes = [(4usize, 4usize), (8, 2)];
+            let mut g = RenderGraph::new();
+            let srcs: Vec<TexHandle> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, h))| g.texture(format!("src{i}"), w, h, TexKind::Imported))
+                .collect();
+            let mut prevs: Vec<Option<TexHandle>> = vec![None; chains.len()];
+            let longest = chains.iter().map(|&(len, _)| len).max().unwrap();
+            for j in 0..longest {
+                for (ci, &(len, cls)) in chains.iter().enumerate() {
+                    if j >= len {
+                        continue;
+                    }
+                    let (w, h) = sizes[cls];
+                    let kind = if j + 1 == len {
+                        TexKind::Output
+                    } else {
+                        TexKind::Transient { zeroed: false }
+                    };
+                    let out = g.texture(format!("c{ci}t{j}"), w, h, kind);
+                    let p = match prevs[ci] {
+                        None => pass(format!("c{ci}p{j}"), copy_program(), vec![(srcs[cls], None)], out),
+                        Some(t) => pass(
+                            format!("c{ci}p{j}"),
+                            acc_program(),
+                            vec![(t, None), (srcs[cls], None)],
+                            out,
+                        ),
+                    };
+                    g.add_pass(p);
+                    prevs[ci] = Some(out);
+                }
+            }
+            let c = compile(&g, &GpuProfile::fx5950_ultra(), fuse).unwrap();
+            check_alias_invariant(&c);
+        }
+    }
+}

@@ -255,24 +255,107 @@ pub static KERNEL_SET: std::sync::LazyLock<KernelSet> = std::sync::LazyLock::new
     mei_partial: mei_partial_program(),
 });
 
-/// Every stage kernel paired with the exact [`PassBindings`] the pipeline
-/// runs it under, in pipeline order. This is what the optimizer keys its
-/// lowering-cache entries on, and what the bench opt table is computed from.
-pub fn stage_cases() -> Vec<(Program, gpu_sim::verify::PassBindings)> {
+/// One row of the stage-resource table: everything static about how the
+/// pipeline runs a kernel — the program, its exact [`PassBindings`], the
+/// pipeline stage it belongs to, and the abstract resources it samples and
+/// produces. This is the single source of truth the pipeline contract
+/// checker ([`crate::pipeline::amc_stage_contracts`]), the optimizer cases
+/// ([`stage_cases`]), and the render-graph builder all derive from.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    /// The assembled program.
+    pub program: Program,
+    /// Exact bindings the pipeline runs it under.
+    pub bindings: gpu_sim::verify::PassBindings,
+    /// Pipeline stage tag (trace-span / stats-bucket name).
+    pub stage: &'static str,
+    /// One `(resource name, required address mode)` per sampler, in
+    /// sampler order. Resources fetched through δ-shifted coordinate sets
+    /// or dependent reads require `ClampToEdge` — that is what makes halo
+    /// sampling at chunk edges exact.
+    pub inputs: &'static [(&'static str, Option<gpu_sim::texture::AddressMode>)],
+    /// The abstract resource the kernel renders into.
+    pub output: &'static str,
+}
+
+/// The stage-resource table, in pipeline order: band-sum, normalize,
+/// partial SID, min/max init, min/max update, MEI.
+pub fn stage_specs() -> Vec<StageSpec> {
+    use gpu_sim::texture::AddressMode;
+    const CLAMP: Option<AddressMode> = Some(AddressMode::ClampToEdge);
     let ctx = |samplers, texcoord_sets, constants: Vec<u8>| gpu_sim::verify::PassBindings {
         samplers,
         texcoord_sets,
         constants,
         outputs_read: [true, false, false, false],
     };
+    let spec = |program, bindings, stage, inputs, output| StageSpec {
+        program,
+        bindings,
+        stage,
+        inputs,
+        output,
+    };
     vec![
-        (band_sum_program(), ctx(2, 1, vec![])),
-        (normalize_program(), ctx(2, 1, vec![])),
-        (sid_partial_program(), ctx(2, 2, vec![])),
-        (minmax_init_program(), ctx(1, 1, vec![])),
-        (minmax_update_program(), ctx(2, 2, vec![0])),
-        (mei_partial_program(), ctx(4, 1, vec![2])),
+        spec(
+            band_sum_program(),
+            ctx(2, 1, vec![]),
+            "normalize",
+            &[("band", None), ("sum_prev", None)],
+            "sum",
+        ),
+        spec(
+            normalize_program(),
+            ctx(2, 1, vec![]),
+            "normalize",
+            &[("band", None), ("sum", None)],
+            "norm",
+        ),
+        spec(
+            sid_partial_program(),
+            ctx(2, 2, vec![]),
+            "distance",
+            &[("norm", CLAMP), ("sid_prev", None)],
+            "sid",
+        ),
+        spec(
+            minmax_init_program(),
+            ctx(1, 1, vec![]),
+            "minmax",
+            &[("sid", CLAMP)],
+            "state",
+        ),
+        spec(
+            minmax_update_program(),
+            ctx(2, 2, vec![0]),
+            "minmax",
+            &[("state", None), ("sid", CLAMP)],
+            "state2",
+        ),
+        spec(
+            mei_partial_program(),
+            ctx(4, 1, vec![2]),
+            "mei",
+            &[
+                ("norm", CLAMP),
+                ("state2", None),
+                ("mei_prev", None),
+                ("lut", CLAMP),
+            ],
+            "mei",
+        ),
     ]
+}
+
+/// Every stage kernel paired with the exact [`PassBindings`] the pipeline
+/// runs it under, in pipeline order (derived from [`stage_specs`]). This is
+/// what the optimizer keys its lowering-cache entries on, and what the
+/// bench opt table is computed from.
+pub fn stage_cases() -> Vec<(Program, gpu_sim::verify::PassBindings)> {
+    stage_specs()
+        .into_iter()
+        .map(|s| (s.program, s.bindings))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------

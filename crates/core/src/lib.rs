@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod graph;
 pub mod kernels;
 pub mod layout;
 pub mod perf;

@@ -23,15 +23,20 @@
 //! a neighbour looks one radius further) for chunked output to be exactly
 //! chunk-free.
 
+use crate::graph::{self, CompiledGraph, PassDecl, RenderGraph, TexHandle, TexKind};
 use crate::kernels::{self, KERNEL_SET};
 use crate::layout;
 use gpu_sim::counters::PassStats;
+use gpu_sim::device::GpuProfile;
 use gpu_sim::gpu::{Gpu, TextureId};
 use gpu_sim::opt;
 use gpu_sim::raster::TexCoordSet;
 use hsi::cube::{Chunking, Cube};
 use hsi::morphology::{MeiImage, StructuringElement};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 use std::time::Instant;
 use trace::ArgValue;
 
@@ -79,6 +84,8 @@ pub enum AmcError {
     Gpu(gpu_sim::GpuError),
     /// Error from the hyperspectral substrate.
     Hsi(hsi::HsiError),
+    /// The declarative render graph was rejected at compile time.
+    Graph(graph::CompileError),
     /// No chunking fits the device: even a single image line (with its
     /// halo) needs more video memory than the budget provides.
     ChunkingInfeasible {
@@ -98,6 +105,7 @@ impl fmt::Display for AmcError {
         match self {
             AmcError::Gpu(e) => write!(f, "gpu: {e}"),
             AmcError::Hsi(e) => write!(f, "hsi: {e}"),
+            AmcError::Graph(e) => write!(f, "graph: {e}"),
             AmcError::ChunkingInfeasible {
                 width,
                 bands,
@@ -279,49 +287,38 @@ pub struct HybridOutput {
 /// halo sampling at chunk edges exact, so a mismatched mode is a pipeline
 /// bug even though each pass would verify in isolation.
 pub fn amc_stage_contracts() -> (Vec<opt::ResourceDecl>, Vec<opt::StageContract>) {
-    use gpu_sim::texture::AddressMode;
-    let clamp = AddressMode::ClampToEdge;
-    let resources = [
-        "band", "sum_prev", "sum", "norm", "sid_prev", "sid", "state", "state2", "mei_prev", "lut",
-        "mei",
-    ]
-    .into_iter()
-    .map(|name| opt::ResourceDecl {
-        name: name.into(),
-        mode: clamp,
-    })
-    .collect();
-    let cases = kernels::stage_cases();
-    let stage = |idx: usize, inputs: Vec<(&str, Option<AddressMode>)>, output: &str| {
-        let (program, bindings) = cases[idx].clone();
-        opt::StageContract {
-            name: program.name.clone(),
-            program,
-            bindings,
-            inputs: inputs
-                .into_iter()
-                .map(|(n, m)| (n.to_string(), m))
-                .collect(),
-            output: output.into(),
+    let clamp = gpu_sim::texture::AddressMode::ClampToEdge;
+    let specs = kernels::stage_specs();
+    // Resources in first-mention order across the stage-resource table.
+    let mut resources: Vec<opt::ResourceDecl> = Vec::new();
+    let mut declare = |name: &str| {
+        if !resources.iter().any(|r| r.name == name) {
+            resources.push(opt::ResourceDecl {
+                name: name.into(),
+                mode: clamp,
+            });
         }
     };
-    let stages = vec![
-        stage(0, vec![("band", None), ("sum_prev", None)], "sum"),
-        stage(1, vec![("band", None), ("sum", None)], "norm"),
-        stage(2, vec![("norm", Some(clamp)), ("sid_prev", None)], "sid"),
-        stage(3, vec![("sid", Some(clamp))], "state"),
-        stage(4, vec![("state", None), ("sid", Some(clamp))], "state2"),
-        stage(
-            5,
-            vec![
-                ("norm", Some(clamp)),
-                ("state2", None),
-                ("mei_prev", None),
-                ("lut", Some(clamp)),
-            ],
-            "mei",
-        ),
-    ];
+    for spec in &specs {
+        for &(name, _) in spec.inputs {
+            declare(name);
+        }
+        declare(spec.output);
+    }
+    let stages = specs
+        .into_iter()
+        .map(|spec| opt::StageContract {
+            name: spec.program.name.clone(),
+            program: spec.program,
+            bindings: spec.bindings,
+            inputs: spec
+                .inputs
+                .iter()
+                .map(|&(n, m)| (n.to_string(), m))
+                .collect(),
+            output: spec.output.into(),
+        })
+        .collect();
     (resources, stages)
 }
 
@@ -332,17 +329,46 @@ pub fn check_amc_pipeline(profile: &gpu_sim::GpuProfile) -> Vec<String> {
     opt::check_pipeline(profile, &resources, &stages)
 }
 
+/// Cache key for compiled AMC graphs: device profile + chunk geometry.
+type GraphKey = (&'static str, usize, usize, usize);
+
+/// A compiled AMC chunk graph plus the handles the pipeline needs to feed
+/// and drain it.
+#[derive(Debug, Clone)]
+struct AmcGraph {
+    compiled: CompiledGraph,
+    bands: Vec<TexHandle>,
+    lut: TexHandle,
+    mei: TexHandle,
+    state: TexHandle,
+}
+
 /// The GPU AMC pipeline driver.
 #[derive(Debug, Clone)]
 pub struct GpuAmc {
     se: StructuringElement,
     mode: KernelMode,
+    fuse: bool,
+    /// Compiled graphs cached per (device, chunk geometry): every full
+    /// chunk of a run shares one compile, the ragged last chunk gets its
+    /// own, and repeat runs reuse both.
+    graphs: RefCell<HashMap<GraphKey, Rc<AmcGraph>>>,
 }
 
 impl GpuAmc {
     /// Create a driver for the given structuring element and kernel mode.
+    ///
+    /// Pass fusion for the ISA path follows `GPU_SIM_FUSE` (on unless
+    /// `"0"`, same pattern as `GPU_SIM_OPT`/`GPU_SIM_BATCH`); override per
+    /// instance with [`GpuAmc::set_fusion`].
     pub fn new(se: StructuringElement, mode: KernelMode) -> Self {
-        Self { se, mode }
+        let fuse = std::env::var("GPU_SIM_FUSE").map_or(true, |v| v != "0");
+        Self {
+            se,
+            mode,
+            fuse,
+            graphs: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The structuring element.
@@ -355,16 +381,212 @@ impl GpuAmc {
         self.mode
     }
 
-    /// Video-memory bytes one chunk of `lines` lines needs: band planes +
-    /// normalized planes (transiently both resident) + field/state/MEI
-    /// ping-pongs + the offset LUT.
+    /// Whether the ISA path runs the fused graph (`true`) or the unfused
+    /// pass-per-kernel oracle (`false`).
+    pub fn fusion(&self) -> bool {
+        self.fuse
+    }
+
+    /// Force fusion on or off, overriding `GPU_SIM_FUSE`. Clears the
+    /// compiled-graph cache.
+    pub fn set_fusion(&mut self, fuse: bool) {
+        self.fuse = fuse;
+        self.graphs.borrow_mut().clear();
+    }
+
+    /// Compile the AMC render graph for one chunk geometry, for
+    /// introspection (the bench fusion attribution and `tables -- graph`):
+    /// declares the same graph the executor runs and compiles it fresh —
+    /// no cache — with fusion per `fuse`, independent of [`Self::fusion`].
+    pub fn compile_graph(
+        &self,
+        profile: &GpuProfile,
+        width: usize,
+        height: usize,
+        bands: usize,
+        fuse: bool,
+    ) -> Result<graph::CompiledGraph> {
+        let (g, _, _, _, _) = self.declare_amc_graph(width, height, bands);
+        graph::compile(&g, profile, fuse).map_err(AmcError::Graph)
+    }
+
+    /// Video-memory bytes one chunk of `lines` lines needs.
+    ///
+    /// The bound covers both executors: unfused, band and normalized
+    /// planes coexist only pairwise (G + 1 data planes) plus 2 sum + 2
+    /// field + 2 state + 2 MEI ping-pong planes; fused, the band planes
+    /// stay resident through the distance and MEI stages (their fetches
+    /// are inlined there) alongside the surviving sum/field/state/MEI
+    /// planes. `G + 12` planes dominates both, plus the offset LUT.
     pub fn chunk_bytes(&self, width: usize, lines: usize, bands: usize) -> usize {
         let plane = layout::plane_bytes(width, lines);
         let groups = layout::band_groups(bands);
-        // band[g] and norm[g] coexist only pairwise (bands freed as
-        // normalization consumes them), so peak is G + 1 planes for data,
-        // plus 2 sum + 2 field + 2 state + 2 MEI ping-pong planes.
-        (groups + 1 + 8) * plane + self.se.len() * 16
+        (groups + 12) * plane + self.se.len() * 16
+    }
+
+    /// Declare the AMC chunk pipeline as a [`RenderGraph`]: the SSA form
+    /// of the hand-wired pass chain (each ping-pong buffer becomes a chain
+    /// of single-writer logical textures), with every program, coordinate
+    /// set, and pass constant drawn from [`kernels::stage_specs`].
+    fn declare_amc_graph(
+        &self,
+        w: usize,
+        h: usize,
+        bands: usize,
+    ) -> (RenderGraph, Vec<TexHandle>, TexHandle, TexHandle, TexHandle) {
+        let groups = layout::band_groups(bands);
+        let offsets = self.se.offsets();
+        let p_b = offsets.len();
+        let specs = kernels::stage_specs();
+        let [band_sum, normalize, sid, minmax_init, minmax_update, mei] = &specs[..] else {
+            unreachable!("stage_specs is the 6-kernel table");
+        };
+        let mut g = RenderGraph::new();
+        let transient = TexKind::Transient { zeroed: false };
+        let bands_h: Vec<TexHandle> = (0..groups)
+            .map(|i| g.texture(format!("band{i}"), w, h, TexKind::Imported))
+            .collect();
+        let lut = g.texture("lut", p_b, 1, TexKind::Imported);
+        // Normalization: band-sum accumulator chain, then one normalize
+        // pass per group.
+        let mut sum = g.texture("sum_seed", w, h, TexKind::Transient { zeroed: true });
+        for (i, &bt) in bands_h.iter().enumerate() {
+            let next = g.texture(format!("sum{i}"), w, h, transient);
+            g.add_pass(PassDecl {
+                name: format!("band_sum{i}"),
+                stage: band_sum.stage,
+                program: band_sum.program.clone(),
+                inputs: vec![(bt, band_sum.inputs[0].1), (sum, band_sum.inputs[1].1)],
+                texcoords: vec![TexCoordSet::identity()],
+                constants: vec![],
+                output: next,
+            });
+            sum = next;
+        }
+        let norms: Vec<TexHandle> = (0..groups)
+            .map(|i| g.texture(format!("norm{i}"), w, h, transient))
+            .collect();
+        for (i, (&bt, &nt)) in bands_h.iter().zip(&norms).enumerate() {
+            g.add_pass(PassDecl {
+                name: format!("normalize{i}"),
+                stage: normalize.stage,
+                program: normalize.program.clone(),
+                inputs: vec![(bt, normalize.inputs[0].1), (sum, normalize.inputs[1].1)],
+                texcoords: vec![TexCoordSet::identity()],
+                constants: vec![],
+                output: nt,
+            });
+        }
+        // Cumulative distance: one accumulator chain over (δ, group).
+        let mut d = g.texture("d_seed", w, h, TexKind::Transient { zeroed: true });
+        for (di, &(dx, dy)) in offsets.iter().filter(|&&o| o != (0, 0)).enumerate() {
+            for (i, &nt) in norms.iter().enumerate() {
+                let next = g.texture(format!("d{di}_{i}"), w, h, transient);
+                g.add_pass(PassDecl {
+                    name: format!("sid{di}_{i}"),
+                    stage: sid.stage,
+                    program: sid.program.clone(),
+                    inputs: vec![(nt, sid.inputs[0].1), (d, sid.inputs[1].1)],
+                    texcoords: vec![
+                        TexCoordSet::identity(),
+                        TexCoordSet::shifted_texels(dx, dy, w, h),
+                    ],
+                    constants: vec![],
+                    output: next,
+                });
+                d = next;
+            }
+        }
+        // Min/max fold over the SE neighbourhood.
+        let mut state = g.texture("state0", w, h, transient);
+        {
+            let (dx, dy) = offsets[0];
+            g.add_pass(PassDecl {
+                name: "minmax_init".into(),
+                stage: minmax_init.stage,
+                program: minmax_init.program.clone(),
+                inputs: vec![(d, minmax_init.inputs[0].1)],
+                texcoords: vec![TexCoordSet::shifted_texels(dx, dy, w, h)],
+                constants: vec![],
+                output: state,
+            });
+        }
+        for (k, &(dx, dy)) in offsets.iter().enumerate().skip(1) {
+            let next = if k + 1 == p_b {
+                g.texture("state_out", w, h, TexKind::Output)
+            } else {
+                g.texture(format!("state{k}"), w, h, transient)
+            };
+            g.add_pass(PassDecl {
+                name: format!("minmax_update{k}"),
+                stage: minmax_update.stage,
+                program: minmax_update.program.clone(),
+                inputs: vec![
+                    (state, minmax_update.inputs[0].1),
+                    (d, minmax_update.inputs[1].1),
+                ],
+                texcoords: vec![
+                    TexCoordSet::identity(),
+                    TexCoordSet::shifted_texels(dx, dy, w, h),
+                ],
+                constants: vec![(0, [k as f32; 4])],
+                output: next,
+            });
+            state = next;
+        }
+        // MEI accumulation over the band groups.
+        let mut mei_acc = g.texture("mei_seed", w, h, TexKind::Transient { zeroed: true });
+        let mei_const = [1.0 / p_b as f32, 0.5 / p_b as f32, 0.5, 0.0];
+        for (i, &nt) in norms.iter().enumerate() {
+            let next = if i + 1 == groups {
+                g.texture("mei_out", w, h, TexKind::Output)
+            } else {
+                g.texture(format!("mei{i}"), w, h, transient)
+            };
+            g.add_pass(PassDecl {
+                name: format!("mei{i}"),
+                stage: mei.stage,
+                program: mei.program.clone(),
+                inputs: vec![
+                    (nt, mei.inputs[0].1),
+                    (state, mei.inputs[1].1),
+                    (mei_acc, mei.inputs[2].1),
+                    (lut, mei.inputs[3].1),
+                ],
+                texcoords: vec![TexCoordSet::identity()],
+                constants: vec![(2, mei_const)],
+                output: next,
+            });
+            mei_acc = next;
+        }
+        (g, bands_h, lut, mei_acc, state)
+    }
+
+    /// Fetch (or compile and cache) the AMC graph for one device profile
+    /// and chunk geometry.
+    fn compiled_graph_for(
+        &self,
+        profile: &GpuProfile,
+        w: usize,
+        h: usize,
+        bands: usize,
+    ) -> Result<Rc<AmcGraph>> {
+        let key: GraphKey = (profile.name, w, h, bands);
+        if let Some(cached) = self.graphs.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let _span = trace::span("pipeline.graph_compile", profile.name);
+        let (g, bands_h, lut, mei, state) = self.declare_amc_graph(w, h, bands);
+        let compiled = graph::compile(&g, profile, self.fuse).map_err(AmcError::Graph)?;
+        let amc = Rc::new(AmcGraph {
+            compiled,
+            bands: bands_h,
+            lut,
+            mei,
+            state,
+        });
+        self.graphs.borrow_mut().insert(key, amc.clone());
+        Ok(amc)
     }
 
     /// Pick a chunking that fits the device's video memory, or report that
@@ -592,6 +814,146 @@ impl GpuAmc {
     /// readbacks land in `scratch` so repeat chunks allocate nothing on the
     /// host either.
     fn run_chunk_packed(
+        &self,
+        gpu: &mut Gpu,
+        w: usize,
+        h: usize,
+        bands: usize,
+        packed: &[Vec<f32>],
+        scratch: &mut ChunkScratch,
+    ) -> Result<PipelineOutput> {
+        match self.mode {
+            // The ISA path compiles and runs the declarative render graph
+            // (fused unless `GPU_SIM_FUSE=0`).
+            KernelMode::Isa => self.run_chunk_graph(gpu, w, h, bands, packed, scratch),
+            // Closure twins have no fp30 IR to fuse; they keep the
+            // hand-wired pass chain.
+            KernelMode::Closure => self.run_chunk_passes(gpu, w, h, bands, packed, scratch),
+        }
+    }
+
+    /// Run one chunk through the compiled render graph: upload, execute
+    /// the graph (normalize/distance/minmax/mei stages), download.
+    fn run_chunk_graph(
+        &self,
+        gpu: &mut Gpu,
+        w: usize,
+        h: usize,
+        bands: usize,
+        packed: &[Vec<f32>],
+        scratch: &mut ChunkScratch,
+    ) -> Result<PipelineOutput> {
+        let groups = layout::band_groups(bands);
+        debug_assert_eq!(packed.len(), groups, "pre-packed group count");
+        let offsets = self.se.offsets();
+        let p_b = offsets.len();
+        let mut stages = StageStats::default();
+        let mut wall = StageWall::default();
+
+        // -- Stage 1: stream uploading ------------------------------------
+        let stage_span = trace::span("pipeline.stage", "upload");
+        let stage_start = Instant::now();
+        let before_upload = gpu.stats();
+        let mut band_tex: Vec<TextureId> = Vec::with_capacity(groups);
+        for plane in packed {
+            let t = gpu.alloc_pooled(w, h)?;
+            gpu.upload(t, plane)?;
+            band_tex.push(t);
+        }
+        let lut = gpu.alloc_pooled(p_b, 1)?;
+        gpu.upload(lut, &kernels::offset_lut(&offsets, w, h))?;
+        stages.upload = gpu.stats();
+        stages.upload.sub(&before_upload);
+        wall.upload_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
+
+        // -- Stages 2-5: the compiled graph --------------------------------
+        let profile = gpu.profile().clone();
+        let amc = self.compiled_graph_for(&profile, w, h, bands)?;
+        let mut imports: Vec<(TexHandle, TextureId)> = amc
+            .bands
+            .iter()
+            .copied()
+            .zip(band_tex.iter().copied())
+            .collect();
+        imports.push((amc.lut, lut));
+        let report = amc.compiled.execute(gpu, &imports)?;
+        for run in &report.stages {
+            match run.name {
+                "normalize" => {
+                    stages.normalize.add(&run.stats);
+                    wall.normalize_s += run.wall_s;
+                }
+                "distance" => {
+                    stages.distance.add(&run.stats);
+                    wall.distance_s += run.wall_s;
+                }
+                "minmax" => {
+                    stages.minmax.add(&run.stats);
+                    wall.minmax_s += run.wall_s;
+                }
+                "mei" => {
+                    stages.mei.add(&run.stats);
+                    wall.mei_s += run.wall_s;
+                }
+                other => debug_assert!(false, "unknown graph stage `{other}`"),
+            }
+        }
+
+        // -- Stage 6: stream downloading ------------------------------------
+        let stage_span = trace::span("pipeline.stage", "download");
+        let stage_start = Instant::now();
+        let before_download = gpu.stats();
+        let output_id = |h: TexHandle| {
+            report
+                .outputs
+                .iter()
+                .find(|&&(oh, _)| oh == h)
+                .map(|&(_, id)| id)
+                .expect("graph output rendered")
+        };
+        let (mei_id, state_id) = (output_id(amc.mei), output_id(amc.state));
+        gpu.download_into(mei_id, &mut scratch.mei_flat)?;
+        gpu.download_into(state_id, &mut scratch.state_flat)?;
+        stages.download = gpu.stats();
+        stages.download.sub(&before_download);
+        let mut scores = Vec::with_capacity(w * h);
+        let mut min_index = Vec::with_capacity(w * h);
+        let mut max_index = Vec::with_capacity(w * h);
+        for texel in scratch.mei_flat.chunks_exact(4) {
+            scores.push(texel[0]);
+        }
+        for texel in scratch.state_flat.chunks_exact(4) {
+            min_index.push(texel[1].round() as u32);
+            max_index.push(texel[3].round() as u32);
+        }
+        for (_, id) in report.outputs {
+            gpu.release_pooled(id)?;
+        }
+        for t in band_tex {
+            gpu.release_pooled(t)?;
+        }
+        gpu.release_pooled(lut)?;
+        wall.download_s = stage_start.elapsed().as_secs_f64();
+        drop(stage_span);
+
+        Ok(PipelineOutput {
+            mei: MeiImage {
+                width: w,
+                height: h,
+                scores,
+            },
+            min_index,
+            max_index,
+            stats: stages.total(),
+            stages,
+            stage_wall: wall,
+            chunks: 1,
+        })
+    }
+
+    /// The hand-wired pass-chain executor (closure twins).
+    fn run_chunk_passes(
         &self,
         gpu: &mut Gpu,
         w: usize,
@@ -1066,9 +1428,11 @@ mod tests {
         let cube = test_cube(8, 6, 6, 3);
         let se = StructuringElement::square(3).unwrap();
         let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
-        let isa = GpuAmc::new(se.clone(), KernelMode::Isa)
-            .run(&mut gpu, &cube)
-            .unwrap();
+        // Pin fusion off: pass-for-pass work-count parity with the closure
+        // chain only holds for the unfused oracle schedule.
+        let mut isa_amc = GpuAmc::new(se.clone(), KernelMode::Isa);
+        isa_amc.set_fusion(false);
+        let isa = isa_amc.run(&mut gpu, &cube).unwrap();
         let clo = GpuAmc::new(se, KernelMode::Closure)
             .run(&mut gpu, &cube)
             .unwrap();
@@ -1124,6 +1488,104 @@ mod tests {
                 "PassStats diverged (threads {threads:?})"
             );
         }
+    }
+
+    #[test]
+    fn fused_pipeline_matches_unfused_at_every_thread_count() {
+        // The fused graph schedule vs the unfused oracle (`GPU_SIM_FUSE=0`):
+        // MEI scores and the min/max index maps must be bit-identical at one
+        // worker thread and at the default count, while fusion strictly
+        // reduces both passes and texel fetches.
+        let cube = test_cube(21, 11, 6, 7); // ragged vs 64x4 tiles
+        let se = StructuringElement::square(3).unwrap();
+        let run = |fuse: bool| {
+            let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
+            let mut amc = GpuAmc::new(se.clone(), KernelMode::Isa);
+            amc.set_fusion(fuse);
+            amc.run(&mut gpu, &cube).unwrap()
+        };
+        let oracle = run(false);
+        for threads in [Some(1), None] {
+            let fused = match threads {
+                Some(n) => rayon::with_threads(n, || run(true)),
+                None => run(true),
+            };
+            let score_bits =
+                |m: &MeiImage| m.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                score_bits(&fused.mei),
+                score_bits(&oracle.mei),
+                "MEI diverged (threads {threads:?})"
+            );
+            assert_eq!(fused.min_index, oracle.min_index);
+            assert_eq!(fused.max_index, oracle.max_index);
+            assert!(
+                fused.stats.passes < oracle.stats.passes,
+                "fusion must remove passes ({} vs {})",
+                fused.stats.passes,
+                oracle.stats.passes
+            );
+            assert!(
+                fused.stats.texel_fetches < oracle.stats.texel_fetches,
+                "fusion must cut fetches ({} vs {})",
+                fused.stats.texel_fetches,
+                oracle.stats.texel_fetches
+            );
+        }
+    }
+
+    #[test]
+    fn fused_ragged_last_chunk_matches_unfused() {
+        // height 17 with 5-line chunks: 5+5+5+2 — the ragged tail compiles
+        // a second graph geometry; both must stitch bit-identically.
+        let cube = test_cube(9, 17, 6, 19);
+        let se = StructuringElement::square(3).unwrap();
+        let chunking = Chunking::new(5, 2 * se.radius_y());
+        let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
+        let mut fused_amc = GpuAmc::new(se.clone(), KernelMode::Isa);
+        fused_amc.set_fusion(true);
+        let fused = fused_amc
+            .run_with_chunking(&mut gpu, &cube, chunking)
+            .unwrap();
+        let mut oracle_amc = GpuAmc::new(se, KernelMode::Isa);
+        oracle_amc.set_fusion(false);
+        let oracle = oracle_amc
+            .run_with_chunking(&mut gpu, &cube, chunking)
+            .unwrap();
+        assert_eq!(fused.chunks, 4);
+        let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fused.mei.scores), bits(&oracle.mei.scores));
+        assert_eq!(fused.min_index, oracle.min_index);
+        assert_eq!(fused.max_index, oracle.max_index);
+        assert_eq!(gpu.allocated_bytes(), 0);
+        assert_eq!(gpu.pooled_bytes(), 0, "run drains the pool");
+    }
+
+    #[test]
+    fn fusion_cuts_normalize_distance_fetches_by_thirty_percent() {
+        // Static form of the bench gate: at AVIRIS-like depth the fused
+        // schedule fetches ≥ 30% fewer texels per fragment across the
+        // normalize and distance stages combined.
+        let se = StructuringElement::square(3).unwrap();
+        let amc = GpuAmc::new(se, KernelMode::Isa);
+        let (g, _, _, _, _) = amc.declare_amc_graph(8, 4, 96);
+        let profile = GpuProfile::fx5950_ultra();
+        let fused = graph::compile(&g, &profile, true).unwrap();
+        let unfused = graph::compile(&g, &profile, false).unwrap();
+        let per_frag = |c: &graph::CompiledGraph| {
+            c.stage_fetches_per_fragment("normalize") + c.stage_fetches_per_fragment("distance")
+        };
+        let (f, u) = (per_frag(&fused), per_frag(&unfused));
+        assert!(
+            f * 10 <= u * 7,
+            "normalize+distance fetches/fragment: fused {f} vs unfused {u} (< 30% cut)"
+        );
+        assert!(!fused.fusions.is_empty());
+        // The normalize field producers are inlined away entirely.
+        assert!(fused.eliminated.iter().any(|n| n.starts_with("normalize")));
+        // Normalize inlining plus band-sum chain folding collapse the stage
+        // to a couple of segmented passes.
+        assert!(fused.stage_passes("normalize") < unfused.stage_passes("normalize") / 4);
     }
 
     #[test]
@@ -1206,7 +1668,10 @@ mod tests {
         let se = StructuringElement::square(3).unwrap();
         let chunking = Chunking::new(4, 2);
         let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
-        let isa = GpuAmc::new(se.clone(), KernelMode::Isa)
+        // Unfused oracle schedule, for pass-count parity with the closures.
+        let mut isa_amc = GpuAmc::new(se.clone(), KernelMode::Isa);
+        isa_amc.set_fusion(false);
+        let isa = isa_amc
             .run_with_chunking(&mut gpu, &cube, chunking)
             .unwrap();
         let clo = GpuAmc::new(se, KernelMode::Closure)
@@ -1255,7 +1720,11 @@ mod tests {
         let cube = test_cube(8, 10, 6, 31);
         let se = StructuringElement::square(3).unwrap();
         let mut gpu = Gpu::new(GpuProfile::fx5950_ultra());
-        let out = GpuAmc::new(se, KernelMode::Isa)
+        // Unfused: the fused schedule runs distinct per-geometry programs,
+        // so only the oracle has exactly six unique kernels.
+        let mut amc = GpuAmc::new(se, KernelMode::Isa);
+        amc.set_fusion(false);
+        let out = amc
             .run_with_chunking(&mut gpu, &cube, Chunking::new(4, 2))
             .unwrap();
         assert!(out.chunks > 1);

@@ -376,7 +376,8 @@ mod tests {
         assert!(assemble("MOV R16, R0").is_err());
         assert!(assemble("MOV R0, C32").is_err());
         assert!(assemble("MOV R0, T8").is_err());
-        assert!(assemble("TEX R0, T0, tex8").is_err());
+        assert!(assemble("TEX R0, T0, tex15").is_ok());
+        assert!(assemble("TEX R0, T0, tex16").is_err());
         assert!(assemble("MOV R0, X1").is_err());
     }
 

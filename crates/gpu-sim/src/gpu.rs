@@ -202,6 +202,7 @@ pub struct Gpu {
     pool_bytes: usize,
     texture_allocs: u64,
     pool_hits: u64,
+    zero_fill_skips: u64,
     verify_cache: HashSet<VerifyKey>,
     verify_runs: u64,
     verify_cache_hits: u64,
@@ -232,6 +233,7 @@ impl Gpu {
             pool_bytes: 0,
             texture_allocs: 0,
             pool_hits: 0,
+            zero_fill_skips: 0,
             verify_cache: HashSet::new(),
             verify_runs: 0,
             verify_cache_hits: 0,
@@ -280,6 +282,13 @@ impl Gpu {
     /// Number of [`Gpu::alloc_pooled`] requests served from the free lists.
     pub fn pool_hits(&self) -> u64 {
         self.pool_hits
+    }
+
+    /// Number of pooled reuses that skipped the zero-fill because the
+    /// caller proved every texel is overwritten before it is read
+    /// ([`Gpu::alloc_pooled_uninit`]).
+    pub fn zero_fill_skips(&self) -> u64 {
+        self.zero_fill_skips
     }
 
     /// Number of full dataflow verifications executed on this device
@@ -488,13 +497,37 @@ impl Gpu {
     /// indistinguishable from a fresh one (pipelines may rely on
     /// zero-initialised accumulators).
     pub fn alloc_pooled(&mut self, width: usize, height: usize) -> Result<TextureId> {
+        self.alloc_pooled_inner(width, height, true)
+    }
+
+    /// [`Gpu::alloc_pooled`] without the zero-fill on reuse. Only sound
+    /// when the caller statically proves every texel is overwritten before
+    /// it is read — which the render-graph compiler does for transient
+    /// textures whose producer pass draws a full-target quad. Address mode
+    /// is still reset, so the only observable difference from
+    /// [`Gpu::alloc_pooled`] is the skipped clear.
+    pub fn alloc_pooled_uninit(&mut self, width: usize, height: usize) -> Result<TextureId> {
+        self.alloc_pooled_inner(width, height, false)
+    }
+
+    fn alloc_pooled_inner(
+        &mut self,
+        width: usize,
+        height: usize,
+        zero_fill: bool,
+    ) -> Result<TextureId> {
         let recycled = self.pool.get_mut(&(width, height)).and_then(Vec::pop);
         match recycled {
             Some(mut tex) => {
                 self.pool.retain(|_, v| !v.is_empty());
                 self.pool_bytes -= tex.bytes();
-                for t in tex.texels_mut() {
-                    *t = [0.0; 4];
+                if zero_fill {
+                    for t in tex.texels_mut() {
+                        *t = [0.0; 4];
+                    }
+                } else {
+                    self.zero_fill_skips += 1;
+                    trace::metrics::incr("gpu.pool.zero_fill_skips", 1);
                 }
                 tex.set_address_mode(AddressMode::ClampToEdge);
                 self.allocated_bytes += tex.bytes();

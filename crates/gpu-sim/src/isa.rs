@@ -35,8 +35,10 @@ pub const NUM_CONSTS: usize = 32;
 pub const NUM_TEXCOORDS: usize = 8;
 /// Number of output registers (multiple render targets).
 pub const NUM_OUTPUTS: usize = 4;
-/// Number of texture samplers.
-pub const NUM_SAMPLERS: usize = 8;
+/// Number of texture samplers. NV3x exposed 16 texture image units to
+/// fragment programs (twice the interpolated coordinate sets), which is what
+/// lets a fused producer→consumer program bind both passes' textures at once.
+pub const NUM_SAMPLERS: usize = 16;
 
 impl fmt::Display for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -35,7 +35,7 @@
 
 use crate::interp;
 use crate::isa::{
-    ConstDef, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_CONSTS, NUM_OUTPUTS, NUM_TEMPS,
+    ConstDef, Dst, Instr, Opcode, Program, Reg, Src, Swizzle, NUM_CONSTS, NUM_OUTPUTS, NUM_TEMPS,
     NUM_TEXCOORDS,
 };
 use crate::texture::AddressMode;
@@ -286,6 +286,7 @@ pub fn optimize(program: &Program, bindings: &PassBindings) -> (Program, OptRepo
         for _ in 0..MAX_ROUNDS {
             let mut changed = false;
             changed |= propagate(&mut p, bindings, &mut counters);
+            changed |= dedup_invariant_tex(&mut p, &mut counters);
             changed |= cse(&mut p, &mut counters);
             changed |= fuse(&mut p, bindings, &mut counters);
             changed |= dce(&mut p, bindings, &mut counters);
@@ -630,6 +631,105 @@ fn materialize(
 /// instruction with an identical key is replaced by a `MOV` from the holder
 /// (which recovers the identical 4-lane value bit for bit). Entries are
 /// invalidated when any operand register or the holder is overwritten.
+/// Global dedup of position-pure `TEX` fetches. Two `TEX` instructions on
+/// the same sampler whose coordinate operand reads a register the program
+/// never writes (an interpolated coordinate set, a constant, or an
+/// untouched zero-initialized temp) fetch the same texel no matter where
+/// they sit — unlike [`cse`], which must forget an available fetch as soon
+/// as its holder register is reused. Each such family is canonicalized into
+/// one full-mask fetch of a fresh temp inserted at the first occurrence,
+/// and every member is demoted to a `MOV` from it (mask, saturate, and
+/// destination preserved, so the rewrite is exact); copy propagation and
+/// DCE then dissolve the `MOV`s. Families are processed first-come and the
+/// pass stops allocating when the temp file runs out.
+fn dedup_invariant_tex(p: &mut Program, counters: &mut OptCounters) -> bool {
+    let mut written = [false; NUM_TEMPS];
+    for instr in &p.instrs {
+        if let Reg::Temp(t) = instr.dst.reg {
+            written[t as usize] = true;
+        }
+    }
+    let invariant = |s: &Src| match s.reg {
+        Reg::TexCoord(_) | Reg::Const(_) => true,
+        Reg::Temp(t) => !written[t as usize],
+        _ => false,
+    };
+    type Key = (Option<u8>, Reg, [u8; 4], bool);
+    let mut families: Vec<(Key, Vec<usize>)> = Vec::new();
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if instr.op != Opcode::Tex {
+            continue;
+        }
+        let s = &instr.srcs[0];
+        if !invariant(s) {
+            continue;
+        }
+        let key: Key = (instr.sampler, s.reg, s.swizzle.0, s.negate);
+        match families.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(i),
+            None => families.push((key, vec![i])),
+        }
+    }
+    families.retain(|(_, v)| v.len() > 1);
+    if families.is_empty() {
+        return false;
+    }
+    // Holders live above every temp the program touches (written or
+    // zero-init-read); `compact_temps` repacks afterwards.
+    let mut next = 0usize;
+    for instr in &p.instrs {
+        for reg in std::iter::once(instr.dst.reg).chain(instr.srcs.iter().map(|s| s.reg)) {
+            if let Reg::Temp(t) = reg {
+                next = next.max(t as usize + 1);
+            }
+        }
+    }
+    let mut inserts: Vec<(usize, Instr)> = Vec::new();
+    let mut changed = false;
+    for (key, members) in families {
+        if next >= NUM_TEMPS {
+            break;
+        }
+        let holder = next as u8;
+        next += 1;
+        let first = members[0];
+        inserts.push((
+            first,
+            Instr {
+                op: Opcode::Tex,
+                dst: Dst {
+                    reg: Reg::Temp(holder),
+                    mask: [true; 4],
+                    saturate: false,
+                },
+                srcs: vec![Src {
+                    reg: key.1,
+                    swizzle: Swizzle(key.2),
+                    negate: key.3,
+                }],
+                sampler: key.0,
+                line: p.instrs[first].line,
+            },
+        ));
+        for &i in &members {
+            let instr = &mut p.instrs[i];
+            instr.op = Opcode::Mov;
+            instr.srcs = vec![Src {
+                reg: Reg::Temp(holder),
+                swizzle: Swizzle::IDENTITY,
+                negate: false,
+            }];
+            instr.sampler = None;
+        }
+        counters.tex_cse_replaced += members.len() as u64 - 1;
+        changed = true;
+    }
+    for (at, instr) in inserts.into_iter().rev() {
+        p.instrs.insert(at, instr);
+    }
+    changed
+}
+
 fn cse(p: &mut Program, counters: &mut OptCounters) -> bool {
     type Key = (Opcode, Vec<(Reg, [u8; 4], bool)>, Option<u8>);
     let mut avail: Vec<(Key, u8)> = Vec::new();
@@ -935,6 +1035,366 @@ fn prune_defs(p: &mut Program, counters: &mut OptCounters) {
     let before = p.defs.len();
     p.defs.retain(|d| read[d.index as usize]);
     counters.defs_removed += (before - p.defs.len()) as u64;
+}
+
+// ---------------------------------------------------------------------------
+// Producer inlining for render-graph pass fusion
+// ---------------------------------------------------------------------------
+
+/// Rename temporaries with a linear-scan allocator so the program uses the
+/// fewest registers, returning how many remain in use.
+///
+/// Two temps may share a register only when their mention intervals are
+/// disjoint *and* the later web's first action is a full four-lane write
+/// (so no stale lane from the previous occupant is observable). Webs whose
+/// first mention is a read, or a partial write, rely on the register file's
+/// zero initialisation and are only ever placed in a register nothing used
+/// before — which reads the same zeros. Renaming is therefore exact.
+///
+/// The fusion path calls this between inline steps: each inlined producer
+/// body takes fresh temps, and without compaction a collapsed chain of
+/// bodies would exhaust the 16-register file long before it exhausts the
+/// instruction limit. Malformed programs (see [`optimize`]) are left
+/// unchanged.
+pub fn compact_temps(p: &mut Program) -> usize {
+    let used = |p: &Program| {
+        let mut seen = [false; NUM_TEMPS];
+        for i in &p.instrs {
+            if let Reg::Temp(r) = i.dst.reg {
+                seen[r as usize] = true;
+            }
+            for s in &i.srcs {
+                if let Reg::Temp(r) = s.reg {
+                    seen[r as usize] = true;
+                }
+            }
+        }
+        seen.iter().filter(|&&b| b).count()
+    };
+    if malformed(p) {
+        return used(p);
+    }
+    // Mention interval per temp; reads are scanned before the destination so
+    // a `first` that is a write really is a write of a fresh value.
+    let mut first = [usize::MAX; NUM_TEMPS];
+    let mut last = [0usize; NUM_TEMPS];
+    let mut full_write_first = [false; NUM_TEMPS];
+    for (i, instr) in p.instrs.iter().enumerate() {
+        for s in &instr.srcs {
+            if let Reg::Temp(r) = s.reg {
+                let r = r as usize;
+                if first[r] == usize::MAX {
+                    first[r] = i;
+                }
+                last[r] = i;
+            }
+        }
+        if let Reg::Temp(r) = instr.dst.reg {
+            let r = r as usize;
+            if first[r] == usize::MAX {
+                first[r] = i;
+                full_write_first[r] = instr.dst.mask == [true; 4];
+            }
+            last[r] = i;
+        }
+    }
+    let mut webs: Vec<usize> = (0..NUM_TEMPS).filter(|&r| first[r] != usize::MAX).collect();
+    webs.sort_by_key(|&r| (first[r], r));
+    // Per physical register: `None` = never used, `Some(end)` = last mention
+    // of its current occupant.
+    let mut phys: [Option<usize>; NUM_TEMPS] = [None; NUM_TEMPS];
+    let mut map = [0u8; NUM_TEMPS];
+    for &r in &webs {
+        let slot = (0..NUM_TEMPS)
+            .find(|&q| match phys[q] {
+                None => true,
+                Some(end) => full_write_first[r] && end < first[r],
+            })
+            .expect("webs never outnumber registers");
+        phys[slot] = Some(last[r]);
+        map[r] = slot as u8;
+    }
+    for instr in &mut p.instrs {
+        if let Reg::Temp(r) = instr.dst.reg {
+            instr.dst.reg = Reg::Temp(map[r as usize]);
+        }
+        for s in &mut instr.srcs {
+            if let Reg::Temp(r) = s.reg {
+                s.reg = Reg::Temp(map[r as usize]);
+            }
+        }
+    }
+    used(p)
+}
+
+/// How a producer's interpolated coordinates are reconciled with the
+/// consumer's when its body is inlined at a `TEX` site by
+/// [`inline_producer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlineMode {
+    /// Replace every producer `TEX` coordinate operand with the consuming
+    /// site's coordinate operand. Exact when the producer rendered with
+    /// identity coordinate sets only: its texel `(x, y)` is then a pure
+    /// function of the sampling position, so recomputing the body at the
+    /// site's coordinate reproduces the texel the site would have fetched
+    /// — provided the caller's textures share the producer target's size
+    /// and clamp addressing, which is the graph compiler's side of the
+    /// contract.
+    SubstituteSiteCoord,
+    /// Keep producer coordinate operands, remapped through
+    /// `texcoord_map`. Exact when the consuming site's own coordinate set
+    /// is the identity (the consumer fetched the producer's texel at its
+    /// own position) and the mapped fused coordinate sets are bound
+    /// bit-identically to the producer's own bindings.
+    KeepProducerCoords,
+}
+
+/// One producer→consumer fusion request for [`inline_producer`].
+#[derive(Debug)]
+pub struct InlineRequest<'a> {
+    /// The producer pass's program; its `O0` result is the texture the
+    /// consumer samples.
+    pub producer: &'a Program,
+    /// Consumer sampler index whose fetches are replaced by the body.
+    pub sampler: u8,
+    /// Producer sampler index → fused-program sampler index. Entries must
+    /// avoid `sampler` (the dying slot) so inlined fetches are never
+    /// mistaken for further sites.
+    pub sampler_map: &'a [u8],
+    /// Producer coordinate-set index → fused-program coordinate-set index
+    /// ([`InlineMode::KeepProducerCoords`] only).
+    pub texcoord_map: &'a [u8],
+    /// Coordinate reconciliation mode.
+    pub mode: InlineMode,
+}
+
+/// Inline `req.producer`'s body at every `TEX` site of `consumer` that
+/// samples `req.sampler`, returning the fused program and the number of
+/// sites inlined.
+///
+/// Each site's fetch becomes a `MOV` from a fresh temp holding the
+/// producer's recomputed `O0`; the body is placed at the top of the program
+/// when the site coordinate is an interpolated register (so repeated bodies
+/// sit adjacent and [`optimize`]'s CSE can share their common fetches), and
+/// immediately before the site when the coordinate is computed (a dependent
+/// fetch). Producer temps are renamed into registers the consumer does not
+/// use — running [`optimize`] + [`compact_temps`] to make room when needed
+/// — and producer `DEF`s are merged by bit-identical value reuse.
+///
+/// `bindings` must describe the *fused* pass (its pass-bound constants
+/// reserve registers from `DEF` merging; `outputs_read` seeds the interim
+/// optimize). The transform is exact per fragment by construction: every
+/// rewrite is a rename into unobservable registers, and the coordinate
+/// handling is justified per [`InlineMode`]. Errors — resource exhaustion
+/// or an illegal producer shape — leave fusion to fall back to the
+/// materialized two-pass form.
+pub fn inline_producer(
+    consumer: &Program,
+    bindings: &PassBindings,
+    req: &InlineRequest<'_>,
+) -> Result<(Program, usize), String> {
+    if malformed(consumer) || malformed(req.producer) {
+        return Err("malformed program".into());
+    }
+    if req.sampler_map.contains(&req.sampler) {
+        return Err("sampler_map reuses the dying sampler slot".into());
+    }
+    if req
+        .sampler_map
+        .iter()
+        .any(|&s| (s as usize) >= crate::isa::NUM_SAMPLERS)
+    {
+        return Err("sampler_map exceeds the sampler file".into());
+    }
+    // Producer shape checks.
+    let mut defined = [false; NUM_CONSTS];
+    for d in &req.producer.defs {
+        defined[d.index as usize] = true;
+    }
+    for instr in &req.producer.instrs {
+        match instr.dst.reg {
+            Reg::Temp(_) | Reg::Output(0) => {}
+            _ => return Err("producer writes an output other than O0".into()),
+        }
+        if let Some(s) = instr.sampler {
+            if (s as usize) >= req.sampler_map.len() {
+                return Err(format!("producer sampler tex{s} missing from sampler_map"));
+            }
+        }
+        for (si, s) in instr.srcs.iter().enumerate() {
+            match s.reg {
+                Reg::Output(_) => return Err("producer reads an output register".into()),
+                Reg::Const(c) if !defined[c as usize] => {
+                    return Err(format!(
+                        "producer reads pass-bound constant C{c} (value unknown at fuse time)"
+                    ));
+                }
+                Reg::TexCoord(t) => match req.mode {
+                    InlineMode::SubstituteSiteCoord => {
+                        let is_site_coord = instr.op == Opcode::Tex
+                            && si == 0
+                            && s.swizzle.0[0] == 0
+                            && s.swizzle.0[1] == 1
+                            && !s.negate;
+                        if !is_site_coord {
+                            return Err(format!(
+                                "producer reads T{t} outside a plain TEX coordinate; \
+                                 cannot substitute the site coordinate"
+                            ));
+                        }
+                    }
+                    InlineMode::KeepProducerCoords => {
+                        if (t as usize) >= req.texcoord_map.len() {
+                            return Err(format!(
+                                "producer coordinate T{t} missing from texcoord_map"
+                            ));
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+    }
+    let producer_temps: Vec<u8> = {
+        let mut seen = [false; NUM_TEMPS];
+        for i in &req.producer.instrs {
+            if let Reg::Temp(r) = i.dst.reg {
+                seen[r as usize] = true;
+            }
+            for s in &i.srcs {
+                if let Reg::Temp(r) = s.reg {
+                    seen[r as usize] = true;
+                }
+            }
+        }
+        (0..NUM_TEMPS as u8).filter(|&r| seen[r as usize]).collect()
+    };
+    let needed = producer_temps.len() + 1; // body temps + the O0 holder
+
+    let mut cur = consumer.clone();
+    let mut sites = 0usize;
+    let has_site = |p: &Program| {
+        p.instrs
+            .iter()
+            .any(|i| i.op == Opcode::Tex && i.sampler == Some(req.sampler))
+    };
+    loop {
+        if !has_site(&cur) {
+            return Ok((cur, sites));
+        }
+        // Make room for the body's fresh temps, shrinking the program first
+        // when the file is short.
+        let free_temps = |p: &Program| -> Vec<u8> {
+            let mut seen = [false; NUM_TEMPS];
+            for i in &p.instrs {
+                if let Reg::Temp(r) = i.dst.reg {
+                    seen[r as usize] = true;
+                }
+                for s in &i.srcs {
+                    if let Reg::Temp(r) = s.reg {
+                        seen[r as usize] = true;
+                    }
+                }
+            }
+            (0..NUM_TEMPS as u8)
+                .filter(|&r| !seen[r as usize])
+                .collect()
+        };
+        let mut free = free_temps(&cur);
+        if free.len() < needed {
+            let (optimized, _) = optimize(&cur, bindings);
+            cur = optimized;
+            compact_temps(&mut cur);
+            free = free_temps(&cur);
+            if free.len() < needed {
+                return Err("temp registers exhausted by inlining".into());
+            }
+        }
+        // The optimize above may have moved or removed sites; re-find.
+        let Some(site_idx) = cur
+            .instrs
+            .iter()
+            .position(|i| i.op == Opcode::Tex && i.sampler == Some(req.sampler))
+        else {
+            return Ok((cur, sites));
+        };
+        let site = cur.instrs[site_idx].clone();
+        let site_coord = site.srcs[0];
+
+        let mut temp_map = [0u8; NUM_TEMPS];
+        for (k, &r) in producer_temps.iter().enumerate() {
+            temp_map[r as usize] = free[k];
+        }
+        let result_temp = free[producer_temps.len()];
+
+        // Merge the producer's DEFs by bit-identical value, after any
+        // interim optimize may have pruned earlier copies.
+        let mut new_defs: Vec<ConstDef> = Vec::new();
+        let mut const_map = [0u8; NUM_CONSTS];
+        for d in &req.producer.defs {
+            let idx = materialize(&cur.defs, &mut new_defs, bindings, d.value)
+                .ok_or_else(|| "constant registers exhausted by inlining".to_string())?;
+            const_map[d.index as usize] = idx;
+        }
+        cur.defs.extend(new_defs);
+
+        let map_src = |s: &Src| -> Src {
+            let reg = match s.reg {
+                Reg::Temp(r) => Reg::Temp(temp_map[r as usize]),
+                Reg::Const(c) => Reg::Const(const_map[c as usize]),
+                Reg::TexCoord(t) => match req.mode {
+                    InlineMode::KeepProducerCoords => Reg::TexCoord(req.texcoord_map[t as usize]),
+                    // Non-TEX TexCoord reads were rejected above; TEX
+                    // coordinates are substituted wholesale below.
+                    InlineMode::SubstituteSiteCoord => Reg::TexCoord(t),
+                },
+                other => other,
+            };
+            Src { reg, ..*s }
+        };
+        let mut body: Vec<Instr> = Vec::with_capacity(req.producer.instrs.len());
+        for instr in &req.producer.instrs {
+            let mut out = instr.clone();
+            out.dst.reg = match out.dst.reg {
+                Reg::Temp(r) => Reg::Temp(temp_map[r as usize]),
+                Reg::Output(0) => Reg::Temp(result_temp),
+                other => other,
+            };
+            for s in &mut out.srcs {
+                *s = map_src(s);
+            }
+            if out.op == Opcode::Tex {
+                out.sampler = Some(req.sampler_map[out.sampler.unwrap() as usize]);
+                if req.mode == InlineMode::SubstituteSiteCoord {
+                    out.srcs[0] = site_coord;
+                }
+            }
+            body.push(out);
+        }
+        // The fetch becomes a register move from the recomputed result.
+        let mut replacement = site;
+        replacement.op = Opcode::Mov;
+        replacement.sampler = None;
+        replacement.srcs = vec![Src {
+            reg: Reg::Temp(result_temp),
+            swizzle: Swizzle::IDENTITY,
+            negate: false,
+        }];
+        cur.instrs[site_idx] = replacement;
+        // Interpolated coordinates are program invariants, so bodies that
+        // only depend on them can sit at the top — adjacent to bodies from
+        // other sites, where CSE shares their common fetches. A computed
+        // (dependent) coordinate pins the body to its site.
+        let insert_at = match req.mode {
+            InlineMode::KeepProducerCoords => 0,
+            InlineMode::SubstituteSiteCoord => match site_coord.reg {
+                Reg::TexCoord(_) => 0,
+                _ => site_idx,
+            },
+        };
+        cur.instrs.splice(insert_at..insert_at, body);
+        sites += 1;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1342,6 +1802,290 @@ mod tests {
         let rd = reaching_defs(&p.instrs);
         assert_eq!(rd[1][0], [Some(0); 4]);
         assert_eq!(rd[2][1], [Some(1); 4]);
+    }
+
+    /// Shade `p` per pixel of a `w x h` target under `sets`, sampling
+    /// `textures`, exactly as the rasterizer would — the reference for the
+    /// compaction and inlining exactness tests.
+    fn shade(
+        p: &Program,
+        sets: &[crate::raster::TexCoordSet],
+        textures: &[&Texture2D],
+        w: usize,
+        h: usize,
+    ) -> Vec<[u32; 4]> {
+        let consts = resolve_constants(p, &[]);
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let input = crate::raster::fragment_input(sets, x, y, w, h);
+                let r = execute(p, &input, &consts, textures, None);
+                out.push(r.colors[0].map(f32::to_bits));
+            }
+        }
+        out
+    }
+
+    fn checker_tex(seed: u64) -> Texture2D {
+        let mut t = Texture2D::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                let base = (seed * 37 + (y * 4 + x) as u64 * 13) % 101;
+                t.set_texel(
+                    x,
+                    y,
+                    [
+                        base as f32 * 0.11 - 3.0,
+                        base as f32 * 0.07 + 0.5,
+                        base as f32 * 0.03,
+                        1.0,
+                    ],
+                );
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn compact_temps_reuses_dead_registers_exactly() {
+        let mut p =
+            assemble("TEX R3, T0, tex0\nMOV R7, R3\nTEX R12, T1, tex1\nADD OC, R12, R7").unwrap();
+        let orig = p.clone();
+        // R3 dies at the MOV, so R12 can reuse its register: 3 webs, 2 regs.
+        assert_eq!(compact_temps(&mut p), 2);
+        let sets = [
+            crate::raster::TexCoordSet::identity(),
+            crate::raster::TexCoordSet::shifted_texels(1, -1, 4, 4),
+        ];
+        let a = checker_tex(1);
+        let b = checker_tex(2);
+        assert_eq!(
+            shade(&orig, &sets, &[&a, &b], 4, 4),
+            shade(&p, &sets, &[&a, &b], 4, 4)
+        );
+    }
+
+    #[test]
+    fn compact_temps_preserves_zero_init_reads() {
+        // R5 is read before any write (observing the zero-initialised file)
+        // and must land in a register no other web used first.
+        let mut p = assemble("MOV R9, T0\nADD R8, R9, R5\nMOV OC, R8").unwrap();
+        let orig = p.clone();
+        assert_eq!(compact_temps(&mut p), 3);
+        let sets = [crate::raster::TexCoordSet::identity()];
+        let a = checker_tex(3);
+        assert_eq!(
+            shade(&orig, &sets, &[&a], 4, 4),
+            shade(&p, &sets, &[&a], 4, 4)
+        );
+    }
+
+    /// A normalize-shaped producer: two identity fetches combined into O0.
+    fn norm_like_producer() -> Program {
+        assemble(
+            "!!prod\nDEF C0, 0.5, 0.25, 1, 1\nTEX R0, T0, tex0\nTEX R1, T0, tex1\n\
+             ADD R2, R0, R1\nMUL OC, R2, C0.x",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inline_substitutes_the_site_coordinate_exactly() {
+        // Consumer samples the producer's output at its own position (T0)
+        // and one texel shifted (T1) — the normalize→distance shape.
+        let producer = norm_like_producer();
+        let consumer =
+            assemble("!!cons\nTEX R0, T0, tex0\nTEX R1, T1, tex0\nSUB OC, R0, R1").unwrap();
+        let a = checker_tex(4);
+        let b = checker_tex(5);
+        // Materialize the producer's target texel for texel.
+        let mut prod_tex = Texture2D::new(4, 4);
+        let id = [crate::raster::TexCoordSet::identity()];
+        for (i, bits) in shade(&producer, &id, &[&a, &b], 4, 4).iter().enumerate() {
+            prod_tex.set_texel(i % 4, i / 4, bits.map(f32::from_bits));
+        }
+        let sets = [
+            crate::raster::TexCoordSet::identity(),
+            crate::raster::TexCoordSet::shifted_texels(1, -1, 4, 4),
+        ];
+        let reference = shade(&consumer, &sets, &[&prod_tex], 4, 4);
+        let fused_bindings = PassBindings {
+            samplers: 3,
+            texcoord_sets: 2,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        };
+        let (fused, sites) = inline_producer(
+            &consumer,
+            &fused_bindings,
+            &InlineRequest {
+                producer: &producer,
+                sampler: 0,
+                sampler_map: &[1, 2],
+                texcoord_map: &[],
+                mode: InlineMode::SubstituteSiteCoord,
+            },
+        )
+        .unwrap();
+        assert_eq!(sites, 2);
+        let dummy = Texture2D::new(4, 4);
+        let got = shade(&fused, &sets, &[&dummy, &a, &b], 4, 4);
+        assert_eq!(reference, got, "fused:\n{}", fused.to_asm());
+        // The optimized fused program still matches and verifies clean.
+        let (opt, _) = optimize(&fused, &fused_bindings);
+        assert_eq!(reference, shade(&opt, &sets, &[&dummy, &a, &b], 4, 4));
+        assert!(!has_errors(&verify::verify(
+            &opt,
+            &GpuProfile::fx5950_ultra(),
+            Some(&fused_bindings)
+        )));
+    }
+
+    #[test]
+    fn inline_keep_coords_collapses_an_accumulator_chain() {
+        // Accumulator shape: each link adds a term of `src` (centre and
+        // shifted) onto the running total fetched from the previous link.
+        let link = "TEX R0, T0, tex0\nTEX R1, T1, tex0\nADD R2, R0, R1\n\
+                    TEX R3, T0, tex1\nADD OC, R2, R3";
+        let producer = assemble(&format!("!!p\n{link}")).unwrap();
+        let consumer = assemble(&format!("!!c\n{link}")).unwrap();
+        let src = checker_tex(6);
+        let seed = checker_tex(7);
+        let sets = [
+            crate::raster::TexCoordSet::identity(),
+            crate::raster::TexCoordSet::shifted_texels(-1, 1, 4, 4),
+        ];
+        let mut prod_tex = Texture2D::new(4, 4);
+        for (i, bits) in shade(&producer, &sets, &[&src, &seed], 4, 4)
+            .iter()
+            .enumerate()
+        {
+            prod_tex.set_texel(i % 4, i / 4, bits.map(f32::from_bits));
+        }
+        let reference = shade(&consumer, &sets, &[&src, &prod_tex], 4, 4);
+        let fused_bindings = PassBindings {
+            samplers: 3,
+            texcoord_sets: 2,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        };
+        let (fused, sites) = inline_producer(
+            &consumer,
+            &fused_bindings,
+            &InlineRequest {
+                producer: &producer,
+                sampler: 1,
+                // The producer's src texture is already bound at slot 0;
+                // its seed goes to a fresh slot.
+                sampler_map: &[0, 2],
+                texcoord_map: &[0, 1],
+                mode: InlineMode::KeepProducerCoords,
+            },
+        )
+        .unwrap();
+        assert_eq!(sites, 1);
+        let dummy = Texture2D::new(4, 4);
+        assert_eq!(
+            reference,
+            shade(&fused, &sets, &[&src, &dummy, &seed], 4, 4)
+        );
+        // CSE shares the centre and shifted `src` fetches between the body
+        // and the consumer's own fetches: 5 naive fetches become 3.
+        let (opt, _) = optimize(&fused, &fused_bindings);
+        assert_eq!(reference, shade(&opt, &sets, &[&src, &dummy, &seed], 4, 4));
+        assert_eq!(opt.tex_count(), 3, "{}", opt.to_asm());
+    }
+
+    #[test]
+    fn inline_at_a_dependent_site_stays_in_place() {
+        // The site coordinate is computed (a dependent fetch), so the body
+        // must execute at the site, after the coordinate exists.
+        let producer = norm_like_producer();
+        let consumer = assemble(
+            "!!c\nDEF C0, 0.25, 0.25, 0, 0\nTEX R0, T0, tex1\nMAD R1, R0, C0.x, C0.y\n\
+             TEX R2, R1, tex0\nADD OC, R2, R0",
+        )
+        .unwrap();
+        let a = checker_tex(8);
+        let b = checker_tex(9);
+        let guide = checker_tex(10);
+        let id = [crate::raster::TexCoordSet::identity()];
+        let mut prod_tex = Texture2D::new(4, 4);
+        for (i, bits) in shade(&producer, &id, &[&a, &b], 4, 4).iter().enumerate() {
+            prod_tex.set_texel(i % 4, i / 4, bits.map(f32::from_bits));
+        }
+        let reference = shade(&consumer, &id, &[&prod_tex, &guide], 4, 4);
+        let fused_bindings = PassBindings {
+            samplers: 4,
+            texcoord_sets: 1,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        };
+        let (fused, sites) = inline_producer(
+            &consumer,
+            &fused_bindings,
+            &InlineRequest {
+                producer: &producer,
+                sampler: 0,
+                sampler_map: &[2, 3],
+                texcoord_map: &[],
+                mode: InlineMode::SubstituteSiteCoord,
+            },
+        )
+        .unwrap();
+        assert_eq!(sites, 1);
+        let dummy = Texture2D::new(4, 4);
+        assert_eq!(
+            reference,
+            shade(&fused, &id, &[&dummy, &guide, &a, &b], 4, 4),
+            "{}",
+            fused.to_asm()
+        );
+    }
+
+    #[test]
+    fn inline_rejects_illegal_producers() {
+        let consumer = assemble("!!c\nTEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let b = PassBindings {
+            samplers: 2,
+            texcoord_sets: 1,
+            constants: vec![],
+            outputs_read: [true, false, false, false],
+        };
+        let req = |producer: &Program| -> Result<(Program, usize), String> {
+            inline_producer(
+                &consumer,
+                &b,
+                &InlineRequest {
+                    producer,
+                    sampler: 0,
+                    sampler_map: &[1],
+                    texcoord_map: &[],
+                    mode: InlineMode::SubstituteSiteCoord,
+                },
+            )
+        };
+        // A coordinate register read outside a TEX cannot be substituted.
+        let p = assemble("!!p\nTEX R0, T0, tex0\nADD OC, R0, T0").unwrap();
+        assert!(req(&p).unwrap_err().contains("outside a plain TEX"));
+        // Pass-bound constants have no value at fuse time.
+        let p = assemble("!!p\nTEX R0, T0, tex0\nMUL OC, R0, C5").unwrap();
+        assert!(req(&p).unwrap_err().contains("pass-bound"));
+        // The dying sampler slot must not be reused by the map.
+        let p = assemble("!!p\nTEX R0, T0, tex0\nMOV OC, R0").unwrap();
+        let err = inline_producer(
+            &consumer,
+            &b,
+            &InlineRequest {
+                producer: &p,
+                sampler: 0,
+                sampler_map: &[0],
+                texcoord_map: &[],
+                mode: InlineMode::SubstituteSiteCoord,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("dying sampler"), "{err}");
     }
 
     #[test]

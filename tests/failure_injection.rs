@@ -68,7 +68,7 @@ fn malformed_shaders_report_line_and_reason() {
         ("FOO R0, R1", "unknown opcode"),
         ("ADD R0, R1", "expects"),
         ("MOV C0, R1", "destination"),
-        ("TEX R0, T0, tex9", "sampler"),
+        ("TEX R0, T0, tex16", "sampler"),
         ("MOV R99, R0", "out of range"),
         ("DEF C0, 1, 2", "DEF"),
     ] {
