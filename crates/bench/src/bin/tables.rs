@@ -29,15 +29,29 @@ fn main() {
         ),
         "fig5" => run_fig5(args.get(1).map(String::as_str).unwrap_or("out")),
         "bench" => {
+            let usage = || -> ! {
+                eprintln!(
+                    "usage: tables bench [path] [--trace <trace.json>] \
+                     [--devices <name,name,...>]"
+                );
+                std::process::exit(2);
+            };
             let mut path = "BENCH_results.json";
             let mut trace_path = None;
+            let mut devices = None;
             let mut rest = args[1..].iter();
             while let Some(a) = rest.next() {
                 if a == "--trace" {
                     match rest.next() {
                         Some(p) => trace_path = Some(p.as_str()),
-                        None => {
-                            eprintln!("usage: tables bench [path] [--trace <trace.json>]");
+                        None => usage(),
+                    }
+                } else if a == "--devices" {
+                    let Some(list) = rest.next() else { usage() };
+                    match amc_core::fleet::parse_device_list(list) {
+                        Ok(p) => devices = Some(p),
+                        Err(e) => {
+                            eprintln!("error: {e}");
                             std::process::exit(2);
                         }
                     }
@@ -45,7 +59,7 @@ fn main() {
                     path = a.as_str();
                 }
             }
-            run_bench(path, trace_path);
+            run_bench(path, trace_path, devices);
         }
         "graph" => {
             let mut format = "dot";
@@ -97,7 +111,11 @@ fn main() {
     }
 }
 
-fn run_bench(path: &str, trace_path: Option<&str>) {
+fn run_bench(
+    path: &str,
+    trace_path: Option<&str>,
+    devices: Option<Vec<gpu_sim::device::GpuProfile>>,
+) {
     if trace_path.is_some() {
         trace::enable();
     }
@@ -105,7 +123,7 @@ fn run_bench(path: &str, trace_path: Option<&str>) {
         "[bench] timing the end-to-end AMC run ({} worker threads)...",
         rayon::max_threads()
     );
-    let run = results::run_benchmark(2026);
+    let run = results::run_benchmark_with_devices(2026, devices.as_deref());
     let json = results::to_json(&run);
     std::fs::write(path, &json).expect("write benchmark results");
     if let Some(tp) = trace_path {
@@ -148,6 +166,44 @@ fn run_bench(path: &str, trace_path: Option<&str>) {
         run.opt_wall_raw_s,
         run.opt_wall_opt_s
     );
+    let fl = &run.fleet;
+    eprintln!(
+        "[bench] fleet scaling over {} chunks ({} lines + {} halo), \
+         baseline 1x{} modeled {:.6}s:",
+        fl.shapes.first().map_or(0, |s| s.chunks),
+        fl.lines_per_chunk,
+        fl.halo,
+        fl.baseline_device,
+        fl.baseline_modeled_s
+    );
+    eprintln!(
+        "[bench]   {:<24} {:>6} {:>6} {:>11} {:>8} {:>9}",
+        "shape", "chunks", "steals", "modeled_s", "speedup", "wall_s"
+    );
+    for shape in &fl.shapes {
+        eprintln!(
+            "[bench]   {:<24} {:>6} {:>6} {:>11.6} {:>7.2}x {:>9.3}",
+            shape.name,
+            shape.chunks,
+            shape.steals,
+            shape.modeled_makespan_s,
+            shape.modeled_speedup(fl.baseline_modeled_s),
+            shape.wall_s
+        );
+        for (i, d) in shape.devices.iter().enumerate() {
+            eprintln!(
+                "[bench]     dev{} {:<18} planned {:>2} -> executed {:>2} \
+                 ({} stolen) | modeled {:.6}s | wall {:.3}s",
+                i,
+                d.device,
+                d.planned.len(),
+                d.executed.len(),
+                d.steals,
+                d.modeled_s,
+                d.wall_s
+            );
+        }
+    }
 }
 
 fn run_graph(format: &str, fuse: bool) {

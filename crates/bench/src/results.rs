@@ -31,7 +31,19 @@
 //! fetches per fragment fused vs unfused) plus a measured unfused-oracle
 //! arm (`GPU_SIM_FUSE=0` equivalent) whose stage counters anchor the
 //! ≥ 30% fetch-reduction gate CI enforces.
+//!
+//! Since schema 6 it carries a `fleet` block: the multi-device sharding
+//! scaling curve ([`amc_core::fleet::DeviceFleet`]) over a fixed set of
+//! fleet shapes (always 1× and 2× GeForce 7800 GTX, plus any `--devices`
+//! shape), with per-device rows recording the placement model's initial
+//! assignment vs the chunks actually executed, steal counts, and modeled
+//! vs measured seconds. The modeled 2×7800GTX speedup over the single
+//! device anchors the ≥ 1.8× scaling gate CI enforces. The fleet arms run
+//! the closure kernel path — counters are identical to the ISA path by
+//! construction and the speedup is modeled, so the cheaper simulation
+//! changes nothing it reports.
 
+use amc_core::fleet::DeviceFleet;
 use amc_core::graph::CompiledGraph;
 use amc_core::kernels;
 use amc_core::pipeline::{GpuAmc, KernelMode, PipelineOutput, StageStats, StageWall};
@@ -57,7 +69,9 @@ use trace::metrics::{HistSummary, Snapshot};
 /// instead of a misleading `0.0`.
 /// Version 5 added the `fusion` block (render-graph pass-fusion
 /// attribution and the measured unfused-oracle arm).
-pub const SCHEMA_VERSION: u64 = 5;
+/// Version 6 added the `fleet` block (multi-device scaling shapes with
+/// per-device placement, steal and timing rows).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Device-cache effectiveness counters read off the [`Gpu`] after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -155,6 +169,8 @@ pub struct BenchRun {
     pub kernel_mode: KernelMode,
     /// Render-graph fusion attribution plus the measured unfused arm.
     pub fusion: FusionReport,
+    /// Multi-device sharding scaling curve (the schema-6 `fleet` block).
+    pub fleet: FleetReport,
 }
 
 impl BenchRun {
@@ -438,6 +454,150 @@ pub fn fusion_report(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet scaling (the `fleet` block, schema 6)
+// ---------------------------------------------------------------------------
+
+/// One device's row inside a fleet shape run: the placement model's
+/// initial assignment vs what the work-stealing dispatcher actually
+/// executed, plus modeled and measured seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDeviceRow {
+    /// Device short name (`GpuProfile::short_name`).
+    pub device: String,
+    /// Chunk indices the placement model assigned up front.
+    pub planned: Vec<u64>,
+    /// Chunk indices executed, in execution order.
+    pub executed: Vec<u64>,
+    /// Chunks this device stole from other queues.
+    pub steals: u64,
+    /// Modeled busy seconds for the executed chunks.
+    pub modeled_s: f64,
+    /// Measured host wall seconds of this device's dispatch loop.
+    pub wall_s: f64,
+}
+
+/// One fleet shape's run over the shared chunk plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetShapeRun {
+    /// Shape name: device short names joined with `+`.
+    pub name: String,
+    /// Per-device rows, in fleet order.
+    pub devices: Vec<FleetDeviceRow>,
+    /// Chunks in the shared plan.
+    pub chunks: u64,
+    /// Total chunks that moved between queues.
+    pub steals: u64,
+    /// Modeled fleet makespan (slowest device's modeled busy time).
+    pub modeled_makespan_s: f64,
+    /// Measured host wall seconds of the parallel dispatch phase.
+    pub wall_s: f64,
+}
+
+/// The schema-6 `fleet` block: one shared chunk plan, a single-device
+/// modeled baseline, and one [`FleetShapeRun`] per fleet shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Body lines per chunk of the shared (fleet-shape-independent) plan.
+    pub lines_per_chunk: u64,
+    /// Halo lines per chunk side.
+    pub halo: u64,
+    /// Short name of the baseline device.
+    pub baseline_device: String,
+    /// Modeled seconds one baseline device needs for the whole plan
+    /// (uncontended bus) — the denominator of every shape's speedup.
+    pub baseline_modeled_s: f64,
+    /// One run per fleet shape, in execution order.
+    pub shapes: Vec<FleetShapeRun>,
+}
+
+impl FleetShapeRun {
+    /// Modeled speedup over the single-baseline-device time. Derived — it
+    /// is recomputed, not parsed, on a [`from_json`] round trip.
+    pub fn modeled_speedup(&self, baseline_s: f64) -> f64 {
+        if self.modeled_makespan_s > 0.0 {
+            baseline_s / self.modeled_makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Name a fleet shape: device short names joined with `+`.
+fn shape_name(profiles: &[GpuProfile]) -> String {
+    profiles
+        .iter()
+        .map(|p| p.short_name())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Execute the fleet scaling arms and build the `fleet` block. Always runs
+/// 1× and 2× GeForce 7800 GTX (the scaling headline CI gates on), plus
+/// `extra` when it names a distinct shape. Every shape shares one chunk
+/// plan, so the merged outputs — bit-identical across shapes by the fleet
+/// executor's determinism guarantee — are also identical to each other.
+pub fn fleet_report(
+    cube: &hsi::cube::Cube,
+    amc: &GpuAmc,
+    extra: Option<&[GpuProfile]>,
+) -> FleetReport {
+    let baseline = GpuProfile::geforce_7800gtx();
+    let mut shapes: Vec<Vec<GpuProfile>> = vec![
+        vec![baseline.clone()],
+        vec![baseline.clone(), baseline.clone()],
+    ];
+    if let Some(extra) = extra {
+        if !extra.is_empty() && !shapes.iter().any(|s| s.as_slice() == extra) {
+            shapes.push(extra.to_vec());
+        }
+    }
+    // One plan for every shape: derived from the union of profiles, whose
+    // minimum video memory governs — identical to each shape's own plan
+    // whenever the memory sizes agree (they do for the paper's devices).
+    let all: Vec<GpuProfile> = shapes.iter().flatten().cloned().collect();
+    let chunking = DeviceFleet::new(all)
+        .plan_chunking(amc, cube)
+        .expect("fleet chunk plan");
+    let baseline_modeled_s = DeviceFleet::modeled_single_device_s(amc, cube, chunking, &baseline);
+    let runs = shapes
+        .into_iter()
+        .map(|profiles| {
+            let name = shape_name(&profiles);
+            eprintln!("[bench] fleet shape {name}...");
+            let out = DeviceFleet::new(profiles)
+                .run_with_chunking(amc, cube, chunking)
+                .expect("fleet run");
+            FleetShapeRun {
+                name,
+                devices: out
+                    .devices
+                    .iter()
+                    .map(|d| FleetDeviceRow {
+                        device: d.profile.short_name().to_owned(),
+                        planned: d.planned.iter().map(|&i| i as u64).collect(),
+                        executed: d.executed.iter().map(|&i| i as u64).collect(),
+                        steals: d.steals,
+                        modeled_s: d.modeled_s,
+                        wall_s: d.wall_s,
+                    })
+                    .collect(),
+                chunks: out.pipeline.chunks as u64,
+                steals: out.steals,
+                modeled_makespan_s: out.modeled_makespan_s,
+                wall_s: out.wall_s,
+            }
+        })
+        .collect();
+    FleetReport {
+        lines_per_chunk: chunking.lines_per_chunk as u64,
+        halo: chunking.halo as u64,
+        baseline_device: baseline.short_name().to_owned(),
+        baseline_modeled_s,
+        shapes: runs,
+    }
+}
+
 /// Wall-clock the ISA lowering path with the optimizer off, then on: every
 /// AMC kernel shades a 96×96 quad for a few passes on a cold device per
 /// arm, so the measured delta is the per-fragment interpreter cost of the
@@ -479,6 +639,12 @@ fn isa_microbench() -> (f64, f64) {
 /// Execute the end-to-end benchmark once. The metrics registry is reset
 /// first so the emitted `metrics` block covers exactly this run.
 pub fn run_benchmark(seed: u64) -> BenchRun {
+    run_benchmark_with_devices(seed, None)
+}
+
+/// [`run_benchmark`] with an extra fleet shape from `--devices` appended to
+/// the standard 1×/2× 7800 GTX scaling arms.
+pub fn run_benchmark_with_devices(seed: u64, extra_shape: Option<&[GpuProfile]>) -> BenchRun {
     trace::metrics::reset();
     let classes = indian_pines_classes();
     let t = Instant::now();
@@ -518,6 +684,10 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
         zero_fill_skips,
         &unfused_arm,
     );
+    // Fleet scaling arms on the closure path: counters match the ISA path
+    // by construction and the speedup gate is on modeled time.
+    let amc_fleet = GpuAmc::new(amc.se().clone(), KernelMode::Closure);
+    let fleet = fleet_report(&scene.cube, &amc_fleet, extra_shape);
 
     BenchRun {
         seed,
@@ -537,6 +707,7 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
         opt_wall_opt_s,
         kernel_mode,
         fusion,
+        fleet,
     }
 }
 
@@ -764,6 +935,78 @@ pub fn to_json(run: &BenchRun) -> String {
         )
     );
     s.push_str("  },\n");
+    // Fleet scaling: the chunk plan, the single-device modeled baseline and
+    // per-shape runs with per-device placement/execution rows are inputs;
+    // every `modeled_speedup` is derived from the (rounded) baseline and
+    // makespan and recomputed on a round trip.
+    let fl = &run.fleet;
+    s.push_str("  \"fleet\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"chunking\": {{\"lines_per_chunk\": {}, \"halo\": {}}},",
+        fl.lines_per_chunk, fl.halo
+    );
+    let _ = writeln!(s, "    \"baseline_device\": \"{}\",", fl.baseline_device);
+    let _ = writeln!(
+        s,
+        "    \"baseline_modeled_s\": {:.6},",
+        fl.baseline_modeled_s
+    );
+    s.push_str("    \"shapes\": [\n");
+    let idx_list = |idx: &[u64]| {
+        let mut out = String::from("[");
+        for (i, v) in idx.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+        out
+    };
+    for (i, shape) in fl.shapes.iter().enumerate() {
+        let _ = writeln!(s, "      {{\"name\": \"{}\",", shape.name);
+        let _ = writeln!(s, "       \"chunks\": {},", shape.chunks);
+        let _ = writeln!(s, "       \"steals\": {},", shape.steals);
+        let _ = writeln!(
+            s,
+            "       \"modeled_makespan_s\": {:.6},",
+            shape.modeled_makespan_s
+        );
+        let _ = writeln!(
+            s,
+            "       \"modeled_speedup\": {:.6},",
+            FleetShapeRun {
+                modeled_makespan_s: r6(shape.modeled_makespan_s),
+                ..shape.clone()
+            }
+            .modeled_speedup(r6(fl.baseline_modeled_s))
+        );
+        let _ = writeln!(s, "       \"wall_s\": {:.6},", shape.wall_s);
+        s.push_str("       \"devices\": [\n");
+        for (j, d) in shape.devices.iter().enumerate() {
+            let _ = write!(
+                s,
+                "         {{\"device\": \"{}\", \"planned\": {}, \
+                 \"executed\": {}, \"steals\": {}, \"modeled_s\": {:.6}, \
+                 \"wall_s\": {:.6}}}",
+                d.device,
+                idx_list(&d.planned),
+                idx_list(&d.executed),
+                d.steals,
+                d.modeled_s,
+                d.wall_s
+            );
+            s.push_str(if j + 1 < shape.devices.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("       ]}");
+        s.push_str(if i + 1 < fl.shapes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]\n  },\n");
     let c = &run.gpu_caches;
     let _ = writeln!(
         s,
@@ -1154,6 +1397,40 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
         unfused_distance_texel_fetches: arm.get("distance_texel_fetches")?.u64()?,
         unfused_distance_wall_s: arm.get("distance_wall_s")?.num()?,
     };
+    let fl = doc.get("fleet")?;
+    let fl_chunking = fl.get("chunking")?;
+    let mut fleet_shapes = Vec::new();
+    for shape in fl.get("shapes")?.arr()? {
+        let mut devices = Vec::new();
+        for d in shape.get("devices")?.arr()? {
+            let idx = |key: &str| -> ParseResult<Vec<u64>> {
+                d.get(key)?.arr()?.iter().map(Json::u64).collect()
+            };
+            devices.push(FleetDeviceRow {
+                device: d.get("device")?.str()?.to_owned(),
+                planned: idx("planned")?,
+                executed: idx("executed")?,
+                steals: d.get("steals")?.u64()?,
+                modeled_s: d.get("modeled_s")?.num()?,
+                wall_s: d.get("wall_s")?.num()?,
+            });
+        }
+        fleet_shapes.push(FleetShapeRun {
+            name: shape.get("name")?.str()?.to_owned(),
+            devices,
+            chunks: shape.get("chunks")?.u64()?,
+            steals: shape.get("steals")?.u64()?,
+            modeled_makespan_s: shape.get("modeled_makespan_s")?.num()?,
+            wall_s: shape.get("wall_s")?.num()?,
+        });
+    }
+    let fleet = FleetReport {
+        lines_per_chunk: fl_chunking.get("lines_per_chunk")?.u64()?,
+        halo: fl_chunking.get("halo")?.u64()?,
+        baseline_device: fl.get("baseline_device")?.str()?.to_owned(),
+        baseline_modeled_s: fl.get("baseline_modeled_s")?.num()?,
+        shapes: fleet_shapes,
+    };
     let metrics_obj = doc.get("metrics")?;
     let mut counters = Vec::new();
     for c in metrics_obj.get("counters")?.arr()? {
@@ -1207,6 +1484,7 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
             KernelMode::from_name(&name).ok_or_else(|| format!("unknown kernel_mode \"{name}\""))?
         },
         fusion,
+        fleet,
     })
 }
 
@@ -1307,6 +1585,54 @@ mod tests {
                 unfused_distance_texel_fetches: 52_000,
                 unfused_distance_wall_s: 0.31,
             },
+            fleet: FleetReport {
+                lines_per_chunk: 16,
+                halo: 2,
+                baseline_device: "7800gtx".into(),
+                baseline_modeled_s: 0.024,
+                shapes: vec![
+                    FleetShapeRun {
+                        name: "7800gtx".into(),
+                        devices: vec![FleetDeviceRow {
+                            device: "7800gtx".into(),
+                            planned: vec![0, 1, 2, 3],
+                            executed: vec![0, 1, 2, 3],
+                            steals: 0,
+                            modeled_s: 0.024,
+                            wall_s: 1.2,
+                        }],
+                        chunks: 4,
+                        steals: 0,
+                        modeled_makespan_s: 0.024,
+                        wall_s: 1.2,
+                    },
+                    FleetShapeRun {
+                        name: "7800gtx+7800gtx".into(),
+                        devices: vec![
+                            FleetDeviceRow {
+                                device: "7800gtx".into(),
+                                planned: vec![0, 1],
+                                executed: vec![0, 1, 3],
+                                steals: 1,
+                                modeled_s: 0.0075,
+                                wall_s: 0.7,
+                            },
+                            FleetDeviceRow {
+                                device: "7800gtx".into(),
+                                planned: vec![2, 3],
+                                executed: vec![2],
+                                steals: 0,
+                                modeled_s: 0.005,
+                                wall_s: 0.55,
+                            },
+                        ],
+                        chunks: 4,
+                        steals: 1,
+                        modeled_makespan_s: 0.0125,
+                        wall_s: 0.7,
+                    },
+                ],
+            },
         }
     }
 
@@ -1317,7 +1643,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema_version\": 5",
+            "\"schema_version\": 6",
             "\"benchmark\"",
             "\"kernel_mode\": \"isa\"",
             "\"threads\": 4",
@@ -1356,6 +1682,16 @@ mod tests {
             "\"unfused_arm\": {",
             "\"distance_wall_s\": 0.310000",
             "\"measured_fetch_reduction_pct\": 100.000000",
+            "\"fleet\": {",
+            "\"chunking\": {\"lines_per_chunk\": 16, \"halo\": 2}",
+            "\"baseline_device\": \"7800gtx\"",
+            "\"baseline_modeled_s\": 0.024000",
+            "\"name\": \"7800gtx+7800gtx\"",
+            // 0.024 / 0.0125 — derived from the rounded inputs.
+            "\"modeled_speedup\": 1.920000",
+            "\"planned\": [0, 1]",
+            "\"executed\": [0, 1, 3]",
+            "\"modeled_s\": 0.007500",
             "\"gpu_caches\": {\"verify_runs\": 7",
             "\"cache_hit_rates\": {\"verify\": 0.995025",
             "\"name\": \"gpu.pass_wall\", \"count\": 1407",
@@ -1386,11 +1722,11 @@ mod tests {
     fn schema_drift_fails_loudly() {
         let doc = to_json(&sample_run());
         // Wrong version.
-        let old = doc.replace("\"schema_version\": 5", "\"schema_version\": 3");
+        let old = doc.replace("\"schema_version\": 6", "\"schema_version\": 3");
         let err = from_json(&old).expect_err("version 3 must be rejected");
         assert!(err.contains("schema_version 3"), "{err}");
         // Unversioned document (the pre-observability layout).
-        let unversioned = doc.replacen("  \"schema_version\": 5,\n", "", 1);
+        let unversioned = doc.replacen("  \"schema_version\": 6,\n", "", 1);
         let err = from_json(&unversioned).expect_err("missing version must be rejected");
         assert!(err.contains("schema_version"), "{err}");
         // A missing input key is an error, not a default.

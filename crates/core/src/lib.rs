@@ -17,14 +17,19 @@
 //! * [`perf`] — the analytic work model that regenerates Tables 4–5 and
 //!   Fig. 6 at full AVIRIS scale without executing 500 MB simulations, and
 //!   the machinery validating it against executed-simulation counters.
+//! * [`fleet`] — heterogeneous multi-device sharding: the chunk plan
+//!   distributed across N simulated GPUs by modeled throughput, with
+//!   work-stealing rebalancing and a deterministic chunk-order merge.
 
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod fleet;
 pub mod graph;
 pub mod kernels;
 pub mod layout;
 pub mod perf;
 pub mod pipeline;
 
+pub use fleet::{DeviceFleet, FleetConfig, FleetOutput};
 pub use pipeline::{GpuAmc, KernelMode, PipelineOutput};

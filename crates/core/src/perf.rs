@@ -142,6 +142,26 @@ pub fn predict_gpu_time(
     Ok((timing::gpu_time(&stats, profile), stats))
 }
 
+/// Modeled seconds one device of a fleet spends on one `width × height ×
+/// bands` chunk: exact predicted counters for the chunk geometry, the
+/// profile's roofline rates, a host link shared with `bus_sharers - 1`
+/// other devices, and the double-buffered executor's overlapped transfer
+/// model. This is the weight the fleet's initial placement and
+/// steal-victim selection use.
+pub fn predict_chunk_time_s(
+    width: usize,
+    height: usize,
+    bands: usize,
+    se: &StructuringElement,
+    profile: &GpuProfile,
+    bus_sharers: usize,
+    config: &PredictConfig,
+) -> f64 {
+    let stats = predict_chunk_stats(width, height, bands, se, config);
+    timing::gpu_time_shared(&stats, profile, bus_sharers)
+        .total_s_mode(timing::TransferMode::Overlapped)
+}
+
 /// The six cropped-scene sizes of Tables 4–5, as numbers of lines of the
 /// 2166-sample × 216-band Indian Pines scene closest to the quoted MB sizes.
 pub fn paper_image_sizes() -> Vec<(f64, CubeDims)> {

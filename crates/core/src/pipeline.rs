@@ -238,7 +238,7 @@ impl StageWall {
 /// Host-side readback buffers reused across chunks (stage 6 lands here
 /// instead of allocating fresh vectors per chunk).
 #[derive(Debug, Default)]
-struct ChunkScratch {
+pub(crate) struct ChunkScratch {
     mei_flat: Vec<f32>,
     state_flat: Vec<f32>,
 }
@@ -813,7 +813,7 @@ impl GpuAmc {
     /// chunk. Textures are drawn from (and returned to) the device pool;
     /// readbacks land in `scratch` so repeat chunks allocate nothing on the
     /// host either.
-    fn run_chunk_packed(
+    pub(crate) fn run_chunk_packed(
         &self,
         gpu: &mut Gpu,
         w: usize,

@@ -59,6 +59,21 @@ impl BusModel {
     pub fn download_time(&self, bytes: usize) -> f64 {
         self.latency_s + bytes as f64 / self.download_bps
     }
+
+    /// The same bus as seen by one of `sharers` devices streaming
+    /// concurrently over the shared host link: bandwidth divides evenly
+    /// across the sharers while the per-transfer setup latency stays fixed
+    /// (each device still issues its own transfers). `sharers` below 2
+    /// returns the uncontended model.
+    pub fn contended(&self, sharers: usize) -> Self {
+        let n = sharers.max(1) as f64;
+        Self {
+            kind: self.kind,
+            upload_bps: self.upload_bps / n,
+            download_bps: self.download_bps / n,
+            latency_s: self.latency_s,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +103,24 @@ mod tests {
         let bus = BusModel::agp8x();
         assert_eq!(bus.upload_time(0), bus.latency_s);
         assert_eq!(bus.download_time(0), bus.latency_s);
+    }
+
+    #[test]
+    fn contention_divides_bandwidth_not_latency() {
+        let bus = BusModel::pcie16();
+        let shared = bus.contended(2);
+        assert_eq!(shared.upload_bps, bus.upload_bps / 2.0);
+        assert_eq!(shared.download_bps, bus.download_bps / 2.0);
+        assert_eq!(shared.latency_s, bus.latency_s);
+        assert_eq!(shared.kind, bus.kind);
+        // Transfer of the same bytes takes twice as long minus the fixed
+        // latency share.
+        let mb = 1 << 20;
+        let solo = bus.upload_time(64 * mb) - bus.latency_s;
+        let dual = shared.upload_time(64 * mb) - shared.latency_s;
+        assert!((dual / solo - 2.0).abs() < 1e-9);
+        // Degenerate sharer counts are the uncontended bus.
+        assert_eq!(bus.contended(0), bus);
+        assert_eq!(bus.contended(1), bus);
     }
 }

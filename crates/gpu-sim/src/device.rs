@@ -132,9 +132,38 @@ impl GpuProfile {
         }
     }
 
-    /// Both GPU profiles, in paper order.
+    /// Short CLI names of every known GPU profile, in paper order. These
+    /// are the strings `tables -- bench --devices` accepts and the single
+    /// source the lookup and [`Self::paper_gpus`] share.
+    pub fn known_device_names() -> &'static [&'static str] {
+        &["fx5950", "7800gtx"]
+    }
+
+    /// The short CLI name of this profile (inverse of [`Self::by_name`]).
+    pub fn short_name(&self) -> &'static str {
+        match self.name {
+            "GeForce FX5950 Ultra" => "fx5950",
+            _ => "7800gtx",
+        }
+    }
+
+    /// Look up a profile by its short CLI name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<GpuProfile> {
+        match name.to_ascii_lowercase().as_str() {
+            "fx5950" => Some(Self::fx5950_ultra()),
+            "7800gtx" => Some(Self::geforce_7800gtx()),
+            _ => None,
+        }
+    }
+
+    /// Both GPU profiles, in paper order — resolved through
+    /// [`Self::by_name`] over [`Self::known_device_names`], so the list and
+    /// the lookup can never disagree.
     pub fn paper_gpus() -> Vec<GpuProfile> {
-        vec![Self::fx5950_ultra(), Self::geforce_7800gtx()]
+        Self::known_device_names()
+            .iter()
+            .map(|n| Self::by_name(n).expect("known device name resolves"))
+            .collect()
     }
 }
 
@@ -311,6 +340,28 @@ mod tests {
         // Plenty of tiles: occupancy approaches 1 on both generations.
         assert!(g70.pipe_occupancy(1054.0) > 0.95);
         assert!(fx.pipe_occupancy(1054.0) > 0.95);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_known_device() {
+        for &name in GpuProfile::known_device_names() {
+            let p = GpuProfile::by_name(name).expect("known name resolves");
+            assert_eq!(p.short_name(), name);
+        }
+        // Case-insensitive, and paper order is preserved through the
+        // shared name list.
+        assert_eq!(
+            GpuProfile::by_name("7800GTX").unwrap(),
+            GpuProfile::geforce_7800gtx()
+        );
+        assert_eq!(
+            GpuProfile::by_name("FX5950").unwrap(),
+            GpuProfile::fx5950_ultra()
+        );
+        assert!(GpuProfile::by_name("voodoo2").is_none());
+        let gpus = GpuProfile::paper_gpus();
+        assert_eq!(gpus[0], GpuProfile::fx5950_ultra());
+        assert_eq!(gpus[1], GpuProfile::geforce_7800gtx());
     }
 
     #[test]

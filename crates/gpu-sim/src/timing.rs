@@ -152,6 +152,38 @@ pub fn gpu_time(stats: &PassStats, profile: &GpuProfile) -> GpuTime {
     }
 }
 
+/// Model the execution of counted work on one device of a fleet of
+/// `bus_sharers` devices streaming concurrently over the shared host link.
+///
+/// Kernel-side rates are unaffected — each device owns its pipes and video
+/// memory — but upload/download bandwidth divides across the sharers
+/// ([`crate::bus::BusModel::contended`]). With `bus_sharers <= 1` this is
+/// exactly [`gpu_time`]. Combine with
+/// [`GpuTime::total_s_mode`]`(TransferMode::Overlapped)` for the fleet
+/// executor's double-buffered per-device upload pipeline: each device's
+/// uploads hide behind its own shading while the other devices shade their
+/// chunks concurrently.
+pub fn gpu_time_shared(stats: &PassStats, profile: &GpuProfile, bus_sharers: usize) -> GpuTime {
+    let base = gpu_time(stats, profile);
+    if bus_sharers <= 1 {
+        return base;
+    }
+    let bus = profile.bus.contended(bus_sharers);
+    GpuTime {
+        upload_s: if stats.bytes_uploaded > 0 {
+            bus.upload_time(stats.bytes_uploaded as usize)
+        } else {
+            0.0
+        },
+        download_s: if stats.bytes_downloaded > 0 {
+            bus.download_time(stats.bytes_downloaded as usize)
+        } else {
+            0.0
+        },
+        ..base
+    }
+}
+
 /// Counted CPU work for the baseline implementations.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CpuWork {
@@ -238,6 +270,29 @@ mod tests {
         // Overlap never loses to serial.
         assert!(slow_bus.total_s_mode(TransferMode::Overlapped) <= slow_bus.total_s());
         assert_eq!(TransferMode::default(), TransferMode::Serial);
+    }
+
+    #[test]
+    fn shared_bus_slows_transfers_but_not_kernels() {
+        let stats = sample_stats();
+        let p = GpuProfile::geforce_7800gtx();
+        let solo = gpu_time(&stats, &p);
+        let dual = gpu_time_shared(&stats, &p, 2);
+        // Kernel resources are per-device.
+        assert_eq!(dual.compute_s, solo.compute_s);
+        assert_eq!(dual.texture_s, solo.texture_s);
+        assert_eq!(dual.memory_s, solo.memory_s);
+        // Transfers pay the halved link: twice the byte time, same latency.
+        let byte_up = solo.upload_s - p.bus.latency_s;
+        assert!((dual.upload_s - (p.bus.latency_s + 2.0 * byte_up)).abs() < 1e-12);
+        assert!(dual.download_s > solo.download_s);
+        // One sharer (or zero) is the plain model.
+        assert_eq!(gpu_time_shared(&stats, &p, 1), solo);
+        assert_eq!(gpu_time_shared(&stats, &p, 0), solo);
+        // Zero-byte stages still owe no latency under contention.
+        let idle = gpu_time_shared(&PassStats::default(), &p, 4);
+        assert_eq!(idle.upload_s, 0.0);
+        assert_eq!(idle.download_s, 0.0);
     }
 
     #[test]

@@ -18,6 +18,12 @@ const BUCKETS: usize = 65;
 struct Hist {
     count: u64,
     sum_ns: u64,
+    /// Largest observation recorded, nanoseconds. Reported percentiles are
+    /// clamped to it: a bucket midpoint can exceed every sample the bucket
+    /// holds (a 337 ms observation lands in the [268 ms, 537 ms) bucket,
+    /// whose midpoint is ~402 ms), and an estimate above the observed
+    /// maximum is a leak, not an estimate.
+    max_ns: u64,
     buckets: [u64; BUCKETS],
 }
 
@@ -26,6 +32,7 @@ impl Hist {
         Hist {
             count: 0,
             sum_ns: 0,
+            max_ns: 0,
             buckets: [0; BUCKETS],
         }
     }
@@ -33,11 +40,13 @@ impl Hist {
     fn observe(&mut self, ns: u64) {
         self.count += 1;
         self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
         self.buckets[bucket_index(ns)] += 1;
     }
 
     /// Percentile estimate: walk the cumulative bucket counts and return
-    /// the midpoint of the bucket holding the q-th sample.
+    /// the midpoint of the bucket holding the q-th sample, clamped to the
+    /// observed maximum so no quantile ever exceeds a real sample.
     fn percentile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -47,10 +56,10 @@ impl Hist {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_midpoint_ns(i);
+                return bucket_midpoint_ns(i).min(self.max_ns);
             }
         }
-        bucket_midpoint_ns(BUCKETS - 1)
+        bucket_midpoint_ns(BUCKETS - 1).min(self.max_ns)
     }
 }
 
@@ -228,5 +237,42 @@ mod tests {
     fn empty_histogram_reports_zero() {
         let h = Hist::new();
         assert_eq!(h.percentile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn count_one_percentiles_equal_the_recorded_value() {
+        // The pipeline.chunk_wall regression: one 337 ms observation lands
+        // in the [268 ms, 537 ms) bucket, whose midpoint (~402 ms) exceeds
+        // the only sample ever recorded. Every percentile of a count=1
+        // histogram must report exactly that sample.
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        let recorded = 337_000_000u64; // 337 ms in ns
+        observe_ns("chunk_wall", recorded);
+        let snap = snapshot();
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50_ns, recorded);
+        assert_eq!(h.p95_ns, recorded);
+        assert_eq!(h.p99_ns, recorded);
+        reset();
+        // A sample below its bucket midpoint is untouched by the clamp and
+        // still reported via the midpoint — unless it IS the maximum, in
+        // which case the clamp pins it exactly.
+        let mut hist = Hist::new();
+        hist.observe(300_000_000);
+        assert_eq!(hist.percentile_ns(0.5), 300_000_000);
+        assert_eq!(hist.percentile_ns(0.99), 300_000_000);
+    }
+
+    #[test]
+    fn percentiles_never_exceed_observed_max() {
+        let mut hist = Hist::new();
+        for ns in [1_000u64, 2_500, 337_000_000] {
+            hist.observe(ns);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert!(hist.percentile_ns(q) <= 337_000_000, "q={q}");
+        }
     }
 }
