@@ -6,6 +6,8 @@
 //! cargo run --release -p hsi-bench --bin tables -- fig5 out/
 //! cargo run --release -p hsi-bench --bin tables -- bench --trace out/trace.json
 //! cargo run --release -p hsi-bench --bin tables -- graph json --unfused
+//! cargo run --release -p hsi-bench --bin tables -- analyze --trace out/trace.json
+//! cargo run --release -p hsi-bench --bin tables -- bench-delta BENCH_results.json bench_current.json
 //! ```
 
 use gpu_sim::device::Compiler;
@@ -77,6 +79,57 @@ fn main() {
             }
             run_graph(format, fuse);
         }
+        "analyze" => {
+            let mut trace_path = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--trace" {
+                    match rest.next() {
+                        Some(p) => trace_path = Some(p.as_str()),
+                        None => {
+                            eprintln!("usage: tables analyze [--trace <trace.json>]");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    eprintln!("unknown analyze option `{a}`");
+                    eprintln!("usage: tables analyze [--trace <trace.json>]");
+                    std::process::exit(2);
+                }
+            }
+            run_analyze(trace_path);
+        }
+        "bench-delta" => {
+            let mut thr = hsi_bench::delta::Thresholds::default();
+            let mut paths = Vec::new();
+            let usage = || -> ! {
+                eprintln!(
+                    "usage: tables bench-delta <baseline.json> <current.json> \
+                     [--max-stage-regress-pct X] [--min-stage-wall-s X] \
+                     [--min-pack-overlap X] [--min-fleet-load-balance X]"
+                );
+                std::process::exit(2);
+            };
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                let mut flag = |slot: &mut f64| match rest.next().and_then(|s| s.parse().ok()) {
+                    Some(x) => *slot = x,
+                    None => usage(),
+                };
+                match a.as_str() {
+                    "--max-stage-regress-pct" => flag(&mut thr.max_stage_regress_pct),
+                    "--min-stage-wall-s" => flag(&mut thr.min_stage_wall_s),
+                    "--min-pack-overlap" => flag(&mut thr.min_pack_overlap),
+                    "--min-fleet-load-balance" => flag(&mut thr.min_fleet_load_balance),
+                    other if other.starts_with("--") => usage(),
+                    path => paths.push(path.to_owned()),
+                }
+            }
+            let [baseline, current] = paths.as_slice() else {
+                usage()
+            };
+            run_bench_delta(baseline, current, &thr);
+        }
         "fig6" => print!("{}", format_fig6(&time_rows(Compiler::Gcc))),
         "ablations" => print!("{}", format_ablations()),
         "all" => {
@@ -104,7 +157,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|bench|graph|all]"
+                "usage: tables [table1|table2|table3|table4|table5|fig5|fig6|ablations|bench|graph|analyze|bench-delta|all]"
             );
             std::process::exit(2);
         }
@@ -203,6 +256,99 @@ fn run_bench(
                 d.wall_s
             );
         }
+    }
+}
+
+/// Analyze a captured Chrome trace, or — with no `--trace` — run a reduced
+/// traced workload (a shrunk-memory single-device arm so the pipeline must
+/// chunk and double-buffer, plus a dual-7800 GTX fleet arm) and report its
+/// critical path, utilization and overlap.
+fn run_analyze(trace_path: Option<&str>) {
+    if let Some(tp) = trace_path {
+        let text = match std::fs::read_to_string(tp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {tp}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let snap = match trace::analyze::import_chrome_trace(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {tp} is not a loadable Chrome trace: {e}");
+                std::process::exit(2);
+            }
+        };
+        print!(
+            "{}",
+            trace::analyze::render_text(&trace::analyze::analyze(&snap))
+        );
+        return;
+    }
+
+    use amc_core::fleet::DeviceFleet;
+    use amc_core::pipeline::{GpuAmc, KernelMode};
+    use gpu_sim::device::GpuProfile;
+    use gpu_sim::gpu::Gpu;
+    use hsi::classify::AmcConfig;
+    use hsi_scene::library::indian_pines_classes;
+    use hsi_scene::scene::{generate, SceneConfig};
+
+    trace::enable();
+    trace::reset();
+    eprintln!("[analyze] running the reduced traced workload (no --trace given)...");
+    let classes = indian_pines_classes();
+    let scene = generate(&classes, &SceneConfig::reduced_indian_pines(2026));
+    let amc = GpuAmc::new(
+        AmcConfig::paper_default(classes.len()).se.clone(),
+        KernelMode::Closure,
+    );
+    {
+        // Shrink video memory so the cube cannot be resident at once: the
+        // run then chunks and the packer-overlap metrics are non-trivial.
+        let _arm = trace::span("bench.arm", "single_device");
+        let mut profile = GpuProfile::geforce_7800gtx();
+        profile.video_memory_mib = 8;
+        let mut gpu = Gpu::new(profile);
+        amc.run(&mut gpu, &scene.cube).expect("single-device run");
+    }
+    {
+        let _arm = trace::span("bench.arm", "fleet:7800gtx+7800gtx");
+        DeviceFleet::new(vec![
+            GpuProfile::geforce_7800gtx(),
+            GpuProfile::geforce_7800gtx(),
+        ])
+        .run(&amc, &scene.cube)
+        .expect("fleet run");
+    }
+    let analysis = trace::analyze::analyze(&trace::snapshot_events());
+    print!("{}", trace::analyze::render_text(&analysis));
+}
+
+/// Compare two benchmark documents and exit 1 on any failed gate.
+fn run_bench_delta(baseline: &str, current: &str, thr: &hsi_bench::delta::Thresholds) {
+    let load = |path: &str| -> results::BenchRun {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match results::from_json(&text) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let baseline_run = load(baseline);
+    let current_run = load(current);
+    let violations = hsi_bench::delta::compare(&baseline_run, &current_run, thr);
+    print!("{}", hsi_bench::delta::render(&violations));
+    if !violations.is_empty() {
+        std::process::exit(1);
     }
 }
 

@@ -32,6 +32,7 @@ use hsi::morphology::StructuringElement;
 use hsi_scene::library::{indian_pines_classes, PAPER_OVERALL_ACCURACY};
 use hsi_scene::scene::{generate, SceneConfig};
 
+pub mod delta;
 pub mod paper;
 pub mod results;
 

@@ -59,7 +59,7 @@ use hsi_scene::library::indian_pines_classes;
 use hsi_scene::scene::{generate, SceneConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
-use trace::metrics::{HistSummary, Snapshot};
+use trace::metrics::{HistBucket, HistSummary, Snapshot};
 
 /// Version of the `BENCH_results.json` document layout. Bump when keys are
 /// added, removed or change meaning; [`from_json`] rejects mismatches.
@@ -71,7 +71,10 @@ use trace::metrics::{HistSummary, Snapshot};
 /// attribution and the measured unfused-oracle arm).
 /// Version 6 added the `fleet` block (multi-device scaling shapes with
 /// per-device placement, steal and timing rows).
-pub const SCHEMA_VERSION: u64 = 6;
+/// Version 7 added the `analysis` block (the in-process trace analyzer's
+/// per-arm critical-path, utilization and overlap summaries) and exported
+/// histogram bucket boundaries in the `metrics` block.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Device-cache effectiveness counters read off the [`Gpu`] after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -171,6 +174,9 @@ pub struct BenchRun {
     pub fusion: FusionReport,
     /// Multi-device sharding scaling curve (the schema-6 `fleet` block).
     pub fleet: FleetReport,
+    /// Trace-analyzer summaries per bench arm (the schema-7 `analysis`
+    /// block): critical path, utilization, pack overlap, fleet balance.
+    pub analysis: AnalysisReport,
 }
 
 impl BenchRun {
@@ -523,6 +529,151 @@ impl FleetShapeRun {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Trace-analyzer summaries (the `analysis` block)
+// ---------------------------------------------------------------------------
+
+/// One thread's busy time inside an analysis arm. Utilization is derived
+/// (`busy_s / wall_s`) and recomputed, not parsed, on a round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisThread {
+    /// Timeline-row name (`main`, `packer`, `device0.7800gtx`, …).
+    pub name: String,
+    /// Union of root-span time on this thread, seconds.
+    pub busy_s: f64,
+}
+
+/// One device's load inside an analysis arm's fleet section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisDevice {
+    /// Device ordinal within the fleet.
+    pub device: u64,
+    /// Timeline-row name of the device thread.
+    pub label: String,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Of those, chunks stolen from other devices' queues.
+    pub stolen: u64,
+    /// Summed `fleet.chunk` span time, seconds.
+    pub busy_s: f64,
+}
+
+/// Fleet balance measured off the trace (distinct from the modeled `fleet`
+/// block: these are span timings, not placement-model predictions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisFleet {
+    /// First chunk begin → last chunk end across devices, seconds.
+    pub makespan_s: f64,
+    /// Total stolen chunks.
+    pub steals: u64,
+    /// Per-device rows, in device order.
+    pub devices: Vec<AnalysisDevice>,
+}
+
+/// One bench arm's analyzer summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisArm {
+    /// Arm name (`headline`, `unfused_oracle`, `fleet:<shape>`).
+    pub name: String,
+    /// Arm wall clock, seconds.
+    pub wall_s: f64,
+    /// Critical-path length through the chunk/pack DAG, seconds.
+    pub critical_path_s: f64,
+    /// Spans on the critical path.
+    pub critical_path_nodes: u64,
+    /// `(bucket, self-seconds)` attribution along the path, sorted by
+    /// bucket name (stage names plus `pack` and `other`).
+    pub critical_path_stages: Vec<(String, f64)>,
+    /// Total pack-span time, seconds.
+    pub pack_total_s: f64,
+    /// Pack time hidden under concurrent chunk execution, seconds.
+    pub pack_hidden_s: f64,
+    /// Time with ≥ 1 `gpu.xfer` transfer in flight, seconds.
+    pub bus_busy_s: f64,
+    /// Time with ≥ 2 transfers in flight (bus contention), seconds.
+    pub bus_contended_s: f64,
+    /// Per-thread busy rows.
+    pub threads: Vec<AnalysisThread>,
+    /// Fleet balance, for arms that ran `fleet.chunk` spans.
+    pub fleet: Option<AnalysisFleet>,
+}
+
+impl AnalysisArm {
+    /// Fraction of pack time hidden under shading (`1.0` when nothing was
+    /// packed). Derived; recomputed from the rounded operands on re-serialize.
+    pub fn pack_overlap_efficiency(&self) -> f64 {
+        if self.pack_total_s <= 0.0 {
+            1.0
+        } else {
+            (self.pack_hidden_s / self.pack_total_s).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl AnalysisFleet {
+    /// Mean over max device busy time: `1.0` is perfectly balanced. Derived.
+    pub fn load_balance(&self) -> f64 {
+        let max = self.devices.iter().map(|d| d.busy_s).fold(0.0f64, f64::max);
+        if max <= 0.0 || self.devices.is_empty() {
+            return 1.0;
+        }
+        let mean = self.devices.iter().map(|d| d.busy_s).sum::<f64>() / self.devices.len() as f64;
+        (mean / max).clamp(0.0, 1.0)
+    }
+}
+
+/// The schema-7 `analysis` block: one analyzer summary per bench arm.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisReport {
+    /// Per-arm summaries, in execution order.
+    pub arms: Vec<AnalysisArm>,
+}
+
+/// Build the `analysis` block from a captured trace snapshot.
+pub fn analysis_report(snap: &trace::TraceSnapshot) -> AnalysisReport {
+    let analysis = trace::analyze::analyze(snap);
+    AnalysisReport {
+        arms: analysis
+            .arms
+            .iter()
+            .map(|arm| AnalysisArm {
+                name: arm.name.clone(),
+                wall_s: arm.wall_s,
+                critical_path_s: arm.critical_path.total_s,
+                critical_path_nodes: arm.critical_path.nodes as u64,
+                critical_path_stages: arm.critical_path.stages.clone(),
+                pack_total_s: arm.overlap.pack_total_s,
+                pack_hidden_s: arm.overlap.pack_hidden_s,
+                bus_busy_s: arm.overlap.bus_busy_s,
+                bus_contended_s: arm.overlap.bus_contended_s,
+                threads: arm
+                    .threads
+                    .iter()
+                    .map(|t| AnalysisThread {
+                        name: t.name.clone(),
+                        busy_s: t.busy_s,
+                    })
+                    .collect(),
+                fleet: arm.fleet.as_ref().map(|f| AnalysisFleet {
+                    makespan_s: f.makespan_s,
+                    steals: f.steals,
+                    devices: f
+                        .devices
+                        .iter()
+                        .map(|d| AnalysisDevice {
+                            device: d.device,
+                            label: d.label.clone(),
+                            chunks: d.chunks,
+                            stolen: d.stolen,
+                            busy_s: d.busy_s,
+                        })
+                        .collect(),
+                }),
+            })
+            .collect(),
+    }
+}
+
 /// Name a fleet shape: device short names joined with `+`.
 fn shape_name(profiles: &[GpuProfile]) -> String {
     profiles
@@ -565,9 +716,11 @@ pub fn fleet_report(
         .map(|profiles| {
             let name = shape_name(&profiles);
             eprintln!("[bench] fleet shape {name}...");
-            let out = DeviceFleet::new(profiles)
-                .run_with_chunking(amc, cube, chunking)
-                .expect("fleet run");
+            let out = {
+                let _arm = trace::span("bench.arm", &format!("fleet:{name}"));
+                DeviceFleet::new(profiles).run_with_chunking(amc, cube, chunking)
+            }
+            .expect("fleet run");
             FleetShapeRun {
                 name,
                 devices: out
@@ -646,6 +799,12 @@ pub fn run_benchmark(seed: u64) -> BenchRun {
 /// the standard 1×/2× 7800 GTX scaling arms.
 pub fn run_benchmark_with_devices(seed: u64, extra_shape: Option<&[GpuProfile]>) -> BenchRun {
     trace::metrics::reset();
+    // The analyzer needs the span stream, so tracing is forced on for the
+    // benchmark. The prior state is restored afterwards; the sink is left
+    // intact (not drained) so a later `--trace` export still sees the run.
+    let was_tracing = trace::enabled();
+    trace::enable();
+    trace::reset();
     let classes = indian_pines_classes();
     let t = Instant::now();
     let scene = generate(&classes, &SceneConfig::reduced_indian_pines(seed));
@@ -661,9 +820,11 @@ pub fn run_benchmark_with_devices(seed: u64, extra_shape: Option<&[GpuProfile]>)
     let amc = GpuAmc::new(config.se.clone(), kernel_mode);
     let mut gpu = Gpu::new(GpuProfile::geforce_7800gtx());
     let classifier = AmcClassifier::new(config);
-    let hybrid = amc
-        .run_and_classify(&mut gpu, &scene.cube, &classifier)
-        .expect("hybrid AMC run");
+    let hybrid = {
+        let _arm = trace::span("bench.arm", "headline");
+        amc.run_and_classify(&mut gpu, &scene.cube, &classifier)
+    }
+    .expect("hybrid AMC run");
     // Snapshot before the microbench so the metrics block covers exactly
     // the end-to-end run; the A/B arms below would otherwise pollute it.
     let metrics = trace::metrics::snapshot();
@@ -675,9 +836,11 @@ pub fn run_benchmark_with_devices(seed: u64, extra_shape: Option<&[GpuProfile]>)
     let mut amc_unfused = GpuAmc::new(amc.se().clone(), kernel_mode);
     amc_unfused.set_fusion(false);
     let mut gpu_unfused = Gpu::new(GpuProfile::geforce_7800gtx());
-    let unfused_arm = amc_unfused
-        .run(&mut gpu_unfused, &scene.cube)
-        .expect("unfused oracle run");
+    let unfused_arm = {
+        let _arm = trace::span("bench.arm", "unfused_oracle");
+        amc_unfused.run(&mut gpu_unfused, &scene.cube)
+    }
+    .expect("unfused oracle run");
     let fusion = fusion_report(
         &amc,
         (dims.width, dims.height, dims.bands),
@@ -688,6 +851,11 @@ pub fn run_benchmark_with_devices(seed: u64, extra_shape: Option<&[GpuProfile]>)
     // by construction and the speedup gate is on modeled time.
     let amc_fleet = GpuAmc::new(amc.se().clone(), KernelMode::Closure);
     let fleet = fleet_report(&scene.cube, &amc_fleet, extra_shape);
+
+    let analysis = analysis_report(&trace::snapshot_events());
+    if !was_tracing {
+        trace::disable();
+    }
 
     BenchRun {
         seed,
@@ -708,6 +876,7 @@ pub fn run_benchmark_with_devices(seed: u64, extra_shape: Option<&[GpuProfile]>)
         kernel_mode,
         fusion,
         fleet,
+        analysis,
     }
 }
 
@@ -1007,6 +1176,125 @@ pub fn to_json(run: &BenchRun) -> String {
         s.push_str(if i + 1 < fl.shapes.len() { ",\n" } else { "\n" });
     }
     s.push_str("    ]\n  },\n");
+    s.push_str("  \"analysis\": {\n    \"arms\": [");
+    for (i, arm) in run.analysis.arms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let wall = r6(arm.wall_s);
+        let cp = r6(arm.critical_path_s);
+        // Share of the arm's wall clock the critical path explains. Derived
+        // from the rounded operands, so recomputed (never parsed) on a
+        // round trip; a zero-wall arm trivially has a full-share path.
+        let share = if wall > 0.0 {
+            (cp / wall).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let _ = write!(
+            s,
+            "\n      {{\"name\": \"{}\", \"wall_s\": {:.6}, \
+             \"critical_path_s\": {:.6}, \"critical_path_nodes\": {}, \
+             \"critical_path_share\": {:.6},\n       \"critical_path_stages\": [",
+            arm.name, arm.wall_s, arm.critical_path_s, arm.critical_path_nodes, share
+        );
+        for (j, (stage, self_s)) in arm.critical_path_stages.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{{\"stage\": \"{stage}\", \"self_s\": {self_s:.6}}}");
+        }
+        let rounded_arm = AnalysisArm {
+            pack_total_s: r6(arm.pack_total_s),
+            pack_hidden_s: r6(arm.pack_hidden_s),
+            ..arm.clone()
+        };
+        let _ = write!(
+            s,
+            "],\n       \"pack\": {{\"total_s\": {:.6}, \"hidden_s\": {:.6}, \
+             \"overlap_efficiency\": {:.6}}},\n       \
+             \"bus\": {{\"busy_s\": {:.6}, \"contended_s\": {:.6}}},\n       \
+             \"threads\": [",
+            arm.pack_total_s,
+            arm.pack_hidden_s,
+            rounded_arm.pack_overlap_efficiency(),
+            arm.bus_busy_s,
+            arm.bus_contended_s
+        );
+        for (j, t) in arm.threads.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let util = if wall > 0.0 {
+                (r6(t.busy_s) / wall).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let _ = write!(
+                s,
+                "\n         {{\"name\": \"{}\", \"busy_s\": {:.6}, \"utilization\": {:.6}}}",
+                t.name, t.busy_s, util
+            );
+        }
+        s.push_str(if arm.threads.is_empty() {
+            "],\n"
+        } else {
+            "\n       ],\n"
+        });
+        match &arm.fleet {
+            None => s.push_str("       \"fleet\": null}"),
+            Some(f) => {
+                let makespan = r6(f.makespan_s);
+                let rounded_fleet = AnalysisFleet {
+                    makespan_s: makespan,
+                    steals: f.steals,
+                    devices: f
+                        .devices
+                        .iter()
+                        .map(|d| AnalysisDevice {
+                            busy_s: r6(d.busy_s),
+                            ..d.clone()
+                        })
+                        .collect(),
+                };
+                let _ = write!(
+                    s,
+                    "       \"fleet\": {{\"makespan_s\": {:.6}, \"steals\": {}, \
+                     \"load_balance\": {:.6},\n        \"devices\": [",
+                    f.makespan_s,
+                    f.steals,
+                    rounded_fleet.load_balance()
+                );
+                for (j, d) in f.devices.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let util = if makespan > 0.0 {
+                        (r6(d.busy_s) / makespan).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let _ = write!(
+                        s,
+                        "\n          {{\"device\": {}, \"label\": \"{}\", \
+                         \"chunks\": {}, \"stolen\": {}, \"busy_s\": {:.6}, \
+                         \"utilization\": {:.6}}}",
+                        d.device, d.label, d.chunks, d.stolen, d.busy_s, util
+                    );
+                }
+                s.push_str(if f.devices.is_empty() {
+                    "]}}"
+                } else {
+                    "\n        ]}}"
+                });
+            }
+        }
+    }
+    s.push_str(if run.analysis.arms.is_empty() {
+        "]\n  },\n"
+    } else {
+        "\n    ]\n  },\n"
+    });
     let c = &run.gpu_caches;
     let _ = writeln!(
         s,
@@ -1049,9 +1337,20 @@ pub fn to_json(run: &BenchRun) -> String {
         let _ = write!(
             s,
             "\n      {{\"name\": \"{name}\", \"count\": {}, \"sum_ns\": {}, \
-             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
             h.count, h.sum_ns, h.p50_ns, h.p95_ns, h.p99_ns
         );
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"lo_ns\": {}, \"hi_ns\": {}, \"count\": {}}}",
+                b.lo_ns, b.hi_ns, b.count
+            );
+        }
+        s.push_str("]}");
     }
     s.push_str(if run.metrics.histograms.is_empty() {
         "]\n"
@@ -1438,6 +1737,14 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
     }
     let mut histograms = Vec::new();
     for h in metrics_obj.get("histograms")?.arr()? {
+        let mut buckets = Vec::new();
+        for b in h.get("buckets")?.arr()? {
+            buckets.push(HistBucket {
+                lo_ns: b.get("lo_ns")?.u64()?,
+                hi_ns: b.get("hi_ns")?.u64()?,
+                count: b.get("count")?.u64()?,
+            });
+        }
         histograms.push((
             h.get("name")?.str()?.to_owned(),
             HistSummary {
@@ -1446,9 +1753,62 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
                 p50_ns: h.get("p50_ns")?.u64()?,
                 p95_ns: h.get("p95_ns")?.u64()?,
                 p99_ns: h.get("p99_ns")?.u64()?,
+                buckets,
             },
         ));
     }
+    let mut analysis_arms = Vec::new();
+    for a in doc.get("analysis")?.get("arms")?.arr()? {
+        let mut cp_stages = Vec::new();
+        for st in a.get("critical_path_stages")?.arr()? {
+            cp_stages.push((st.get("stage")?.str()?.to_owned(), st.get("self_s")?.num()?));
+        }
+        let pack = a.get("pack")?;
+        let bus = a.get("bus")?;
+        let mut arm_threads = Vec::new();
+        for t in a.get("threads")?.arr()? {
+            arm_threads.push(AnalysisThread {
+                name: t.get("name")?.str()?.to_owned(),
+                busy_s: t.get("busy_s")?.num()?,
+            });
+        }
+        let arm_fleet = match a.get("fleet")? {
+            Json::Null => None,
+            f => {
+                let mut devices = Vec::new();
+                for d in f.get("devices")?.arr()? {
+                    devices.push(AnalysisDevice {
+                        device: d.get("device")?.u64()?,
+                        label: d.get("label")?.str()?.to_owned(),
+                        chunks: d.get("chunks")?.u64()?,
+                        stolen: d.get("stolen")?.u64()?,
+                        busy_s: d.get("busy_s")?.num()?,
+                    });
+                }
+                Some(AnalysisFleet {
+                    makespan_s: f.get("makespan_s")?.num()?,
+                    steals: f.get("steals")?.u64()?,
+                    devices,
+                })
+            }
+        };
+        analysis_arms.push(AnalysisArm {
+            name: a.get("name")?.str()?.to_owned(),
+            wall_s: a.get("wall_s")?.num()?,
+            critical_path_s: a.get("critical_path_s")?.num()?,
+            critical_path_nodes: a.get("critical_path_nodes")?.u64()?,
+            critical_path_stages: cp_stages,
+            pack_total_s: pack.get("total_s")?.num()?,
+            pack_hidden_s: pack.get("hidden_s")?.num()?,
+            bus_busy_s: bus.get("busy_s")?.num()?,
+            bus_contended_s: bus.get("contended_s")?.num()?,
+            threads: arm_threads,
+            fleet: arm_fleet,
+        });
+    }
+    let analysis = AnalysisReport {
+        arms: analysis_arms,
+    };
     Ok(BenchRun {
         seed: doc.get("seed")?.u64()?,
         threads: doc.get("threads")?.u64()? as usize,
@@ -1485,14 +1845,16 @@ pub fn from_json(text: &str) -> ParseResult<BenchRun> {
         },
         fusion,
         fleet,
+        analysis,
     })
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    fn sample_run() -> BenchRun {
+    /// A fully-populated fixture shared with the `delta` module's tests.
+    pub(crate) fn sample_run() -> BenchRun {
         let mut stages = StageStats::default();
         stages.normalize.passes = 4;
         stages.normalize.fragments = 1024;
@@ -1547,6 +1909,18 @@ mod tests {
                         p50_ns: 1_572_863,
                         p95_ns: 3_145_727,
                         p99_ns: 6_291_455,
+                        buckets: vec![
+                            HistBucket {
+                                lo_ns: 1_048_576,
+                                hi_ns: 2_097_151,
+                                count: 900,
+                            },
+                            HistBucket {
+                                lo_ns: 4_194_304,
+                                hi_ns: 8_388_607,
+                                count: 507,
+                            },
+                        ],
                     },
                 )],
             },
@@ -1633,6 +2007,77 @@ mod tests {
                     },
                 ],
             },
+            analysis: AnalysisReport {
+                arms: vec![
+                    AnalysisArm {
+                        name: "headline".into(),
+                        wall_s: 1.25,
+                        critical_path_s: 1.1,
+                        critical_path_nodes: 5,
+                        critical_path_stages: vec![
+                            ("distance".into(), 0.6),
+                            ("other".into(), 0.3),
+                            ("pack".into(), 0.2),
+                        ],
+                        pack_total_s: 0.4,
+                        pack_hidden_s: 0.3,
+                        bus_busy_s: 0.2,
+                        bus_contended_s: 0.05,
+                        threads: vec![
+                            AnalysisThread {
+                                name: "main".into(),
+                                busy_s: 1.2,
+                            },
+                            AnalysisThread {
+                                name: "packer".into(),
+                                busy_s: 0.4,
+                            },
+                        ],
+                        fleet: None,
+                    },
+                    AnalysisArm {
+                        name: "fleet:7800gtx+7800gtx".into(),
+                        wall_s: 0.7,
+                        critical_path_s: 0.65,
+                        critical_path_nodes: 4,
+                        critical_path_stages: vec![("other".into(), 0.65)],
+                        pack_total_s: 0.1,
+                        pack_hidden_s: 0.1,
+                        bus_busy_s: 0.0,
+                        bus_contended_s: 0.0,
+                        threads: vec![
+                            AnalysisThread {
+                                name: "device0.7800gtx".into(),
+                                busy_s: 0.6,
+                            },
+                            AnalysisThread {
+                                name: "device1.7800gtx".into(),
+                                busy_s: 0.45,
+                            },
+                        ],
+                        fleet: Some(AnalysisFleet {
+                            makespan_s: 0.66,
+                            steals: 1,
+                            devices: vec![
+                                AnalysisDevice {
+                                    device: 0,
+                                    label: "device0.7800gtx".into(),
+                                    chunks: 3,
+                                    stolen: 1,
+                                    busy_s: 0.6,
+                                },
+                                AnalysisDevice {
+                                    device: 1,
+                                    label: "device1.7800gtx".into(),
+                                    chunks: 1,
+                                    stolen: 0,
+                                    busy_s: 0.45,
+                                },
+                            ],
+                        }),
+                    },
+                ],
+            },
         }
     }
 
@@ -1643,7 +2088,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema_version\": 6",
+            "\"schema_version\": 7",
             "\"benchmark\"",
             "\"kernel_mode\": \"isa\"",
             "\"threads\": 4",
@@ -1695,10 +2140,28 @@ mod tests {
             "\"gpu_caches\": {\"verify_runs\": 7",
             "\"cache_hit_rates\": {\"verify\": 0.995025",
             "\"name\": \"gpu.pass_wall\", \"count\": 1407",
+            "\"buckets\": [{\"lo_ns\": 1048576, \"hi_ns\": 2097151, \"count\": 900}, \
+             {\"lo_ns\": 4194304, \"hi_ns\": 8388607, \"count\": 507}]",
+            "\"analysis\": {",
+            "\"name\": \"headline\"",
+            // 1.1 / 1.25 and 0.3 / 0.4 — derived from the rounded inputs.
+            "\"critical_path_share\": 0.880000",
+            "\"critical_path_stages\": [{\"stage\": \"distance\", \"self_s\": 0.600000}",
+            "\"pack\": {\"total_s\": 0.400000, \"hidden_s\": 0.300000, \
+             \"overlap_efficiency\": 0.750000}",
+            "\"bus\": {\"busy_s\": 0.200000, \"contended_s\": 0.050000}",
+            // 1.2 / 1.25 — thread utilization is derived, never parsed.
+            "\"name\": \"main\", \"busy_s\": 1.200000, \"utilization\": 0.960000",
+            "\"fleet\": null",
+            // mean(0.6, 0.45) / 0.6 — the trace-side balance metric.
+            "\"load_balance\": 0.875000",
+            "\"device\": 0, \"label\": \"device0.7800gtx\", \"chunks\": 3, \"stolen\": 1",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
-        assert_eq!(json.matches("\"stage\": ").count(), 6);
+        // 6 pipeline stages plus the 4 critical-path attribution buckets in
+        // the sample's analysis arms.
+        assert_eq!(json.matches("\"stage\": ").count(), 10);
         assert_eq!(json.matches("\"kernel\": ").count(), 6);
         assert!(
             !json.contains("\"wall_over_modeled\": 0.000000"),
@@ -1722,11 +2185,11 @@ mod tests {
     fn schema_drift_fails_loudly() {
         let doc = to_json(&sample_run());
         // Wrong version.
-        let old = doc.replace("\"schema_version\": 6", "\"schema_version\": 3");
+        let old = doc.replace("\"schema_version\": 7", "\"schema_version\": 3");
         let err = from_json(&old).expect_err("version 3 must be rejected");
         assert!(err.contains("schema_version 3"), "{err}");
         // Unversioned document (the pre-observability layout).
-        let unversioned = doc.replacen("  \"schema_version\": 6,\n", "", 1);
+        let unversioned = doc.replacen("  \"schema_version\": 7,\n", "", 1);
         let err = from_json(&unversioned).expect_err("missing version must be rejected");
         assert!(err.contains("schema_version"), "{err}");
         // A missing input key is an error, not a default.

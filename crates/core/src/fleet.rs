@@ -321,6 +321,16 @@ impl DeviceFleet {
         let cost = self.chunk_costs(amc, &chunks);
         let placement = self.place(&cost);
         let n_dev = self.profiles.len();
+        // Wall anchor for the analyzer: brackets dispatch through merge so
+        // per-device `fleet.chunk` spans reconstruct into one fleet DAG.
+        let _run_span = trace::span_with(
+            "fleet.run",
+            "run",
+            &[
+                ("devices", ArgValue::U64(n_dev as u64)),
+                ("chunks", ArgValue::U64(chunks.len() as u64)),
+            ],
+        );
 
         // Device threads run outside the worker pool: split the advertised
         // width across them so the fleet never runs more shading threads

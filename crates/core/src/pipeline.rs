@@ -696,6 +696,16 @@ impl GpuAmc {
     ) -> Result<PipelineOutput> {
         let dims = cube.dims();
         let chunks: Vec<_> = cube.chunks(chunking).collect();
+        // Wall anchor for the analyzer: one span bracketing the whole
+        // chunked run, carrying the plan shape the chunk DAG hangs off.
+        let _run_span = trace::span_with(
+            "pipeline.run",
+            "run",
+            &[
+                ("chunks", ArgValue::U64(chunks.len() as u64)),
+                ("lines", ArgValue::U64(chunking.lines_per_chunk as u64)),
+            ],
+        );
         let mut mei_scores = vec![0.0f32; dims.pixels()];
         let mut min_index = vec![0u32; dims.pixels()];
         let mut max_index = vec![0u32; dims.pixels()];

@@ -27,9 +27,20 @@
 //! latency histograms) is always on: it records at pass/stage granularity
 //! where a mutex lock is negligible, independent of whether the timeline
 //! recorder is enabled.
+//!
+//! The [`analyze`] module turns captured streams ([`snapshot_events`] or an
+//! imported trace file) into utilization, overlap, critical-path, and fleet
+//! load-balance reports.
+//!
+//! Enabling tracing also installs a **panic-hook flight recorder**: if the
+//! process panics while the recorder is on, everything captured so far is
+//! dumped to `out/trace-panic.json` (override the path with the
+//! `GPU_SIM_TRACE_PANIC` environment variable; set it to `0` to disable),
+//! so a failed CI run still ships a trace artifact.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod metrics;
 
 use std::cell::RefCell;
@@ -71,12 +82,45 @@ fn init_from_env() -> bool {
     let target = if on { STATE_ON } else { STATE_OFF };
     // A racing programmatic enable()/disable() wins over the env default.
     let _ = STATE.compare_exchange(STATE_UNINIT, target, Ordering::Relaxed, Ordering::Relaxed);
-    STATE.load(Ordering::Relaxed) == STATE_ON
+    let now_on = STATE.load(Ordering::Relaxed) == STATE_ON;
+    if now_on {
+        install_flight_recorder();
+    }
+    now_on
 }
 
-/// Turn the timeline recorder on (overrides `GPU_SIM_TRACE`).
+/// Turn the timeline recorder on (overrides `GPU_SIM_TRACE`). Also installs
+/// the panic-hook flight recorder (once per process).
 pub fn enable() {
     STATE.store(STATE_ON, Ordering::Relaxed);
+    install_flight_recorder();
+}
+
+/// Install a panic hook that dumps the captured timeline to
+/// `out/trace-panic.json` (or `$GPU_SIM_TRACE_PANIC`) when the process
+/// panics with the recorder enabled. Installed once; chains the previous
+/// hook. Best effort by design: only the panicking thread's buffer is
+/// flushed eagerly, and write errors are swallowed — a panic path must
+/// never panic again.
+fn install_flight_recorder() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            if !enabled() {
+                return;
+            }
+            let path = std::env::var("GPU_SIM_TRACE_PANIC")
+                .unwrap_or_else(|_| "out/trace-panic.json".to_owned());
+            if path.is_empty() || path == "0" {
+                return;
+            }
+            let _ = std::panic::catch_unwind(|| {
+                let _ = write_chrome_trace(std::path::Path::new(&path));
+            });
+        }));
+    });
 }
 
 /// Turn the timeline recorder off (overrides `GPU_SIM_TRACE`).
@@ -128,7 +172,7 @@ pub enum ArgValue {
 }
 
 /// One recorded event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Nanoseconds since the process trace epoch.
     pub ts_ns: u64,
@@ -162,6 +206,14 @@ static SINK: Mutex<Sink> = Mutex::new(Sink {
     threads: Vec::new(),
 });
 
+/// Lock the sink, tolerating poison: the sink's state is append-only and
+/// stays consistent even if a holder panicked, and the panic-hook flight
+/// recorder must be able to export after an arbitrary panic.
+fn sink_lock() -> std::sync::MutexGuard<'static, Sink> {
+    SINK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 struct LocalBuf {
@@ -174,9 +226,7 @@ impl LocalBuf {
         if self.buf.is_empty() {
             return;
         }
-        if let Ok(mut sink) = SINK.lock() {
-            sink.events.append(&mut self.buf);
-        }
+        sink_lock().events.append(&mut self.buf);
     }
 }
 
@@ -193,7 +243,7 @@ thread_local! {
 /// Register the current thread in the sink, reusing the tid of an existing
 /// name or allocating a fresh one.
 fn register_thread(name: Option<&str>) -> LocalBuf {
-    let mut sink = SINK.lock().unwrap();
+    let mut sink = sink_lock();
     if let Some(name) = name {
         if let Some(&(tid, _)) = sink.threads.iter().find(|(_, n)| n == name) {
             return LocalBuf {
@@ -269,14 +319,36 @@ pub fn reset() {
             lb.buf.clear();
         }
     });
-    SINK.lock().unwrap().events.clear();
+    sink_lock().events.clear();
 }
 
 /// Flush the current thread and take every captured event out of the sink,
 /// in per-thread record order. Mainly for tests and custom exporters.
 pub fn drain_events() -> Vec<Event> {
     flush_thread();
-    std::mem::take(&mut SINK.lock().unwrap().events)
+    std::mem::take(&mut sink_lock().events)
+}
+
+/// A non-draining copy of the sink: every captured event (per-thread record
+/// order) plus the `(tid, name)` thread registrations. This is the input to
+/// [`analyze::analyze`]; unlike [`drain_events`] it leaves the sink intact,
+/// so a subsequent [`chrome_trace_json`] export still sees the full capture.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSnapshot {
+    /// Captured events, in per-thread record order.
+    pub events: Vec<Event>,
+    /// `(tid, name)` thread registrations, in registration order.
+    pub threads: Vec<(u64, String)>,
+}
+
+/// Flush the current thread and clone the sink into a [`TraceSnapshot`].
+pub fn snapshot_events() -> TraceSnapshot {
+    flush_thread();
+    let sink = sink_lock();
+    TraceSnapshot {
+        events: sink.events.clone(),
+        threads: sink.threads.clone(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -429,7 +501,7 @@ fn write_event(out: &mut String, ev: &Event) {
 pub fn chrome_trace_json() -> String {
     flush_thread();
     let (mut events, threads) = {
-        let sink = SINK.lock().unwrap();
+        let sink = sink_lock();
         (sink.events.clone(), sink.threads.clone())
     };
     // Stable sort: per-thread streams are recorded in non-decreasing ts

@@ -1,0 +1,43 @@
+//! The flight recorder: a panic with tracing enabled dumps the captured
+//! timeline so a failed run still ships a trace artifact. Lives in its own
+//! test binary because it installs a process-global panic hook and panics a
+//! thread on purpose.
+
+use std::path::PathBuf;
+
+#[test]
+fn panic_dumps_buffered_spans_to_the_flight_recorder_path() {
+    let path = PathBuf::from(format!(
+        "{}/trace-panic-test-{}.json",
+        std::env::temp_dir().display(),
+        std::process::id()
+    ));
+    std::env::set_var("GPU_SIM_TRACE_PANIC", &path);
+    let _ = std::fs::remove_file(&path);
+
+    trace::enable();
+    trace::reset();
+    let result = std::thread::spawn(|| {
+        trace::set_thread_name("doomed-worker");
+        let _span = trace::span("test", "doomed-span");
+        panic!("synthetic failure under tracing");
+    })
+    .join();
+    assert!(result.is_err(), "the worker must have panicked");
+    trace::disable();
+
+    let dumped = std::fs::read_to_string(&path).expect("flight recorder wrote the trace");
+    assert!(dumped.contains("doomed-span"), "span missing from dump");
+    assert!(
+        dumped.contains("doomed-worker"),
+        "thread name missing from dump"
+    );
+    // The dump is a loadable Chrome trace: the analyzer can import it.
+    let snap = trace::analyze::import_chrome_trace(&dumped).expect("dump parses");
+    assert!(snap
+        .events
+        .iter()
+        .any(|e| e.name == "doomed-span" && e.phase == trace::Phase::Begin));
+    let _ = std::fs::remove_file(&path);
+    trace::reset();
+}

@@ -9,8 +9,15 @@
 //! six `pipeline.stage` spans inside each `pipeline.chunk` span, and the
 //! per-thread `gpu.tile` batches.
 //!
+//! After the run, the in-process analyzer (`trace::analyze`, DESIGN.md §17)
+//! prints the critical path, per-thread utilization and packer-overlap
+//! efficiency straight from the captured span stream. With
+//! `--analyze-only <trace.json>` the profiled run is skipped and a
+//! previously exported Chrome trace is analyzed instead.
+//!
 //! ```text
 //! cargo run --release --example amc_profile
+//! cargo run --release --example amc_profile -- --analyze-only out/amc_profile_trace.json
 //! ```
 //!
 //! See DESIGN.md §12 for the full span taxonomy.
@@ -22,6 +29,27 @@ use hyperspec::trace;
 use std::path::Path;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--analyze-only") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: amc_profile [--analyze-only <trace.json>]");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let snap = trace::analyze::import_chrome_trace(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not a loadable Chrome trace: {e}");
+            std::process::exit(2);
+        });
+        print!(
+            "{}",
+            trace::analyze::render_text(&trace::analyze::analyze(&snap))
+        );
+        return;
+    }
+
     trace::enable();
 
     let classes = indian_pines_classes();
@@ -99,6 +127,12 @@ fn main() {
             h.count, h.p50_ns, h.p95_ns, h.p99_ns
         );
     }
+
+    // The in-process analyzer over the same span stream the Chrome export
+    // carries: critical path, per-thread utilization, packer overlap.
+    let analysis = trace::analyze::analyze(&trace::snapshot_events());
+    println!("\nanalyzer summary (see DESIGN.md §17):");
+    print!("{}", trace::analyze::render_text(&analysis));
 
     let out = Path::new("out/amc_profile_trace.json");
     trace::write_chrome_trace(out).expect("write trace");
